@@ -1,0 +1,59 @@
+//! Error type for the baseline algorithms.
+
+use std::fmt;
+
+use pta_core::CoreError;
+use pta_temporal::TemporalError;
+
+/// Errors raised by the comparator algorithms.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// The time-series methods require a gap-free, single-group,
+    /// one-dimensional relation (the paper marks them "not applicable"
+    /// otherwise, §7.2.2).
+    NotApplicable {
+        /// Why the input is outside the method's domain.
+        reason: String,
+    },
+    /// A segment/coefficient count was zero or exceeded the series length.
+    InvalidSize {
+        /// Requested count.
+        requested: usize,
+        /// Series length.
+        len: usize,
+    },
+    /// An invalid parameter (threshold, alphabet size, ...).
+    InvalidParameter(String),
+    /// An underlying PTA-core error.
+    Core(CoreError),
+    /// An underlying data-model error.
+    Temporal(TemporalError),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::NotApplicable { reason } => write!(f, "method not applicable: {reason}"),
+            Self::InvalidSize { requested, len } => {
+                write!(f, "requested size {requested} invalid for series of length {len}")
+            }
+            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::Core(e) => write!(f, "{e}"),
+            Self::Temporal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<CoreError> for BaselineError {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<TemporalError> for BaselineError {
+    fn from(e: TemporalError) -> Self {
+        Self::Temporal(e)
+    }
+}

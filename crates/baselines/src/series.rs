@@ -1,0 +1,146 @@
+//! Dense per-chronon series: the input form of the time-series methods.
+
+use pta_temporal::SequentialRelation;
+
+use crate::error::BaselineError;
+
+/// A one-dimensional series with one value per chronon — the expansion an
+/// ITA result admits when it has a single group and no temporal gaps
+/// (§2.2: "An ITA result can be considered as a time series if no temporal
+/// gaps and aggregation groups are present").
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSeries {
+    values: Vec<f64>,
+}
+
+impl DenseSeries {
+    /// Wraps raw values.
+    pub fn new(values: Vec<f64>) -> Self {
+        Self { values }
+    }
+
+    /// Expands a sequential relation: each tuple's value is repeated for
+    /// every chronon of its interval. Fails when the relation has more
+    /// than one aggregation group, temporal gaps, or `p ≠ 1` — the inputs
+    /// the paper marks the time-series methods "not applicable" for.
+    pub fn from_sequential(input: &SequentialRelation) -> Result<Self, BaselineError> {
+        if input.dims() != 1 {
+            return Err(BaselineError::NotApplicable {
+                reason: format!("series methods are one-dimensional, relation has p = {}", input.dims()),
+            });
+        }
+        if input.cmin() > 1 {
+            return Err(BaselineError::NotApplicable {
+                reason: format!(
+                    "relation has {} maximal runs (gaps or groups); time-series methods need 1",
+                    input.cmin()
+                ),
+            });
+        }
+        let mut values = Vec::with_capacity(input.total_duration() as usize);
+        for i in 0..input.len() {
+            let v = input.value(i, 0);
+            for _ in 0..input.interval(i).len() {
+                values.push(v);
+            }
+        }
+        Ok(Self { values })
+    }
+
+    /// Number of chronons.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// The SSE between this series and an approximation of the same
+    /// length: `Σ_t (x_t − y_t)²` — the per-chronon form of Def. 5 with
+    /// unit weights.
+    pub fn sse_against(&self, approx: &[f64]) -> f64 {
+        debug_assert_eq!(self.values.len(), approx.len());
+        self.values
+            .iter()
+            .zip(approx)
+            .map(|(x, y)| {
+                let d = x - y;
+                d * d
+            })
+            .sum()
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.values.iter().sum::<f64>() / self.values.len() as f64
+    }
+
+    /// Sample standard deviation (population form, as SAX uses).
+    pub fn std_dev(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let m = self.mean();
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval};
+
+    #[test]
+    fn expansion_repeats_interval_values() {
+        let mut b = SequentialBuilder::new(1);
+        b.push(GroupKey::empty(), TimeInterval::new(0, 2).unwrap(), &[5.0]).unwrap();
+        b.push(GroupKey::empty(), TimeInterval::new(3, 3).unwrap(), &[7.0]).unwrap();
+        let s = DenseSeries::from_sequential(&b.build()).unwrap();
+        assert_eq!(s.values(), &[5.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn gapped_input_is_rejected() {
+        let mut b = SequentialBuilder::new(1);
+        b.push(GroupKey::empty(), TimeInterval::new(0, 1).unwrap(), &[1.0]).unwrap();
+        b.push(GroupKey::empty(), TimeInterval::new(5, 6).unwrap(), &[2.0]).unwrap();
+        assert!(matches!(
+            DenseSeries::from_sequential(&b.build()),
+            Err(BaselineError::NotApplicable { .. })
+        ));
+    }
+
+    #[test]
+    fn multidimensional_input_is_rejected() {
+        let mut b = SequentialBuilder::new(2);
+        b.push(GroupKey::empty(), TimeInterval::new(0, 1).unwrap(), &[1.0, 2.0]).unwrap();
+        assert!(DenseSeries::from_sequential(&b.build()).is_err());
+    }
+
+    #[test]
+    fn sse_and_moments() {
+        let s = DenseSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.sse_against(&[1.0, 2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(s.sse_against(&[0.0, 2.0, 3.0, 6.0]), 1.0 + 4.0);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.std_dev() - 1.118_033_988).abs() < 1e-6);
+    }
+}

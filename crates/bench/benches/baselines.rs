@@ -1,0 +1,66 @@
+//! Criterion microbenchmarks of the comparator algorithms (the cost side
+//! of Figs. 15/16/21).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta_baselines::{
+    apca, atc, chebyshev, dft, dwt_top_k, paa, sax, DenseSeries, DwtTable, Padding,
+};
+use pta_core::Weights;
+use pta_datasets::{timeseries, uniform};
+
+fn bench_series_methods(c: &mut Criterion) {
+    let mut g = c.benchmark_group("series_methods");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let rel = timeseries::tide(8_192, 5);
+    let series = DenseSeries::from_sequential(&rel).unwrap();
+    let n = series.len();
+    let cc = n / 10;
+    g.bench_with_input(BenchmarkId::new("paa", n), &n, |b, _| {
+        b.iter(|| paa(black_box(&series), cc).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("dwt_table_build", n), &n, |b, _| {
+        b.iter(|| DwtTable::build(black_box(&series), Padding::Zero))
+    });
+    g.bench_with_input(BenchmarkId::new("dwt_top_k", n), &n, |b, _| {
+        b.iter(|| dwt_top_k(black_box(&series), cc, Padding::Zero).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("apca", n), &n, |b, _| {
+        b.iter(|| apca(black_box(&series), cc, Padding::Zero).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("sax", n), &n, |b, _| {
+        b.iter(|| sax(black_box(&series), cc, 8).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("chebyshev_c32", n), &n, |b, _| {
+        b.iter(|| chebyshev(black_box(&series), 32).unwrap())
+    });
+    g.finish();
+}
+
+fn bench_dft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dft");
+    g.sample_size(10).measurement_time(Duration::from_secs(3));
+    // DFT is O(n^2); bench at the Fig. 2 excerpt scale.
+    let rel = timeseries::tide(1_024, 6);
+    let series = DenseSeries::from_sequential(&rel).unwrap();
+    g.bench_function("dft_1024_c10", |b| b.iter(|| dft(black_box(&series), 10).unwrap()));
+    g.finish();
+}
+
+fn bench_atc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("atc");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = Weights::uniform(1);
+    for &n in &[50_000usize, 200_000] {
+        let rel = uniform::ungrouped(n, 1, 7);
+        g.bench_with_input(BenchmarkId::new("threshold_0.01", n), &n, |b, _| {
+            b.iter(|| atc(black_box(&rel), &w, 0.01).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_series_methods, bench_dft, bench_atc);
+criterion_main!(benches);

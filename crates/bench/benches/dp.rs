@@ -1,0 +1,52 @@
+//! Criterion microbenchmarks of the exact DP algorithms — the
+//! microbenchmark form of Figs. 18/19: gap pruning versus the naive DP on
+//! gap-free and grouped data, and error-bounded evaluation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta_core::{pta_error_bounded, pta_size_bounded, pta_size_bounded_naive, Weights};
+use pta_datasets::uniform;
+
+fn bench_size_bounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_size_bounded");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = Weights::uniform(10);
+    for &n in &[250usize, 500, 1_000] {
+        let flat = uniform::ungrouped(n, 10, 1);
+        let grouped = uniform::grouped(50, (n / 50).max(1), 10, 1);
+        let cc = (n / 10).max(50);
+        g.bench_with_input(BenchmarkId::new("naive_flat", n), &n, |b, _| {
+            b.iter(|| pta_size_bounded_naive(black_box(&flat), &w, cc).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("pruned_flat", n), &n, |b, _| {
+            b.iter(|| pta_size_bounded(black_box(&flat), &w, cc).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("naive_grouped", n), &n, |b, _| {
+            b.iter(|| pta_size_bounded_naive(black_box(&grouped), &w, cc).unwrap())
+        });
+        g.bench_with_input(BenchmarkId::new("pruned_grouped", n), &n, |b, _| {
+            b.iter(|| pta_size_bounded(black_box(&grouped), &w, cc).unwrap())
+        });
+    }
+    g.finish();
+}
+
+fn bench_error_bounded(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_error_bounded");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = Weights::uniform(10);
+    let grouped = uniform::grouped(200, 10, 10, 2);
+    for &eps in &[0.8, 0.4, 0.1] {
+        g.bench_with_input(
+            BenchmarkId::new("grouped_2000", format!("eps{eps}")),
+            &eps,
+            |b, &eps| b.iter(|| pta_error_bounded(black_box(&grouped), &w, eps).unwrap()),
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_size_bounded, bench_error_bounded);
+criterion_main!(benches);

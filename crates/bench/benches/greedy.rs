@@ -1,0 +1,49 @@
+//! Criterion microbenchmarks of the greedy algorithms — the
+//! microbenchmark form of Fig. 21: offline GMS versus the streaming
+//! gPTAc/gPTAε at several δ settings.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta_core::{gms_size_bounded, Delta, GPtaC, GPtaE, Weights};
+use pta_datasets::uniform;
+
+fn bench_gptac(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gptac");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = Weights::uniform(1);
+    for &n in &[10_000usize, 50_000, 200_000] {
+        let rel = uniform::ungrouped(n, 1, 3);
+        let cc = n / 10;
+        g.bench_with_input(BenchmarkId::new("gms", n), &n, |b, _| {
+            b.iter(|| gms_size_bounded(black_box(&rel), &w, cc).unwrap())
+        });
+        for delta in [Delta::Finite(0), Delta::Finite(1), Delta::Unbounded] {
+            let name = match delta {
+                Delta::Finite(k) => format!("delta{k}"),
+                Delta::Unbounded => "delta_inf".into(),
+            };
+            g.bench_with_input(BenchmarkId::new(name, n), &n, |b, _| {
+                b.iter(|| GPtaC::run(black_box(&rel), &w, cc, delta).unwrap())
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_gptae(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gptae");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = Weights::uniform(1);
+    let rel = uniform::ungrouped(100_000, 1, 4);
+    for &eps in &[0.65, 0.2] {
+        g.bench_with_input(BenchmarkId::new("delta1", format!("eps{eps}")), &eps, |b, &eps| {
+            b.iter(|| GPtaE::run(black_box(&rel), &w, eps, Delta::Finite(1), None).unwrap())
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_gptac, bench_gptae);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion microbenchmarks of the indexed min-heap — the data structure
+//! whose `O(log(c+β))` operations give gPTAc its complexity bound.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta_core::greedy::heap::IndexedMinHeap;
+
+fn keys(n: usize) -> Vec<f64> {
+    // Deterministic pseudo-random keys without an RNG dependency.
+    let mut state = 0x243F6A8885A308D3u64;
+    (0..n)
+        .map(|_| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state % 1_000_000) as f64
+        })
+        .collect()
+}
+
+fn bench_heap(c: &mut Criterion) {
+    let mut g = c.benchmark_group("indexed_heap");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    for &n in &[1_000usize, 100_000] {
+        let ks = keys(n);
+        g.bench_with_input(BenchmarkId::new("insert_drain", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = IndexedMinHeap::new();
+                for (i, &k) in ks.iter().enumerate() {
+                    h.insert(i as u32, k, i as u64);
+                }
+                while let Some((slot, _, _)) = h.peek() {
+                    h.remove(slot);
+                }
+                black_box(n)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("update_storm", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut h = IndexedMinHeap::new();
+                for (i, &k) in ks.iter().enumerate() {
+                    h.insert(i as u32, k, i as u64);
+                }
+                for (i, &k) in ks.iter().enumerate() {
+                    h.update((n - 1 - i) as u32, k * 0.5);
+                }
+                black_box(h.len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_heap);
+criterion_main!(benches);

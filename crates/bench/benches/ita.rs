@@ -1,0 +1,53 @@
+//! Criterion microbenchmarks of the aggregation substrate: eager ITA,
+//! streaming ITA, STA and coalescing.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta_datasets::etds::{generate, EtdsParams};
+use pta_ita::{ita, sta, AggregateSpec, ItaQuerySpec, SpanSpec, StreamingIta};
+use pta_temporal::coalesce;
+
+fn bench_ita(c: &mut Criterion) {
+    let mut g = c.benchmark_group("ita");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let rel = generate(EtdsParams::small());
+    let n = rel.len();
+    let ungrouped = ItaQuerySpec::new(&[], vec![AggregateSpec::avg("Salary")]);
+    let grouped = ItaQuerySpec::new(&["EmpNo", "Dept"], vec![AggregateSpec::avg("Salary")]);
+    let minmax = ItaQuerySpec::new(
+        &["Dept"],
+        vec![AggregateSpec::min("Salary"), AggregateSpec::max("Salary")],
+    );
+    g.bench_with_input(BenchmarkId::new("ungrouped_avg", n), &n, |b, _| {
+        b.iter(|| ita(black_box(&rel), &ungrouped).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("grouped_avg", n), &n, |b, _| {
+        b.iter(|| ita(black_box(&rel), &grouped).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("minmax_multiset", n), &n, |b, _| {
+        b.iter(|| ita(black_box(&rel), &minmax).unwrap())
+    });
+    g.bench_with_input(BenchmarkId::new("streaming_drain", n), &n, |b, _| {
+        b.iter(|| StreamingIta::new(black_box(&rel), &ungrouped).unwrap().count())
+    });
+    g.bench_with_input(BenchmarkId::new("sta_fixed_spans", n), &n, |b, _| {
+        b.iter(|| {
+            sta(
+                black_box(&rel),
+                &["Dept"],
+                &[AggregateSpec::avg("Salary")],
+                &SpanSpec::Fixed { origin: 0, width: 12 },
+            )
+            .unwrap()
+        })
+    });
+    g.bench_with_input(BenchmarkId::new("coalesce", n), &n, |b, _| {
+        b.iter(|| coalesce(black_box(&rel)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_ita);
+criterion_main!(benches);

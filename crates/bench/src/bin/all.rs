@@ -1,0 +1,37 @@
+//! Runs every table/figure harness in sequence (same binary crate, so a
+//! single build serves all). Useful for regenerating `EXPERIMENTS.md`
+//! inputs in one go:
+//!
+//! ```text
+//! cargo run --release -p pta-bench --bin all -- --scale medium
+//! ```
+
+use std::process::Command;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let bins = [
+        "table1", "fig02", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
+        "fig21",
+    ];
+    let mut failures = Vec::new();
+    for bin in bins {
+        println!("\n################ {bin} ################");
+        let status = Command::new(dir.join(bin))
+            .args(&args)
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        if !status.success() {
+            eprintln!("{bin} FAILED with {status}");
+            failures.push(bin);
+        }
+    }
+    if failures.is_empty() {
+        println!("\nall harnesses completed");
+    } else {
+        eprintln!("\nfailed harnesses: {failures:?}");
+        std::process::exit(1);
+    }
+}

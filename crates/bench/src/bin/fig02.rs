@@ -1,0 +1,83 @@
+//! Fig. 2: one Incumbents-like excerpt approximated by every method with
+//! 10 coefficients/segments; reports each method's SSE.
+//!
+//! Paper values (their excerpt): DWT 2903, DFT 669, Chebyshev 17257,
+//! PAA 2516, APCA 2573, PTA 109, gPTAc 119. The expected *shape*: the two
+//! PTA variants are an order of magnitude below every competitor, greedy
+//! within a few percent of exact, and Chebyshev worst.
+
+use pta_baselines::{apca, chebyshev, dft, dwt_for_size, paa, DenseSeries, Padding};
+use pta_bench::{fmt, print_table, row, HarnessArgs};
+use pta_core::{gms_size_bounded, pta_size_bounded, Weights};
+use pta_datasets::{prepare, QueryId};
+use pta_temporal::SequentialRelation;
+
+/// The longest gap-free single-group run of a relation, truncated to
+/// `max_len` tuples — the paper's "small excerpt ... with only one
+/// aggregate value and no aggregation groups and temporal gaps".
+fn excerpt(relation: &SequentialRelation, max_len: usize) -> SequentialRelation {
+    let longest = relation
+        .segments()
+        .into_iter()
+        .max_by_key(|r| r.len())
+        .expect("relation is non-empty");
+    let end = longest.end.min(longest.start + max_len);
+    relation.slice(longest.start..end)
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let c = 10usize;
+    println!("Fig. 2 — approximations of an Incumbents-like excerpt, c = {c}");
+
+    let q = prepare(QueryId::I1, args.scale);
+    let ex = excerpt(&q.relation, 200);
+    let series = DenseSeries::from_sequential(&ex).expect("excerpt is a single run");
+    let w = Weights::uniform(1);
+    println!(
+        "excerpt: {} ITA tuples over {} chronons",
+        ex.len(),
+        series.len()
+    );
+
+    let pta = pta_size_bounded(&ex, &w, c).expect("c >= cmin on a single run");
+    let gpta = gms_size_bounded(&ex, &w, c).expect("c >= cmin on a single run");
+    let dwt = dwt_for_size(&series, c, Padding::Zero).expect("valid size");
+    let dft_a = dft(&series, c).expect("valid size");
+    let cheb = chebyshev(&series, c).expect("valid size");
+    let paa_a = paa(&series, c).expect("valid size");
+    let apca_a = apca(&series, c, Padding::Zero).expect("valid size");
+
+    let results: Vec<(&str, f64, f64)> = vec![
+        ("DWT", dwt.sse, 2_903.0),
+        ("DFT", dft_a.sse, 669.0),
+        ("Chebyshev", cheb.sse, 17_257.0),
+        ("PAA", paa_a.sse_against(&series), 2_516.0),
+        ("APCA", apca_a.sse_against(&series), 2_573.0),
+        ("PTA", pta.reduction.sse(), 109.0),
+        ("gPTAc", gpta.reduction.sse(), 119.0),
+    ];
+    let rows: Vec<Vec<String>> = results
+        .iter()
+        .map(|(name, ours, paper)| row([name.to_string(), fmt(*ours), fmt(*paper)]))
+        .collect();
+    print_table("Fig. 2 (errors, 10 coefficients/segments)", &["method", "our error", "paper error"], &rows);
+    args.write_csv("fig02.csv", &["method", "our_error", "paper_error"], &rows);
+
+    // Shape assertions from the paper's figure.
+    let pta_err = pta.reduction.sse();
+    let gpta_err = gpta.reduction.sse();
+    assert!(
+        gpta_err >= pta_err - 1e-6 * (1.0 + pta_err),
+        "greedy cannot beat exact ({gpta_err} < {pta_err})"
+    );
+    for (name, err, _) in &results {
+        if *name != "PTA" && *name != "gPTAc" {
+            assert!(
+                *err > gpta_err,
+                "{name} ({err}) should trail the PTA variants ({gpta_err})"
+            );
+        }
+    }
+    println!("\nshape check: PTA < gPTAc < every competitor — OK");
+}

@@ -1,0 +1,124 @@
+//! Fig. 14: optimal PTA error as a function of the reduction ratio.
+//!
+//! (a) Real-world queries E1–E3, I1–I3, T1–T3, reduction range 90–100 %:
+//!     most curves stay low even at heavy reduction; the 12-dimensional
+//!     T3 rises much earlier.
+//! (b) Uniform 2 000-tuple subsets with 1..10 aggregate dimensions over
+//!     the full 0–100 % range: error grows with dimensionality.
+
+use pta_bench::{fmt, print_table, row, HarnessArgs, Scale};
+use pta_core::{max_error, optimal_error_curve, Weights};
+use pta_datasets::{prepare, uniform, QueryId};
+use pta_temporal::SequentialRelation;
+
+/// Normalised error (%) at the reduction ratios (%) requested, from the
+/// optimal error curve. Reduction ratio r maps to size
+/// `k = n − r·(n − cmin)`; 100 % reduction is `cmin` (error = Emax).
+fn curve_at_ratios(
+    relation: &SequentialRelation,
+    ratios: &[f64],
+) -> Vec<(f64, f64)> {
+    let w = Weights::uniform(relation.dims());
+    let n = relation.len();
+    let cmin = relation.cmin();
+    let emax = max_error(relation, &w).expect("dims match");
+    // Only rows up to the largest size any requested ratio maps to are
+    // needed (ratio 90 % needs just cmin + 0.1·(n − cmin) rows).
+    let span = (n - cmin) as f64;
+    let min_ratio = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let kmax = if min_ratio <= 0.0 {
+        n
+    } else {
+        ((n as f64 - min_ratio / 100.0 * span).round() as usize + 1).min(n)
+    };
+    let curve = optimal_error_curve(relation, &w, kmax).expect("dims match");
+    ratios
+        .iter()
+        .map(|&r| {
+            let span = (n - cmin) as f64;
+            let k = (n as f64 - r / 100.0 * span).round() as usize;
+            let k = k.clamp(cmin.max(1), n);
+            let err = curve[k - 1];
+            let pct = if emax > 0.0 { 100.0 * err / emax } else { 0.0 };
+            (r, pct)
+        })
+        .collect()
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Fig. 14 — PTA error vs. reduction ratio ({:?} scale)", args.scale);
+
+    // (a) Real-world queries, 90..100 % reduction.
+    let ratios_a: Vec<f64> = (0..=10).map(|i| 90.0 + i as f64).collect();
+    let queries = [
+        QueryId::E1,
+        QueryId::E2,
+        QueryId::E3,
+        QueryId::I1,
+        QueryId::I2,
+        QueryId::I3,
+        QueryId::T1,
+        QueryId::T2,
+        QueryId::T3,
+    ];
+    let mut rows_a = Vec::new();
+    let mut t3_at_90 = 0.0;
+    let mut one_dim_at_95_max: f64 = 0.0;
+    for id in queries {
+        let q = prepare(id, args.scale);
+        let pts = curve_at_ratios(&q.relation, &ratios_a);
+        for &(r, e) in &pts {
+            rows_a.push(row([id.name().to_string(), fmt(r), fmt(e)]));
+        }
+        if id == QueryId::T3 {
+            t3_at_90 = pts[0].1;
+        } else if id == QueryId::T1 {
+            one_dim_at_95_max = one_dim_at_95_max.max(pts[5].1);
+        }
+        let line: Vec<String> = pts.iter().map(|(_, e)| fmt(*e)).collect();
+        println!("{:>3}: error% at 90..100% reduction: {}", id.name(), line.join(" "));
+    }
+    args.write_csv("fig14a.csv", &["query", "reduction_pct", "error_pct"], &rows_a);
+
+    // (b) Dimensionality sweep over uniform subsets.
+    let n = match args.scale {
+        Scale::Small => 300,
+        Scale::Medium => 1_000,
+        Scale::Paper => 2_000,
+    };
+    let ratios_b: Vec<f64> = (0..=10).map(|i| 10.0 * i as f64).collect();
+    let mut rows_b = Vec::new();
+    let mut table_rows = Vec::new();
+    for p in [1usize, 2, 4, 6, 8, 10] {
+        let rel = uniform::ungrouped(n, p, 1234);
+        let pts = curve_at_ratios(&rel, &ratios_b);
+        for &(r, e) in &pts {
+            rows_b.push(row([p.to_string(), fmt(r), fmt(e)]));
+        }
+        table_rows.push(row(std::iter::once(format!("{p}D"))
+            .chain(pts.iter().map(|(_, e)| fmt(*e)))));
+    }
+    let mut header: Vec<String> = vec!["dims".into()];
+    header.extend(ratios_b.iter().map(|r| format!("{r}%")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+    print_table("Fig. 14(b): error% by reduction ratio and dimensionality", &header_refs, &table_rows);
+    args.write_csv("fig14b.csv", &["dims", "reduction_pct", "error_pct"], &rows_b);
+
+    // Shape checks: higher dimensionality ⇒ higher error at mid-range
+    // reduction; T3 (12-dim) far above the 1-dim T1 at 90 %.
+    let err_at = |rows: &[Vec<String>], p: &str, r: f64| -> f64 {
+        rows.iter()
+            .find(|row| row[0] == p && row[1] == fmt(r))
+            .map(|row| row[2].parse().unwrap_or(f64::NAN))
+            .unwrap_or(f64::NAN)
+    };
+    let e1 = err_at(&rows_b, "1", 50.0);
+    let e10 = err_at(&rows_b, "10", 50.0);
+    assert!(e10 > e1, "10-dim error {e10} should exceed 1-dim {e1} at 50% reduction");
+    assert!(
+        t3_at_90 > one_dim_at_95_max,
+        "T3 at 90% ({t3_at_90}) should exceed 1-dim T1 even at 95% ({one_dim_at_95_max})"
+    );
+    println!("\nshape check: error grows with dimensionality; T3 rises earliest — OK");
+}

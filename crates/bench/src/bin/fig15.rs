@@ -1,0 +1,97 @@
+//! Fig. 15: reduction error of the different algorithms on query T1
+//! (chaotic series) across the whole size range.
+//!
+//! (a) error vs. reduction ratio for PTAc, gPTAc, ATC, APCA, DWT, PAA;
+//! (b) error *ratio* to the PTAc optimum for gPTAc, ATC, APCA.
+//!
+//! Expected shape: gPTAc hugs the optimum (ratio → ~1.25 max, Thm. 1),
+//! ATC and APCA trail, DWT and PAA are far worse.
+
+use pta_baselines::{apca, atc_size_targeted, dwt_for_size, paa, DenseSeries, Padding};
+use pta_bench::{fmt, linspace_usize, print_table, row, HarnessArgs};
+use pta_core::{greedy_error_curve, max_error, optimal_error_curve, Weights};
+use pta_datasets::{prepare, QueryId};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    let q = prepare(QueryId::T1, args.scale);
+    let rel = &q.relation;
+    let n = rel.len();
+    let w = Weights::uniform(1);
+    println!("Fig. 15 — reduction error on T1 (n = {n}, {:?} scale)", args.scale);
+
+    let emax = max_error(rel, &w).expect("dims match");
+    let optimal = optimal_error_curve(rel, &w, n).expect("dims match");
+    let greedy = greedy_error_curve(rel, &w).expect("dims match");
+    let atc_best = atc_size_targeted(rel, &w, 8).expect("valid sweep");
+    let series = DenseSeries::from_sequential(rel).expect("T1 is a single run");
+
+    // Sample c over the full range (the paper evaluates every c; sampled
+    // points trace the same curves).
+    let cs = linspace_usize(2, n, 51);
+    let mut rows = Vec::new();
+    let mut ratio_rows = Vec::new();
+    let mut max_greedy_ratio: f64 = 0.0;
+    let mut sum_err = [0.0f64; 6]; // pta, gpta, atc, apca, dwt, paa
+    for &c in &cs {
+        let reduction_pct = 100.0 * (n - c) as f64 / (n - 1) as f64;
+        let e_pta = optimal[c - 1];
+        let e_gpta = greedy[c - 1];
+        let e_atc = atc_best[c - 1];
+        let e_apca = apca(&series, c, Padding::Zero).expect("valid c").sse_against(&series);
+        let e_dwt = dwt_for_size(&series, c, Padding::Zero).expect("valid c").sse;
+        let e_paa = paa(&series, c).expect("valid c").sse_against(&series);
+        let pct = |e: f64| if emax > 0.0 { 100.0 * e / emax } else { 0.0 };
+        rows.push(row([
+            c.to_string(),
+            fmt(reduction_pct),
+            fmt(pct(e_pta)),
+            fmt(pct(e_gpta)),
+            fmt(pct(e_atc)),
+            fmt(pct(e_apca)),
+            fmt(pct(e_dwt)),
+            fmt(pct(e_paa)),
+        ]));
+        if e_pta > 0.0 {
+            let r_g = e_gpta / e_pta;
+            max_greedy_ratio = max_greedy_ratio.max(r_g);
+            ratio_rows.push(row([
+                c.to_string(),
+                fmt(reduction_pct),
+                fmt(r_g),
+                fmt(e_atc / e_pta),
+                fmt(e_apca / e_pta),
+            ]));
+        }
+        for (acc, e) in sum_err.iter_mut().zip([e_pta, e_gpta, e_atc, e_apca, e_dwt, e_paa]) {
+            *acc += e;
+        }
+    }
+    print_table(
+        "Fig. 15(a): error% of Emax by output size",
+        &["c", "reduction%", "PTAc", "gPTAc", "ATC", "APCA", "DWT", "PAA"],
+        &rows,
+    );
+    args.write_csv(
+        "fig15a.csv",
+        &["c", "reduction_pct", "ptac", "gptac", "atc", "apca", "dwt", "paa"],
+        &rows,
+    );
+    print_table(
+        "Fig. 15(b): error ratio to PTAc",
+        &["c", "reduction%", "gPTAc", "ATC", "APCA"],
+        &ratio_rows,
+    );
+    args.write_csv("fig15b.csv", &["c", "reduction_pct", "gptac", "atc", "apca"], &ratio_rows);
+
+    // Shape checks from the paper's figure.
+    let [s_pta, s_gpta, s_atc, s_apca, s_dwt, s_paa] = sum_err;
+    assert!(s_gpta >= s_pta, "greedy cannot beat the optimum");
+    assert!(s_gpta <= s_atc && s_gpta <= s_apca, "gPTAc should be the closest to optimal");
+    assert!(s_dwt > s_apca, "APCA improves over raw DWT");
+    assert!(s_paa > s_gpta && s_dwt > s_gpta, "DWT/PAA perform significantly worse");
+    println!(
+        "\nshape check: PTAc <= gPTAc <= {{ATC, APCA}} < {{DWT, PAA}}; max greedy ratio {} — OK",
+        fmt(max_greedy_ratio)
+    );
+}

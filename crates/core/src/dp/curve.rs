@@ -1,0 +1,96 @@
+//! Optimal error-vs-size curves.
+//!
+//! Fig. 14 of the paper plots the minimal SSE of reducing a dataset to
+//! every possible size. One DP run produces the whole curve: row `k`'s
+//! final cell `E[k][n]` *is* the optimal error for size `k`, so filling
+//! rows `1..=kmax` yields all of them without split-point bookkeeping.
+
+use pta_temporal::SequentialRelation;
+
+use crate::dp::DpEngine;
+use crate::error::CoreError;
+use crate::weights::Weights;
+
+/// Optimal reduction errors for sizes `1..=kmax` (clamped to `n`):
+/// `result[k − 1] = E[k][n]`, with `∞` for unreachable sizes `k < cmin`.
+pub fn optimal_error_curve(
+    input: &SequentialRelation,
+    weights: &Weights,
+    kmax: usize,
+) -> Result<Vec<f64>, CoreError> {
+    let n = input.len();
+    let kmax = kmax.min(n);
+    if n == 0 || kmax == 0 {
+        return Ok(Vec::new());
+    }
+    let engine = DpEngine::new(input, weights, true)?;
+    let width = n + 1;
+    let mut prev = vec![f64::INFINITY; width];
+    prev[0] = 0.0;
+    let mut cur = vec![f64::INFINITY; width];
+    let mut curve = Vec::with_capacity(kmax);
+    for k in 1..=kmax {
+        engine.fill_row(k, &prev, &mut cur, None);
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(f64::INFINITY);
+        curve.push(prev[n]);
+    }
+    Ok(curve)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::size_bounded::size_bounded;
+    use crate::dp::tests::fig1c;
+
+    /// Fig. 4's last column: E[k][7] for k = 1..4 is ∞, ∞, 269 285, 49 166;
+    /// continuing, E[5][7] = 6 666.67, E[6][7] = 1 666.67, E[7][7] = 0.
+    #[test]
+    fn running_example_curve() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let curve = optimal_error_curve(&input, &w, 7).unwrap();
+        assert_eq!(curve.len(), 7);
+        assert!(curve[0].is_infinite() && curve[1].is_infinite());
+        assert!((curve[2] - 269_285.714).abs() < 1e-2);
+        assert!((curve[3] - 49_166.667).abs() < 1e-2);
+        assert!((curve[4] - 6_666.667).abs() < 1e-2);
+        assert!((curve[5] - 1_666.667).abs() < 1e-2);
+        assert_eq!(curve[6], 0.0);
+    }
+
+    #[test]
+    fn curve_matches_individual_dp_runs() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let curve = optimal_error_curve(&input, &w, 7).unwrap();
+        for c in input.cmin()..=7 {
+            let out = size_bounded(&input, &w, c).unwrap();
+            assert!(
+                (curve[c - 1] - out.reduction.sse()).abs() < 1e-6,
+                "size {c}: curve {} vs dp {}",
+                curve[c - 1],
+                out.reduction.sse()
+            );
+        }
+    }
+
+    #[test]
+    fn curve_is_monotone_non_increasing() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let curve = optimal_error_curve(&input, &w, 7).unwrap();
+        for win in curve.windows(2) {
+            assert!(win[0] >= win[1] - 1e-9);
+        }
+    }
+
+    #[test]
+    fn kmax_is_clamped_and_empty_handled() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        assert_eq!(optimal_error_curve(&input, &w, 100).unwrap().len(), 7);
+        assert!(optimal_error_curve(&SequentialRelation::empty(1), &w, 5).unwrap().is_empty());
+    }
+}

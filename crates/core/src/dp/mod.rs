@@ -1,0 +1,368 @@
+//! Exact PTA evaluation by dynamic programming (§5).
+//!
+//! The DP fills an error matrix `E` where cell `(k, i)` holds the smallest
+//! SSE of reducing the first `i` ITA tuples to `k` tuples:
+//!
+//! ```text
+//! E[k][i] = min_{j} ( E[k−1][j] + SSE(merge s_{j+1..i}) )
+//! ```
+//!
+//! with merging across non-adjacent pairs costing `∞`. Three accelerations
+//! apply (§5.2–5.3): constant-time range SSE from prefix sums, the
+//! `imax`/`jmin` bounds derived from the gap vector, and Jagadish et al.'s
+//! early break when the range SSE alone exceeds the best cell value.
+//!
+//! [`size_bounded`] implements `PTAc` (Fig. 7), [`error_bounded`]
+//! implements `PTAε` (Fig. 8), and [`curve`] produces whole error-vs-size
+//! curves for the evaluation. The *naive DP* baseline of the paper's
+//! Fig. 18 (recurrence + constant-time SSE, no gap pruning) is available by
+//! disabling pruning.
+
+pub mod curve;
+pub mod error_bounded;
+pub mod size_bounded;
+
+use pta_temporal::SequentialRelation;
+
+use crate::error::CoreError;
+use crate::gaps::GapVector;
+use crate::policy::GapPolicy;
+use crate::prefix::PrefixStats;
+use crate::weights::Weights;
+
+/// Hard cap on split-point table entries (×4 bytes each). Inputs needing
+/// more should use the greedy algorithms, as the paper does for its largest
+/// datasets.
+pub const MAX_TABLE_ENTRIES: usize = 1 << 28;
+
+/// Work counters reported by the DP algorithms; the evaluation uses them to
+/// show how gap pruning shrinks the search space.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DpStats {
+    /// Number of matrix rows filled (`k` values).
+    pub rows: usize,
+    /// Number of inner-loop split-point evaluations.
+    pub cells: u64,
+}
+
+/// A finished DP run: the optimal reduction plus work counters.
+#[derive(Debug, Clone)]
+pub struct DpOutcome {
+    /// The optimal reduction.
+    pub reduction: crate::reduction::Reduction,
+    /// Work counters.
+    pub stats: DpStats,
+}
+
+/// The largest possible reduction error `SSE_max = SSE(s, ρ(s, cmin))`:
+/// every maximal adjacent run merged into a single tuple. Error-bounded
+/// PTA expresses its threshold relative to this value (Def. 7).
+pub fn max_error(input: &SequentialRelation, weights: &Weights) -> Result<f64, CoreError> {
+    max_error_with_policy(input, weights, GapPolicy::Strict)
+}
+
+/// [`max_error`] under a mergeability policy: the maximal reduction then
+/// collapses each policy-defined run (which may bridge small holes).
+pub fn max_error_with_policy(
+    input: &SequentialRelation,
+    weights: &Weights,
+    policy: GapPolicy,
+) -> Result<f64, CoreError> {
+    weights.check_dims(input.dims())?;
+    let stats = PrefixStats::build(input);
+    let gaps = GapVector::build_with_policy(input, policy);
+    Ok(max_error_over_runs(weights, &stats, &gaps, input.len()))
+}
+
+/// [`max_error`] reusing prebuilt prefix stats.
+pub fn max_error_with(
+    input: &SequentialRelation,
+    weights: &Weights,
+    stats: &PrefixStats,
+) -> f64 {
+    input.segments().into_iter().map(|seg| stats.range_sse(weights, seg)).sum()
+}
+
+/// Sum of per-run SSEs where runs are delimited by the gap vector.
+pub(crate) fn max_error_over_runs(
+    weights: &Weights,
+    stats: &PrefixStats,
+    gaps: &GapVector,
+    n: usize,
+) -> f64 {
+    let mut total = 0.0;
+    let mut start = 0usize;
+    for &g in gaps.breaks() {
+        total += stats.range_sse(weights, start..g);
+        start = g;
+    }
+    if n > 0 {
+        total += stats.range_sse(weights, start..n);
+    }
+    total
+}
+
+/// Shared DP machinery over one input relation.
+pub(crate) struct DpEngine<'a> {
+    pub(crate) stats: PrefixStats,
+    pub(crate) gaps: GapVector,
+    pub(crate) weights: &'a Weights,
+    pub(crate) n: usize,
+    /// Apply the §5.3 `imax`/`jmin` gap pruning (PTAc/PTAε) or not (the
+    /// Fig. 18 "DP" baseline).
+    pub(crate) prune: bool,
+    /// Jagadish et al.'s decreasing-`j` early break (toggleable for the
+    /// ablation benchmark).
+    pub(crate) early_break: bool,
+}
+
+impl<'a> DpEngine<'a> {
+    pub(crate) fn new(
+        input: &SequentialRelation,
+        weights: &'a Weights,
+        prune: bool,
+    ) -> Result<Self, CoreError> {
+        Self::new_full(input, weights, prune, GapPolicy::Strict, true)
+    }
+
+    pub(crate) fn new_full(
+        input: &SequentialRelation,
+        weights: &'a Weights,
+        prune: bool,
+        policy: GapPolicy,
+        early_break: bool,
+    ) -> Result<Self, CoreError> {
+        weights.check_dims(input.dims())?;
+        Ok(Self {
+            stats: PrefixStats::build(input),
+            gaps: GapVector::build_with_policy(input, policy),
+            weights,
+            n: input.len(),
+            prune,
+            early_break,
+        })
+    }
+
+    /// Cost of merging tuples `j..i` (prefix lengths) into one tuple: the
+    /// range SSE, or `∞` when the range crosses a break.
+    #[inline]
+    pub(crate) fn cost(&self, j: usize, i: usize) -> f64 {
+        if self.gaps.range_crosses_break(j, i) {
+            f64::INFINITY
+        } else {
+            self.stats.range_sse(self.weights, j..i)
+        }
+    }
+
+    /// Fills row `k` of the error matrix into `cur` (index = prefix
+    /// length; `cur` must be pre-filled with `∞`), reading row `k − 1`
+    /// from `prev`. When `jrow` is given, records the best split point per
+    /// cell. Returns the number of split-point evaluations.
+    pub(crate) fn fill_row(
+        &self,
+        k: usize,
+        prev: &[f64],
+        cur: &mut [f64],
+        mut jrow: Option<&mut [u32]>,
+    ) -> u64 {
+        debug_assert!(k >= 1);
+        let n = self.n;
+        let imax = if self.prune { self.gaps.imax(k) } else { n };
+        let mut cells = 0u64;
+        for i in k..=imax {
+            if k == 1 {
+                // First row: all of the prefix merges into one tuple.
+                cur[i] = self.cost(0, i);
+                if let Some(jr) = jrow.as_deref_mut() {
+                    jr[i] = 0;
+                }
+                cells += 1;
+                continue;
+            }
+            let break_below = self.gaps.rightmost_break_below(i);
+            let jmin = if self.prune {
+                break_below.map_or(k - 1, |g| g.max(k - 1))
+            } else {
+                k - 1
+            };
+            // Forced split: the prefix has exactly k − 1 internal breaks,
+            // so every cut is pinned to a break (Fig. 7 lines 13–16).
+            if self.prune {
+                if let Some(g) = break_below {
+                    if k - 2 < self.gaps.count() && self.gaps.breaks()[k - 2] == g {
+                        cur[i] = prev[g] + self.stats.range_sse(self.weights, g..i);
+                        if let Some(jr) = jrow.as_deref_mut() {
+                            jr[i] = g as u32;
+                        }
+                        cells += 1;
+                        continue;
+                    }
+                }
+            }
+            let mut best = f64::INFINITY;
+            let mut best_j = jmin;
+            // Decreasing j: the range SSE err2 grows monotonically, so once
+            // it alone exceeds the best total the loop can stop (line 24).
+            for j in (jmin..i).rev() {
+                cells += 1;
+                let err2 = if self.prune {
+                    // j ≥ jmin guarantees the range crosses no break.
+                    self.stats.range_sse(self.weights, j..i)
+                } else {
+                    self.cost(j, i)
+                };
+                let total = prev[j] + err2;
+                if total < best {
+                    best = total;
+                    best_j = j;
+                }
+                if self.early_break && err2 > best {
+                    break;
+                }
+            }
+            cur[i] = best;
+            if let Some(jr) = jrow.as_deref_mut() {
+                jr[i] = best_j as u32;
+            }
+        }
+        cells
+    }
+
+    /// Reconstructs the partition boundaries from the split-point matrix:
+    /// rows `1..=k`, each of width `n + 1`, flattened row-major.
+    pub(crate) fn backtrack(&self, jm: &[u32], k: usize) -> Vec<usize> {
+        let n = self.n;
+        let width = n + 1;
+        let mut bounds = Vec::with_capacity(k + 1);
+        bounds.push(n);
+        let mut i = n;
+        for kk in (1..=k).rev() {
+            let j = jm[(kk - 1) * width + i] as usize;
+            debug_assert!(j < i, "split point must shrink the prefix");
+            bounds.push(j);
+            i = j;
+        }
+        debug_assert_eq!(i, 0, "backtrack must consume the whole prefix");
+        bounds.reverse();
+        bounds
+    }
+}
+
+/// Rejects (n, c) combinations whose split-point table would be too large.
+pub(crate) fn check_table_size(n: usize, c: usize) -> Result<(), CoreError> {
+    let entries = c.saturating_mul(n + 1);
+    if entries > MAX_TABLE_ENTRIES {
+        return Err(CoreError::TableTooLarge { n, c });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval, Value};
+
+    pub(crate) fn fig1c() -> SequentialRelation {
+        let mut b = SequentialBuilder::new(1);
+        let rows = [
+            ("A", 1, 2, 800.0),
+            ("A", 3, 3, 600.0),
+            ("A", 4, 4, 500.0),
+            ("A", 5, 6, 350.0),
+            ("A", 7, 7, 300.0),
+            ("B", 4, 5, 500.0),
+            ("B", 7, 8, 500.0),
+        ];
+        for (g, a, bb, v) in rows {
+            b.push(GroupKey::new(vec![Value::str(g)]), TimeInterval::new(a, bb).unwrap(), &[v])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    /// Fills the full error matrix (rows 1..=kmax) for tests.
+    fn full_matrix(input: &SequentialRelation, kmax: usize, prune: bool) -> Vec<Vec<f64>> {
+        let w = Weights::uniform(input.dims());
+        let engine = DpEngine::new(input, &w, prune).unwrap();
+        let n = input.len();
+        let mut prev = vec![f64::INFINITY; n + 1];
+        prev[0] = 0.0;
+        let mut rows = Vec::new();
+        for k in 1..=kmax {
+            let mut cur = vec![f64::INFINITY; n + 1];
+            engine.fill_row(k, &prev, &mut cur, None);
+            rows.push(cur.clone());
+            prev = cur;
+        }
+        rows
+    }
+
+    /// Fig. 4: the error matrix of the running example (values printed
+    /// truncated in the paper; we verify to within 1.0).
+    #[test]
+    fn fig_4_error_matrix() {
+        let input = fig1c();
+        let inf = f64::INFINITY;
+        let expected = [
+            vec![0.0, 26_666.67, 67_500.0, 208_333.33, 269_285.71, inf, inf],
+            vec![inf, 0.0, 5_000.0, 41_666.67, 49_166.67, 269_285.71, inf],
+            vec![inf, inf, 0.0, 5_000.0, 6_666.67, 49_166.67, 269_285.71],
+            vec![inf, inf, inf, 0.0, 1_666.67, 6_666.67, 49_166.67],
+        ];
+        for prune in [false, true] {
+            let m = full_matrix(&input, 4, prune);
+            for (k, row) in expected.iter().enumerate() {
+                for (i, &want) in row.iter().enumerate() {
+                    let got = m[k][i + 1];
+                    if want.is_infinite() {
+                        assert!(got.is_infinite(), "E[{}][{}] = {got}, want inf", k + 1, i + 1);
+                    } else {
+                        assert!(
+                            (got - want).abs() < 1.0,
+                            "E[{}][{}] = {got}, want {want} (prune={prune})",
+                            k + 1,
+                            i + 1
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pruned and naive rows agree wherever the naive row is finite.
+    #[test]
+    fn pruning_never_changes_reachable_cells() {
+        let input = fig1c();
+        let a = full_matrix(&input, 7, true);
+        let b = full_matrix(&input, 7, false);
+        for k in 0..7 {
+            for i in 1..=7 {
+                let (x, y) = (a[k][i], b[k][i]);
+                assert!(
+                    (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-6,
+                    "mismatch at E[{}][{}]: {x} vs {y}",
+                    k + 1,
+                    i
+                );
+            }
+        }
+    }
+
+    /// Emax = 269 285.714 for the running example (Example 22).
+    #[test]
+    fn example_22_emax() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let e = max_error(&input, &w).unwrap();
+        assert!((e - 269_285.714_285).abs() < 1e-2, "got {e}");
+    }
+
+    #[test]
+    fn table_size_guard() {
+        assert!(check_table_size(1_000, 100).is_ok());
+        assert!(matches!(
+            check_table_size(1 << 20, 1 << 12),
+            Err(CoreError::TableTooLarge { .. })
+        ));
+    }
+}

@@ -1,0 +1,212 @@
+//! `PTAc`: exact size-bounded PTA (Fig. 7).
+
+use pta_temporal::SequentialRelation;
+
+use crate::dp::{check_table_size, DpEngine, DpOutcome, DpStats};
+use crate::error::CoreError;
+use crate::policy::GapPolicy;
+use crate::reduction::Reduction;
+use crate::weights::Weights;
+
+/// Exact size-bounded PTA: the reduction of `input` to (exactly) `c`
+/// tuples with minimal SSE (Def. 6), via the gap-pruned DP.
+///
+/// Worst case `O(n² c p)` time on gap-free data; near-linear when gaps or
+/// groups bound the adjacent runs (§5.3). Space `O(n c)` for the
+/// split-point matrix plus two error rows.
+///
+/// Fails with [`CoreError::SizeBelowMinimum`] when `c < cmin`.
+pub fn size_bounded(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+) -> Result<DpOutcome, CoreError> {
+    run(input, weights, c, true, GapPolicy::Strict, true)
+}
+
+/// `PTAc` under a mergeability policy — with [`GapPolicy::Tolerate`] this
+/// is the paper's §8 future-work extension: tuples separated by holes up
+/// to `max_gap` chronons may merge, lowering `cmin` and unlocking smaller
+/// results on gap-ridden data.
+pub fn size_bounded_with_policy(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+    policy: GapPolicy,
+) -> Result<DpOutcome, CoreError> {
+    run(input, weights, c, true, policy, true)
+}
+
+/// `PTAc` without the Jagadish early break — ablation target only; always
+/// produces the same reduction, strictly more slowly on most data.
+pub fn size_bounded_no_early_break(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+) -> Result<DpOutcome, CoreError> {
+    run(input, weights, c, true, GapPolicy::Strict, false)
+}
+
+/// The unpruned "DP" baseline of Fig. 18: identical recurrence and
+/// constant-time SSE, but no `imax`/`jmin` gap pruning, so every cell of
+/// every row is evaluated.
+pub fn size_bounded_naive(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+) -> Result<DpOutcome, CoreError> {
+    run(input, weights, c, false, GapPolicy::Strict, true)
+}
+
+fn run(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+    prune: bool,
+    policy: GapPolicy,
+    early_break: bool,
+) -> Result<DpOutcome, CoreError> {
+    let n = input.len();
+    if n == 0 {
+        return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
+    }
+    let engine = DpEngine::new_full(input, weights, prune, policy, early_break)?;
+    let cmin = engine.gaps.cmin();
+    if c < cmin {
+        return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
+    }
+    if c >= n {
+        return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
+    }
+    check_table_size(n, c)?;
+
+    let width = n + 1;
+    let mut jm = vec![0u32; c * width];
+    let mut prev = vec![f64::INFINITY; width];
+    prev[0] = 0.0;
+    let mut cur = vec![f64::INFINITY; width];
+    let mut cells = 0u64;
+    for k in 1..=c {
+        cells += engine.fill_row(k, &prev, &mut cur, Some(&mut jm[(k - 1) * width..k * width]));
+        std::mem::swap(&mut prev, &mut cur);
+        cur.fill(f64::INFINITY);
+    }
+    debug_assert!(prev[n].is_finite(), "E[c][n] must be finite when c >= cmin");
+
+    let boundaries = engine.backtrack(&jm, c);
+    let reduction =
+        Reduction::from_boundaries_with_policy(input, weights, &engine.stats, &boundaries, policy)?;
+    debug_assert!(
+        (reduction.sse() - prev[n]).abs() <= 1e-6 * (1.0 + prev[n]),
+        "reconstructed SSE {} deviates from DP optimum {}",
+        reduction.sse(),
+        prev[n]
+    );
+    Ok(DpOutcome { reduction, stats: DpStats { rows: c, cells } })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::tests::fig1c;
+    use pta_temporal::TimeInterval;
+
+    /// Example 6 / Fig. 1(d): the best reduction of the running example to
+    /// 4 tuples has error 49 166 and merges {s1,s2}, {s3,s4,s5}, {s6}, {s7}.
+    #[test]
+    fn example_6_optimal_reduction() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        for f in [size_bounded, size_bounded_naive] {
+            let out = f(&input, &w, 4).unwrap();
+            let r = &out.reduction;
+            assert_eq!(r.len(), 4);
+            assert!((r.sse() - 49_166.666_667).abs() < 1e-3, "sse {}", r.sse());
+            assert_eq!(r.source_ranges(), &[0..2, 2..5, 5..6, 6..7]);
+            assert!((r.relation().value(0, 0) - 733.333_333).abs() < 1e-4);
+            assert!((r.relation().value(1, 0) - 375.0).abs() < 1e-9);
+            assert_eq!(r.relation().interval(1), TimeInterval::new(4, 7).unwrap());
+        }
+    }
+
+    /// Example 11: backtracking follows J[4][7] = 6, J[3][6] = 5,
+    /// J[2][5] = 2, J[1][2] = 0 — boundaries 0, 2, 5, 6, 7.
+    #[test]
+    fn example_11_backtrack_path() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let out = size_bounded(&input, &w, 4).unwrap();
+        let cuts: Vec<usize> =
+            out.reduction.source_ranges().iter().map(|r| r.start).chain([7]).collect();
+        assert_eq!(cuts, vec![0, 2, 5, 6, 7]);
+    }
+
+    #[test]
+    fn reduction_to_cmin_merges_each_segment() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let out = size_bounded(&input, &w, 3).unwrap();
+        assert_eq!(out.reduction.len(), 3);
+        assert!((out.reduction.sse() - 269_285.714_285).abs() < 1e-2);
+        assert_eq!(out.reduction.source_ranges(), &[0..5, 5..6, 6..7]);
+    }
+
+    #[test]
+    fn below_cmin_is_rejected() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let err = size_bounded(&input, &w, 2).unwrap_err();
+        assert!(matches!(err, CoreError::SizeBelowMinimum { requested: 2, cmin: 3 }));
+    }
+
+    #[test]
+    fn size_at_least_n_is_identity() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        for c in [7, 8, 100] {
+            let out = size_bounded(&input, &w, c).unwrap();
+            assert_eq!(out.reduction.len(), 7);
+            assert_eq!(out.reduction.sse(), 0.0);
+        }
+    }
+
+    #[test]
+    fn empty_input_reduces_to_empty() {
+        let input = SequentialRelation::empty(1);
+        let w = Weights::uniform(1);
+        let out = size_bounded(&input, &w, 0).unwrap();
+        assert!(out.reduction.is_empty());
+    }
+
+    #[test]
+    fn weight_dimension_is_checked() {
+        let input = fig1c();
+        let w = Weights::uniform(2);
+        assert!(matches!(
+            size_bounded(&input, &w, 4),
+            Err(CoreError::WeightDimensionMismatch { .. })
+        ));
+    }
+
+    /// Gap pruning evaluates strictly fewer split points on gap-rich data.
+    #[test]
+    fn pruning_reduces_work() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let pruned = size_bounded(&input, &w, 4).unwrap();
+        let naive = size_bounded_naive(&input, &w, 4).unwrap();
+        assert!(pruned.stats.cells < naive.stats.cells);
+        assert!((pruned.reduction.sse() - naive.reduction.sse()).abs() < 1e-9);
+    }
+
+    /// Doubling the SSE weight of the only dimension scales the optimal
+    /// error by 4 but leaves the partition unchanged.
+    #[test]
+    fn weights_scale_error_not_partition() {
+        let input = fig1c();
+        let base = size_bounded(&input, &Weights::uniform(1), 4).unwrap();
+        let scaled = size_bounded(&input, &Weights::new(&[2.0]).unwrap(), 4).unwrap();
+        assert_eq!(base.reduction.source_ranges(), scaled.reduction.source_ranges());
+        assert!((scaled.reduction.sse() - 4.0 * base.reduction.sse()).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,100 @@
+//! Error type for the PTA algorithms.
+
+use std::fmt;
+
+use pta_temporal::TemporalError;
+
+/// Errors raised by PTA evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CoreError {
+    /// The requested size bound is below `cmin`, the smallest size any
+    /// reduction can reach without merging across gaps or groups (§4.1).
+    SizeBelowMinimum {
+        /// Requested output size `c`.
+        requested: usize,
+        /// The relation's minimum reachable size.
+        cmin: usize,
+    },
+    /// The error bound `ε` must lie in `[0, 1]` (Def. 7).
+    InvalidErrorBound(f64),
+    /// Weights must be positive and finite, one per aggregate dimension
+    /// (Def. 5).
+    InvalidWeights {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The weight vector length does not match the relation dimensionality.
+    WeightDimensionMismatch {
+        /// Number of weights supplied.
+        got: usize,
+        /// Relation dimensionality `p`.
+        expected: usize,
+    },
+    /// gPTAε was configured with a non-positive ITA size estimate.
+    InvalidEstimate {
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The DP tables for this (n, c) combination would exceed the memory
+    /// budget; use the greedy algorithms for inputs this large.
+    TableTooLarge {
+        /// Input size `n`.
+        n: usize,
+        /// Requested output size `c`.
+        c: usize,
+    },
+    /// An underlying data-model error.
+    Temporal(TemporalError),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::SizeBelowMinimum { requested, cmin } => write!(
+                f,
+                "size bound {requested} is below cmin = {cmin}; tuples across temporal gaps or \
+                 aggregation groups cannot be merged"
+            ),
+            Self::InvalidErrorBound(e) => {
+                write!(f, "error bound must lie in [0, 1], got {e}")
+            }
+            Self::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
+            Self::WeightDimensionMismatch { got, expected } => {
+                write!(f, "{got} weights supplied for a {expected}-dimensional relation")
+            }
+            Self::InvalidEstimate { reason } => write!(f, "invalid estimate: {reason}"),
+            Self::TableTooLarge { n, c } => write!(
+                f,
+                "DP split-point table of {n} x {c} entries exceeds the memory budget; \
+                 use gPTAc/gPTAe for inputs this large"
+            ),
+            Self::Temporal(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Temporal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TemporalError> for CoreError {
+    fn from(e: TemporalError) -> Self {
+        Self::Temporal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_cmin() {
+        let e = CoreError::SizeBelowMinimum { requested: 2, cmin: 3 };
+        assert!(e.to_string().contains("cmin = 3"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Estimates of the ITA result size and maximal error for gPTAε (§6.3).
+//!
+//! The streaming error-bounded algorithm needs the ITA result size `n` and
+//! the maximal error `E_max` *before* the stream completes. The paper
+//! estimates `n ≤ 2|r| − 1` from the argument relation size and suggests
+//! sampling for `E_max` (its Fig. 17 experiments use the exact values, as
+//! does our default).
+
+use pta_temporal::SequentialRelation;
+
+use crate::dp::max_error;
+use crate::error::CoreError;
+use crate::weights::Weights;
+
+/// The `(n̂, Ê_max)` pair steering gPTAε's early merging. Underestimating
+/// `Ê_max` only delays merging (larger heap); overestimating it can admit
+/// merges GMS would not make (Thm. 3's premise `Ê_max/n̂ ≤ E_max/n`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Estimates {
+    /// Estimated ITA result size `n̂`.
+    pub n_hat: f64,
+    /// Estimated maximal error `Ê_max`.
+    pub emax_hat: f64,
+}
+
+impl Estimates {
+    /// Explicit estimates.
+    pub fn new(n_hat: f64, emax_hat: f64) -> Result<Self, CoreError> {
+        if !(n_hat.is_finite() && n_hat > 0.0) {
+            return Err(CoreError::InvalidEstimate {
+                reason: format!("estimated ITA size {n_hat} must be positive and finite"),
+            });
+        }
+        if !(emax_hat.is_finite() && emax_hat >= 0.0) {
+            return Err(CoreError::InvalidEstimate {
+                reason: format!("estimated maximal error {emax_hat} must be non-negative"),
+            });
+        }
+        Ok(Self { n_hat, emax_hat })
+    }
+
+    /// Exact values computed from the (fully known) ITA result — what the
+    /// paper's δ experiments use ("Instead of estimating the relation size
+    /// and the total error we use the correct values", §7.2.2).
+    pub fn exact(input: &SequentialRelation, weights: &Weights) -> Result<Self, CoreError> {
+        let emax = max_error(input, weights)?;
+        Self::new(input.len().max(1) as f64, emax)
+    }
+
+    /// Size bound from the argument relation: `n̂ = 2|r| − 1` (§6.3), with
+    /// an explicit error estimate.
+    pub fn from_argument_size(argument_len: usize, emax_hat: f64) -> Result<Self, CoreError> {
+        Self::new((2 * argument_len.max(1) - 1) as f64, emax_hat)
+    }
+
+    /// Estimates from a uniform sample of the ITA result covering
+    /// `fraction ∈ (0, 1]` of it: `Ê_max` scales by `1/fraction`, `n̂`
+    /// likewise. Crude, per the paper's own caveat that good temporal
+    /// sampling is future work.
+    pub fn from_sample(
+        sample: &SequentialRelation,
+        weights: &Weights,
+        fraction: f64,
+    ) -> Result<Self, CoreError> {
+        if !(fraction > 0.0 && fraction <= 1.0) {
+            return Err(CoreError::InvalidEstimate {
+                reason: format!("sample fraction {fraction} must be in (0, 1]"),
+            });
+        }
+        let emax = max_error(sample, weights)?;
+        Self::new((sample.len().max(1) as f64 / fraction).ceil(), emax / fraction)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dp::tests::fig1c;
+
+    #[test]
+    fn exact_estimates_match_direct_computation() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let est = Estimates::exact(&input, &w).unwrap();
+        assert_eq!(est.n_hat, 7.0);
+        assert!((est.emax_hat - 269_285.714).abs() < 1e-2);
+    }
+
+    #[test]
+    fn argument_size_bound() {
+        let est = Estimates::from_argument_size(5, 100.0).unwrap();
+        assert_eq!(est.n_hat, 9.0);
+    }
+
+    #[test]
+    fn invalid_estimates_rejected() {
+        assert!(Estimates::new(0.0, 1.0).is_err());
+        assert!(Estimates::new(10.0, -1.0).is_err());
+        assert!(Estimates::new(f64::NAN, 1.0).is_err());
+    }
+
+    #[test]
+    fn sampling_scales_by_fraction() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let half = input.slice(0..4);
+        let est = Estimates::from_sample(&half, &w, 0.5).unwrap();
+        assert_eq!(est.n_hat, 8.0);
+        assert!(est.emax_hat > 0.0);
+        assert!(Estimates::from_sample(&half, &w, 0.0).is_err());
+        assert!(Estimates::from_sample(&half, &w, 1.5).is_err());
+    }
+}

@@ -1,0 +1,295 @@
+//! An indexed binary min-heap with key updates.
+//!
+//! The greedy algorithms keep every live segment in a heap ordered by its
+//! merge key (`dsim` with its predecessor, Fig. 10). Merging a pair changes
+//! the keys of the two neighbouring segments, so the heap must support
+//! `update` and `remove` by slot — a classic indexed heap with a positions
+//! array. Ties break toward the smaller sequence id, which is the paper's
+//! "merge the pair with the smallest timestamp value" rule (§6.1).
+
+/// Sentinel for "slot not in heap".
+const NOT_IN_HEAP: usize = usize::MAX;
+
+/// Min-heap over external slots with `O(log n)` insert/remove/update and
+/// `O(1)` peek. Keys are `(f64, u64)` compared lexicographically; the `f64`
+/// may be `+∞` (non-mergeable segments) but never NaN.
+#[derive(Debug, Default)]
+pub struct IndexedMinHeap {
+    /// Slots in heap order.
+    heap: Vec<u32>,
+    /// Slot → index in `heap`, or `NOT_IN_HEAP`.
+    pos: Vec<usize>,
+    /// Slot → (key, tie-break id).
+    entries: Vec<(f64, u64)>,
+}
+
+impl IndexedMinHeap {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether the heap is empty.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// The minimal entry: `(slot, key, id)`.
+    pub fn peek(&self) -> Option<(u32, f64, u64)> {
+        self.heap.first().map(|&s| {
+            let (k, id) = self.entries[s as usize];
+            (s, k, id)
+        })
+    }
+
+    /// The key currently stored for `slot`.
+    pub fn key(&self, slot: u32) -> f64 {
+        self.entries[slot as usize].0
+    }
+
+    /// Whether `slot` is currently in the heap.
+    pub fn contains(&self, slot: u32) -> bool {
+        (slot as usize) < self.pos.len() && self.pos[slot as usize] != NOT_IN_HEAP
+    }
+
+    /// Inserts `slot` with the given key and tie-break id. The slot must
+    /// not already be present.
+    pub fn insert(&mut self, slot: u32, key: f64, id: u64) {
+        debug_assert!(!key.is_nan());
+        let s = slot as usize;
+        if s >= self.pos.len() {
+            self.pos.resize(s + 1, NOT_IN_HEAP);
+            self.entries.resize(s + 1, (f64::INFINITY, u64::MAX));
+        }
+        debug_assert_eq!(self.pos[s], NOT_IN_HEAP, "slot already in heap");
+        self.entries[s] = (key, id);
+        self.pos[s] = self.heap.len();
+        self.heap.push(slot);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Changes the key of `slot`, restoring heap order.
+    pub fn update(&mut self, slot: u32, key: f64) {
+        debug_assert!(!key.is_nan());
+        let s = slot as usize;
+        let i = self.pos[s];
+        debug_assert_ne!(i, NOT_IN_HEAP, "slot not in heap");
+        let old = self.entries[s].0;
+        self.entries[s].0 = key;
+        if key < old {
+            self.sift_up(i);
+        } else if key > old {
+            self.sift_down(i);
+        }
+    }
+
+    /// Removes `slot` from the heap.
+    pub fn remove(&mut self, slot: u32) {
+        let s = slot as usize;
+        let i = self.pos[s];
+        debug_assert_ne!(i, NOT_IN_HEAP, "slot not in heap");
+        let last = self.heap.len() - 1;
+        self.heap.swap(i, last);
+        self.pos[self.heap[i] as usize] = i;
+        self.heap.pop();
+        self.pos[s] = NOT_IN_HEAP;
+        if i <= last && i < self.heap.len() {
+            // The moved element may need to travel either direction.
+            self.sift_down(i);
+            self.sift_up(self.pos[self.heap[i] as usize].min(i));
+        }
+    }
+
+    #[inline]
+    fn less(&self, a: u32, b: u32) -> bool {
+        let (ka, ia) = self.entries[a as usize];
+        let (kb, ib) = self.entries[b as usize];
+        ka < kb || (ka == kb && ia < ib)
+    }
+
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.less(self.heap[i], self.heap[parent]) {
+                self.heap.swap(i, parent);
+                self.pos[self.heap[i] as usize] = i;
+                self.pos[self.heap[parent] as usize] = parent;
+                i = parent;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                break;
+            }
+            self.heap.swap(i, smallest);
+            self.pos[self.heap[i] as usize] = i;
+            self.pos[self.heap[smallest] as usize] = smallest;
+            i = smallest;
+        }
+    }
+
+    /// Debug check of the heap property and position consistency.
+    #[cfg(test)]
+    fn check_invariants(&self) {
+        for (i, &slot) in self.heap.iter().enumerate() {
+            assert_eq!(self.pos[slot as usize], i);
+            if i > 0 {
+                let parent = self.heap[(i - 1) / 2];
+                assert!(!self.less(slot, parent), "heap property violated at {i}");
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_key_order() {
+        let mut h = IndexedMinHeap::new();
+        for (slot, key) in [(0u32, 5.0), (1, 1.0), (2, 3.0), (3, 0.5), (4, 4.0)] {
+            h.insert(slot, key, slot as u64);
+            h.check_invariants();
+        }
+        let mut order = Vec::new();
+        while let Some((slot, _, _)) = h.peek() {
+            order.push(slot);
+            h.remove(slot);
+            h.check_invariants();
+        }
+        assert_eq!(order, vec![3, 1, 2, 4, 0]);
+    }
+
+    #[test]
+    fn ties_break_by_id() {
+        let mut h = IndexedMinHeap::new();
+        h.insert(7, 1.0, 20);
+        h.insert(3, 1.0, 10);
+        assert_eq!(h.peek().unwrap().0, 3);
+    }
+
+    #[test]
+    fn update_reorders() {
+        let mut h = IndexedMinHeap::new();
+        h.insert(0, 10.0, 0);
+        h.insert(1, 20.0, 1);
+        h.insert(2, 30.0, 2);
+        h.update(2, 5.0);
+        h.check_invariants();
+        assert_eq!(h.peek().unwrap().0, 2);
+        h.update(2, 50.0);
+        h.check_invariants();
+        assert_eq!(h.peek().unwrap().0, 0);
+        assert_eq!(h.key(2), 50.0);
+    }
+
+    #[test]
+    fn remove_middle_keeps_order() {
+        let mut h = IndexedMinHeap::new();
+        for i in 0..20u32 {
+            h.insert(i, ((i * 7) % 13) as f64, i as u64);
+        }
+        h.remove(5);
+        h.remove(11);
+        h.check_invariants();
+        assert!(!h.contains(5) && h.contains(4));
+        let mut prev = f64::NEG_INFINITY;
+        while let Some((slot, key, _)) = h.peek() {
+            assert!(key >= prev);
+            prev = key;
+            h.remove(slot);
+        }
+    }
+
+    #[test]
+    fn slot_reuse_after_removal() {
+        let mut h = IndexedMinHeap::new();
+        h.insert(0, 1.0, 1);
+        h.remove(0);
+        h.insert(0, 2.0, 9);
+        assert_eq!(h.peek(), Some((0, 2.0, 9)));
+    }
+
+    #[test]
+    fn infinite_keys_sort_last() {
+        let mut h = IndexedMinHeap::new();
+        h.insert(0, f64::INFINITY, 0);
+        h.insert(1, 3.0, 1);
+        assert_eq!(h.peek().unwrap().0, 1);
+        h.remove(1);
+        assert_eq!(h.peek().unwrap().0, 0);
+        assert!(h.peek().unwrap().1.is_infinite());
+    }
+
+    /// Randomised stress against a naive reference implementation.
+    #[test]
+    fn stress_against_reference() {
+        let mut h = IndexedMinHeap::new();
+        let mut reference: Vec<Option<(f64, u64)>> = vec![None; 64];
+        let mut state = 0x9E3779B97F4A7C15u64;
+        let mut rng = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..4000 {
+            let slot = (rng() % 64) as u32;
+            match rng() % 3 {
+                0 => {
+                    if reference[slot as usize].is_none() {
+                        let key = (rng() % 1000) as f64;
+                        let id = rng();
+                        h.insert(slot, key, id);
+                        reference[slot as usize] = Some((key, id));
+                    }
+                }
+                1 => {
+                    if reference[slot as usize].is_some() {
+                        let key = (rng() % 1000) as f64;
+                        h.update(slot, key);
+                        reference[slot as usize].as_mut().unwrap().0 = key;
+                    }
+                }
+                _ => {
+                    if reference[slot as usize].is_some() {
+                        h.remove(slot);
+                        reference[slot as usize] = None;
+                    }
+                }
+            }
+            h.check_invariants();
+            let expected_min = reference
+                .iter()
+                .enumerate()
+                .filter_map(|(s, e)| e.map(|(k, id)| (k, id, s as u32)))
+                .min_by(|a, b| a.partial_cmp(b).unwrap());
+            match (h.peek(), expected_min) {
+                (None, None) => {}
+                (Some((slot, key, id)), Some((ek, eid, eslot))) => {
+                    assert_eq!((key, id, slot), (ek, eid, eslot));
+                }
+                other => panic!("mismatch: {other:?}"),
+            }
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Greedy PTA evaluation (§6).
+//!
+//! The greedy merging strategy (GMS) repeatedly merges the most similar
+//! pair of adjacent tuples; Theorem 1 bounds its error ratio against the
+//! DP optimum by `O(log n)`. [`gms`] runs GMS offline over a complete ITA
+//! result; [`gptac`] and [`gptae`] are the streaming algorithms gPTAc
+//! (Fig. 11) and gPTAε (Fig. 13) that merge while ITA tuples are still
+//! arriving, holding only `O(c + β)` segments live.
+
+pub mod engine;
+pub mod estimate;
+pub mod gms;
+pub mod gptac;
+pub mod gptae;
+pub mod heap;
+pub mod list;
+
+use crate::reduction::Reduction;
+
+/// The read-ahead parameter δ of the streaming algorithms: how many
+/// adjacent successors a merge candidate beyond the last gap must have
+/// before it may merge early (§6.2.1). `Unbounded` disables heuristic
+/// early merging entirely; Theorems 2/3 then guarantee GMS-identical
+/// output.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delta {
+    /// Require at least this many adjacent successors.
+    Finite(usize),
+    /// Never merge past the last gap (`δ = ∞`).
+    Unbounded,
+}
+
+impl From<usize> for Delta {
+    fn from(d: usize) -> Self {
+        Delta::Finite(d)
+    }
+}
+
+/// Counters reported by the greedy algorithms.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct GreedyStats {
+    /// Largest number of segments simultaneously live — the paper's
+    /// maximal heap size `c + β` (Fig. 20).
+    pub max_heap_size: usize,
+    /// Number of merges performed.
+    pub merges: u64,
+    /// Accumulated merge error (equals the reduction's SSE by Prop. 2).
+    pub total_error: f64,
+    /// Tuples consumed from the ITA stream.
+    pub tuples_in: usize,
+    /// True when a size bound below `cmin` could not be reached because
+    /// merging across gaps/groups is impossible.
+    pub clamped_to_cmin: bool,
+}
+
+/// A finished greedy run.
+#[derive(Debug, Clone)]
+pub struct GreedyOutcome {
+    /// The reduced relation with provenance and accumulated SSE.
+    pub reduction: Reduction,
+    /// Run counters.
+    pub stats: GreedyStats,
+}

@@ -1,0 +1,93 @@
+//! The merge operator `⊕` (Def. 3).
+//!
+//! Merging two adjacent tuples concatenates their timestamps and averages
+//! each aggregate value weighted by timestamp length:
+//!
+//! ```text
+//! v_d = (|s_i.T| · s_i.B_d + |s_j.T| · s_j.B_d) / (|s_i.T| + |s_j.T|)
+//! ```
+//!
+//! The operation preserves the *time-weighted mass* `Σ |T| · B_d` of every
+//! dimension, which is why repeated merging in any order yields the same
+//! merged value for the same set of source tuples.
+
+/// Writes the length-weighted average of `(len_a, a)` and `(len_b, b)` into
+/// `out`. All three slices must have the same length.
+#[inline]
+pub fn merge_values(len_a: u64, a: &[f64], len_b: u64, b: &[f64], out: &mut [f64]) {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), out.len());
+    let (la, lb) = (len_a as f64, len_b as f64);
+    let total = la + lb;
+    for d in 0..a.len() {
+        out[d] = (la * a[d] + lb * b[d]) / total;
+    }
+}
+
+/// In-place variant: folds `(len_b, b)` into `(len_a, a)`, leaving the
+/// merged values in `a`. Returns the merged length.
+#[inline]
+pub fn merge_values_into(len_a: u64, a: &mut [f64], len_b: u64, b: &[f64]) -> u64 {
+    debug_assert_eq!(a.len(), b.len());
+    let (la, lb) = (len_a as f64, len_b as f64);
+    let total = la + lb;
+    for d in 0..a.len() {
+        a[d] = (la * a[d] + lb * b[d]) / total;
+    }
+    len_a + len_b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Example 3: s1 = (A, 800, [1,2]) ⊕ s2 = (A, 600, [3,3]) has average
+    /// salary (2·800 + 1·600) / 3 = 733.33.
+    #[test]
+    fn example_3_weighted_average() {
+        let mut out = [0.0];
+        merge_values(2, &[800.0], 1, &[600.0], &mut out);
+        assert!((out[0] - 733.333_333_333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_preserves_weighted_mass() {
+        let a = [10.0, -4.0];
+        let b = [2.0, 8.0];
+        let (la, lb) = (3u64, 5u64);
+        let mut out = [0.0; 2];
+        merge_values(la, &a, lb, &b, &mut out);
+        for d in 0..2 {
+            let mass_before = la as f64 * a[d] + lb as f64 * b[d];
+            let mass_after = (la + lb) as f64 * out[d];
+            assert!((mass_before - mass_after).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn in_place_matches_out_of_place() {
+        let mut a = [1.0, 2.0];
+        let b = [5.0, 6.0];
+        let mut out = [0.0; 2];
+        merge_values(7, &a, 2, &b, &mut out);
+        let len = merge_values_into(7, &mut a, 2, &b);
+        assert_eq!(len, 9);
+        assert_eq!(a, out);
+    }
+
+    #[test]
+    fn associativity_of_repeated_merges() {
+        // ((x ⊕ y) ⊕ z) == (x ⊕ (y ⊕ z)) because both equal the
+        // mass-weighted mean of the three.
+        let (lx, ly, lz) = (2u64, 3u64, 4u64);
+        let (x, y, z) = ([10.0], [20.0], [50.0]);
+        let mut left = x;
+        let l = merge_values_into(lx, &mut left, ly, &y);
+        merge_values_into(l, &mut left, lz, &z);
+        let mut right = y;
+        let r = merge_values_into(ly, &mut right, lz, &z);
+        let mut xr = x;
+        merge_values_into(lx, &mut xr, r, &right);
+        assert!((left[0] - xr[0]).abs() < 1e-12);
+    }
+}

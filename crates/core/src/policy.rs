@@ -1,0 +1,114 @@
+//! Mergeability policies.
+//!
+//! The paper only merges *adjacent* tuples (Def. 2): same aggregation
+//! group, no temporal gap. Its future-work section (§8) proposes
+//! "exploring the possibility of merging tuples separated by temporal
+//! gaps"; [`GapPolicy::Tolerate`] implements that extension. A merged
+//! tuple then spans the hole, but its aggregate values and SSE still
+//! weight only the *covered* chronons — the prefix-sum machinery already
+//! measures durations, so the error semantics stay exact.
+
+use pta_temporal::SequentialRelation;
+
+/// Which consecutive tuple pairs may merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum GapPolicy {
+    /// The paper's Def. 2: same group and `s_i.te + 1 = s_j.tb`.
+    #[default]
+    Strict,
+    /// §8 extension: same group and a hole of at most `max_gap` chronons
+    /// between the tuples. `Tolerate { max_gap: 0 }` equals `Strict`.
+    Tolerate {
+        /// Largest tolerated hole, in chronons.
+        max_gap: u64,
+    },
+}
+
+impl GapPolicy {
+    /// May tuples `i` and `i + 1` of `input` merge under this policy?
+    #[inline]
+    pub fn mergeable(&self, input: &SequentialRelation, i: usize) -> bool {
+        let (a, b) = (input.entry(i), input.entry(i + 1));
+        if a.group != b.group {
+            return false;
+        }
+        // i128: extreme chronon positions must not overflow the hole width.
+        let hole = b.interval.start() as i128 - a.interval.end() as i128 - 1;
+        debug_assert!(hole >= 0, "sequential relations never overlap");
+        match self {
+            GapPolicy::Strict => hole == 0,
+            GapPolicy::Tolerate { max_gap } => hole <= *max_gap as i128,
+        }
+    }
+
+    /// Raw form over `(group_a, end_a, group_b, start_b)` for streaming
+    /// callers that do not hold a relation.
+    #[inline]
+    pub fn mergeable_raw(
+        &self,
+        same_group: bool,
+        end_a: i64,
+        start_b: i64,
+    ) -> bool {
+        if !same_group {
+            return false;
+        }
+        let hole = start_b as i128 - end_a as i128 - 1;
+        match self {
+            GapPolicy::Strict => hole == 0,
+            GapPolicy::Tolerate { max_gap } => hole >= 0 && hole <= *max_gap as i128,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval, Value};
+
+    fn rel() -> SequentialRelation {
+        let mut b = SequentialBuilder::new(1);
+        let g = |s: &str| GroupKey::new(vec![Value::str(s)]);
+        b.push(g("A"), TimeInterval::new(1, 2).unwrap(), &[1.0]).unwrap();
+        b.push(g("A"), TimeInterval::new(3, 4).unwrap(), &[2.0]).unwrap(); // meets
+        b.push(g("A"), TimeInterval::new(7, 8).unwrap(), &[3.0]).unwrap(); // hole 2
+        b.push(g("B"), TimeInterval::new(7, 8).unwrap(), &[4.0]).unwrap(); // group
+        b.build()
+    }
+
+    #[test]
+    fn strict_matches_def_2() {
+        let r = rel();
+        let p = GapPolicy::Strict;
+        assert!(p.mergeable(&r, 0));
+        assert!(!p.mergeable(&r, 1));
+        assert!(!p.mergeable(&r, 2));
+    }
+
+    #[test]
+    fn tolerate_zero_equals_strict() {
+        let r = rel();
+        let p = GapPolicy::Tolerate { max_gap: 0 };
+        for i in 0..3 {
+            assert_eq!(p.mergeable(&r, i), GapPolicy::Strict.mergeable(&r, i));
+        }
+    }
+
+    #[test]
+    fn tolerate_bridges_small_holes_only() {
+        let r = rel();
+        assert!(!GapPolicy::Tolerate { max_gap: 1 }.mergeable(&r, 1));
+        assert!(GapPolicy::Tolerate { max_gap: 2 }.mergeable(&r, 1));
+        // Group boundaries are never bridged.
+        assert!(!GapPolicy::Tolerate { max_gap: 100 }.mergeable(&r, 2));
+    }
+
+    #[test]
+    fn raw_form_agrees() {
+        let p = GapPolicy::Tolerate { max_gap: 2 };
+        assert!(p.mergeable_raw(true, 4, 7));
+        assert!(!p.mergeable_raw(true, 4, 8));
+        assert!(!p.mergeable_raw(false, 4, 5));
+        assert!(GapPolicy::Strict.mergeable_raw(true, 4, 5));
+    }
+}

@@ -1,0 +1,225 @@
+//! Prefix-sum statistics for constant-time range SSE (§5.2, Prop. 1).
+//!
+//! Following Jagadish et al.'s histogram construction, extended to
+//! multi-dimensional data, we precompute for every prefix of the sorted ITA
+//! relation:
+//!
+//! * `S_{d,i}  = Σ_{j ≤ i} |s_j.T| · s_j.B_d` — weighted value sums,
+//! * `SS_{d,i} = Σ_{j ≤ i} |s_j.T| · s_j.B_d²` — weighted square sums,
+//! * `L_i     = Σ_{j ≤ i} |s_j.T|` — total covered chronons.
+//!
+//! The SSE of merging tuples `i..=j` (1-based) into one then evaluates in
+//! `O(p)`:
+//!
+//! ```text
+//! SSE = Σ_d w_d² [ SS_{d,j} − SS_{d,i−1} − (S_{d,j} − S_{d,i−1})² / (L_j − L_{i−1}) ]
+//! ```
+
+use pta_temporal::SequentialRelation;
+
+use crate::weights::Weights;
+
+/// Prefix sums `S`, `SS`, `L` over a sequential relation.
+///
+/// Internally 1-based with a zero row, so ranges touching the first tuple
+/// need no special casing. Ranges in the public API are ordinary 0-based
+/// half-open `start..end` index ranges over the relation.
+#[derive(Debug, Clone)]
+pub struct PrefixStats {
+    p: usize,
+    /// `(n + 1) × p`, row-major; row 0 is zero.
+    s: Vec<f64>,
+    /// `(n + 1) × p`, row-major; row 0 is zero.
+    ss: Vec<f64>,
+    /// `n + 1`; entry 0 is zero.
+    l: Vec<f64>,
+}
+
+impl PrefixStats {
+    /// Builds the prefix sums in one `O(n·p)` scan. The paper notes this
+    /// can be fused into ITA result production at no extra cost; we keep it
+    /// a separate pass for clarity — it is linear either way.
+    pub fn build(input: &SequentialRelation) -> Self {
+        let n = input.len();
+        let p = input.dims();
+        let mut s = vec![0.0; (n + 1) * p];
+        let mut ss = vec![0.0; (n + 1) * p];
+        let mut l = vec![0.0; n + 1];
+        for i in 0..n {
+            let len = input.interval(i).len() as f64;
+            l[i + 1] = l[i] + len;
+            let vals = input.values(i);
+            let (prev, cur) = ((i) * p, (i + 1) * p);
+            for d in 0..p {
+                let v = vals[d];
+                s[cur + d] = s[prev + d] + len * v;
+                ss[cur + d] = ss[prev + d] + len * v * v;
+            }
+        }
+        Self { p, s, ss, l }
+    }
+
+    /// Number of tuples covered.
+    pub fn len(&self) -> usize {
+        self.l.len() - 1
+    }
+
+    /// Whether the relation was empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Dimensionality `p`.
+    pub fn dims(&self) -> usize {
+        self.p
+    }
+
+    /// Total covered chronons of tuples `range`.
+    #[inline]
+    pub fn duration(&self, range: std::ops::Range<usize>) -> f64 {
+        self.l[range.end] - self.l[range.start]
+    }
+
+    /// The SSE (Prop. 1) of merging tuples `range` into a single tuple,
+    /// in `O(p)` time. Returns 0 for ranges of length ≤ 1.
+    #[inline]
+    pub fn range_sse(&self, weights: &Weights, range: std::ops::Range<usize>) -> f64 {
+        debug_assert!(range.end <= self.len());
+        if range.end - range.start <= 1 {
+            return 0.0;
+        }
+        let dur = self.duration(range.clone());
+        let (lo, hi) = (range.start * self.p, range.end * self.p);
+        let mut err = 0.0;
+        for d in 0..self.p {
+            let sum = self.s[hi + d] - self.s[lo + d];
+            let sq = self.ss[hi + d] - self.ss[lo + d];
+            err += weights.squared(d) * (sq - sum * sum / dur);
+        }
+        // Cancellation in `sq − sum²/dur` can produce tiny negatives for
+        // (near-)constant ranges; the true SSE is non-negative.
+        err.max(0.0)
+    }
+
+    /// The merged (length-weighted mean) value of dimension `d` over
+    /// `range` — what `⊕` assigns when the range collapses to one tuple.
+    #[inline]
+    pub fn merged_value(&self, range: std::ops::Range<usize>, d: usize) -> f64 {
+        let dur = self.duration(range.clone());
+        (self.s[range.end * self.p + d] - self.s[range.start * self.p + d]) / dur
+    }
+
+    /// Writes all `p` merged values of `range` into `out`.
+    pub fn merged_values(&self, range: std::ops::Range<usize>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), self.p);
+        let dur = self.duration(range.clone());
+        let (lo, hi) = (range.start * self.p, range.end * self.p);
+        for (d, o) in out.iter_mut().enumerate() {
+            *o = (self.s[hi + d] - self.s[lo + d]) / dur;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sse::{merged_value_naive, sse_of_range_naive};
+    use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval, Value};
+
+    fn fig1c() -> SequentialRelation {
+        let mut b = SequentialBuilder::new(1);
+        let rows = [
+            ("A", 1, 2, 800.0),
+            ("A", 3, 3, 600.0),
+            ("A", 4, 4, 500.0),
+            ("A", 5, 6, 350.0),
+            ("A", 7, 7, 300.0),
+            ("B", 4, 5, 500.0),
+            ("B", 7, 8, 500.0),
+        ];
+        for (g, a, bb, v) in rows {
+            b.push(GroupKey::new(vec![Value::str(g)]), TimeInterval::new(a, bb).unwrap(), &[v])
+                .unwrap();
+        }
+        b.build()
+    }
+
+    /// Example 12: S = ⟨1600, 2200, 2700, 3400, ...⟩,
+    /// SS = ⟨1 280 000, 1 640 000, 1 890 000, 2 135 000, ...⟩,
+    /// L = ⟨2, 3, 4, 6, ...⟩.
+    #[test]
+    fn example_12_prefixes() {
+        let st = PrefixStats::build(&fig1c());
+        let s: Vec<f64> = (1..=4).map(|i| st.s[i]).collect();
+        let ss: Vec<f64> = (1..=4).map(|i| st.ss[i]).collect();
+        let l: Vec<f64> = (1..=4).map(|i| st.l[i]).collect();
+        assert_eq!(s, vec![1600.0, 2200.0, 2700.0, 3400.0]);
+        assert_eq!(ss, vec![1_280_000.0, 1_640_000.0, 1_890_000.0, 2_135_000.0]);
+        assert_eq!(l, vec![2.0, 3.0, 4.0, 6.0]);
+    }
+
+    /// Example 12: SSE of merging {s2, s3} = 1 890 000 − 1 280 000 −
+    /// (2700 − 1600)² / (4 − 2) = 5 000.
+    #[test]
+    fn example_12_range_sse() {
+        let st = PrefixStats::build(&fig1c());
+        let w = Weights::uniform(1);
+        assert!((st.range_sse(&w, 1..3) - 5_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn constant_time_sse_matches_naive_everywhere() {
+        let input = fig1c();
+        let st = PrefixStats::build(&input);
+        let w = Weights::uniform(1);
+        for i in 0..input.len() {
+            for j in i + 1..=input.len() {
+                let merged = merged_value_naive(&input, i..j);
+                let naive = sse_of_range_naive(&input, &w, i..j, &merged);
+                let fast = st.range_sse(&w, i..j);
+                assert!(
+                    (naive - fast).abs() < 1e-6 * (1.0 + naive),
+                    "range {i}..{j}: naive {naive} vs fast {fast}"
+                );
+                assert!((st.merged_value(i..j, 0) - merged[0]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn singleton_ranges_are_exact_zero() {
+        let st = PrefixStats::build(&fig1c());
+        let w = Weights::uniform(1);
+        for i in 0..7 {
+            assert_eq!(st.range_sse(&w, i..i + 1), 0.0);
+        }
+    }
+
+    #[test]
+    fn constant_ranges_clamp_to_zero() {
+        let mut b = SequentialBuilder::new(1);
+        for i in 0..50i64 {
+            b.push(GroupKey::empty(), TimeInterval::instant(i).unwrap(), &[1.0e8 + 0.1]).unwrap();
+        }
+        let input = b.build();
+        let st = PrefixStats::build(&input);
+        let w = Weights::uniform(1);
+        assert!(st.range_sse(&w, 0..50) >= 0.0);
+        assert!(st.range_sse(&w, 0..50) < 1e-3);
+    }
+
+    #[test]
+    fn merged_values_buffer_api() {
+        let st = PrefixStats::build(&fig1c());
+        let mut out = [0.0];
+        st.merged_values(0..2, &mut out);
+        assert!((out[0] - 733.333_333_333).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_relation() {
+        let st = PrefixStats::build(&SequentialRelation::empty(2));
+        assert!(st.is_empty());
+        assert_eq!(st.dims(), 2);
+    }
+}

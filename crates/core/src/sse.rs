@@ -1,0 +1,160 @@
+//! The sum-squared-error measure (Def. 5) and tuple dissimilarity
+//! (Prop. 2).
+
+use pta_temporal::SequentialRelation;
+
+use crate::weights::Weights;
+
+/// The dissimilarity `dsim(s_i, s_j)` of two adjacent tuples: the SSE
+/// introduced by merging them (Prop. 2 shows this depends only on the two
+/// tuples, not on the full source relation):
+///
+/// ```text
+/// dsim = Σ_d w_d² ( |T_i| (v_{i,d} − z_d)² + |T_j| (v_{j,d} − z_d)² )
+/// ```
+///
+/// where `z` is their merge. This is the greedy algorithms' heap key.
+pub fn dsim(weights: &Weights, len_i: u64, vals_i: &[f64], len_j: u64, vals_j: &[f64]) -> f64 {
+    debug_assert_eq!(vals_i.len(), vals_j.len());
+    debug_assert_eq!(vals_i.len(), weights.dims());
+    let (li, lj) = (len_i as f64, len_j as f64);
+    let total = li + lj;
+    let mut err = 0.0;
+    for d in 0..vals_i.len() {
+        let z = (li * vals_i[d] + lj * vals_j[d]) / total;
+        let (di, dj) = (vals_i[d] - z, vals_j[d] - z);
+        err += weights.squared(d) * (li * di * di + lj * dj * dj);
+    }
+    err
+}
+
+/// The SSE of representing the source tuples `range` of `input` by the
+/// single merged value `merged` (one value per dimension):
+/// `Σ_{s ∈ range} Σ_d w_d² |s.T| (s.B_d − merged_d)²`.
+///
+/// This is the naive `O(range · p)` evaluation used for verification; the
+/// algorithms use [`crate::prefix::PrefixStats`] for the `O(p)` form.
+pub fn sse_of_range_naive(
+    input: &SequentialRelation,
+    weights: &Weights,
+    range: std::ops::Range<usize>,
+    merged: &[f64],
+) -> f64 {
+    let mut err = 0.0;
+    for i in range {
+        let len = input.interval(i).len() as f64;
+        let vals = input.values(i);
+        for d in 0..vals.len() {
+            let diff = vals[d] - merged[d];
+            err += weights.squared(d) * len * diff * diff;
+        }
+    }
+    err
+}
+
+/// The length-weighted mean of `range` per dimension — the value the merge
+/// operator assigns when the whole range is merged into one tuple.
+pub fn merged_value_naive(
+    input: &SequentialRelation,
+    range: std::ops::Range<usize>,
+) -> Vec<f64> {
+    let p = input.dims();
+    let mut sums = vec![0.0; p];
+    let mut total = 0.0;
+    for i in range {
+        let len = input.interval(i).len() as f64;
+        total += len;
+        for (d, s) in sums.iter_mut().enumerate() {
+            *s += len * input.value(i, d);
+        }
+    }
+    for s in &mut sums {
+        *s /= total;
+    }
+    sums
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval};
+
+    fn fig1c() -> SequentialRelation {
+        let mut b = SequentialBuilder::new(1);
+        let rows = [
+            ("A", 1, 2, 800.0),
+            ("A", 3, 3, 600.0),
+            ("A", 4, 4, 500.0),
+            ("A", 5, 6, 350.0),
+            ("A", 7, 7, 300.0),
+            ("B", 4, 5, 500.0),
+            ("B", 7, 8, 500.0),
+        ];
+        for (g, a, bb, v) in rows {
+            b.push(
+                GroupKey::new(vec![pta_temporal::Value::str(g)]),
+                TimeInterval::new(a, bb).unwrap(),
+                &[v],
+            )
+            .unwrap();
+        }
+        b.build()
+    }
+
+    /// Example 5: merging s1, s2 introduces SSE 26 666.67.
+    #[test]
+    fn example_5_dsim() {
+        let w = Weights::uniform(1);
+        let e = dsim(&w, 2, &[800.0], 1, &[600.0]);
+        assert!((e - 26_666.666_667).abs() < 1e-3, "got {e}");
+    }
+
+    /// Fig. 10(a) heap keys: dsim(s4, s5) = 1 667 and dsim(s2, s3) = 5 000.
+    /// (The figure's 36 667 for (s1, s2) is an erratum; Example 5 and
+    /// E[1][2] = 26 666 give 26 666.67.)
+    #[test]
+    fn fig_10_heap_keys() {
+        let w = Weights::uniform(1);
+        assert!((dsim(&w, 2, &[350.0], 1, &[300.0]) - 1_666.666_667).abs() < 1e-3);
+        assert!((dsim(&w, 1, &[600.0], 1, &[500.0]) - 5_000.0).abs() < 1e-9);
+        // Fig. 10(b): dsim(s2 ⊕ s3, s4 ⊕ s5) = 56 333.
+        assert!((dsim(&w, 2, &[550.0], 3, &[1000.0 / 3.0]) - 56_333.333_333).abs() < 1e-3);
+    }
+
+    #[test]
+    fn dsim_is_symmetric_and_zero_for_equal_values() {
+        let w = Weights::uniform(2);
+        let a = dsim(&w, 3, &[1.0, 2.0], 5, &[4.0, -1.0]);
+        let b = dsim(&w, 5, &[4.0, -1.0], 3, &[1.0, 2.0]);
+        assert!((a - b).abs() < 1e-9);
+        assert_eq!(dsim(&w, 3, &[7.0, 7.0], 9, &[7.0, 7.0]), 0.0);
+    }
+
+    #[test]
+    fn weights_scale_dimensions() {
+        let w = Weights::new(&[2.0]).unwrap();
+        let unweighted = dsim(&Weights::uniform(1), 1, &[0.0], 1, &[10.0]);
+        let weighted = dsim(&w, 1, &[0.0], 1, &[10.0]);
+        assert!((weighted - 4.0 * unweighted).abs() < 1e-9);
+    }
+
+    #[test]
+    fn naive_range_sse_matches_dsim_for_pairs() {
+        let s = fig1c();
+        let w = Weights::uniform(1);
+        let merged = merged_value_naive(&s, 0..2);
+        let by_range = sse_of_range_naive(&s, &w, 0..2, &merged);
+        let by_dsim = dsim(&w, 2, s.values(0), 1, s.values(1));
+        assert!((by_range - by_dsim).abs() < 1e-6);
+    }
+
+    /// Example 12 numbers re-derived naively: SSE of merging {s2, s3} = 5 000.
+    #[test]
+    fn example_12_range() {
+        let s = fig1c();
+        let w = Weights::uniform(1);
+        let merged = merged_value_naive(&s, 1..3);
+        assert!((merged[0] - 550.0).abs() < 1e-9);
+        assert!((sse_of_range_naive(&s, &w, 1..3, &merged) - 5_000.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,25 @@
+//! Deterministic workload generators mirroring the PTA paper's datasets
+//! (§7.1, Table 1).
+//!
+//! The paper evaluates on two donated relations (ETDS, Incumbents), UCR
+//! time series and a uniform synthetic dataset. None of the donated/
+//! archive data is redistributable, so this crate generates synthetic
+//! equivalents that reproduce the *shape* parameters the algorithms are
+//! sensitive to — run-length distribution of constant aggregate values,
+//! number of aggregation groups, gap positions and dimensionality — as
+//! documented per dataset in `DESIGN.md`.
+//!
+//! All generators are deterministic in their seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod etds;
+pub mod incumbents;
+pub mod proj;
+pub mod queries;
+pub mod timeseries;
+pub mod uniform;
+
+pub use proj::{proj_relation, PROJ_ITA_VALUES};
+pub use queries::{prepare, table1, PreparedQuery, QueryId, Scale};

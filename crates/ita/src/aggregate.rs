@@ -1,0 +1,309 @@
+//! Aggregate functions and their incremental accumulators.
+
+use std::fmt;
+
+use crate::multiset::OrderedMultiset;
+
+/// The aggregate functions supported by the temporal aggregation operators.
+///
+/// Each is evaluated over the multiset of attribute values of the tuples in
+/// one aggregation group `r_{g,t}` (Def. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggregateFunction {
+    /// Number of tuples in the group.
+    Count,
+    /// Sum of the attribute values.
+    Sum,
+    /// Arithmetic mean of the attribute values.
+    Avg,
+    /// Minimum attribute value.
+    Min,
+    /// Maximum attribute value.
+    Max,
+}
+
+impl AggregateFunction {
+    /// Lower-case SQL-ish name.
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Count => "count",
+            Self::Sum => "sum",
+            Self::Avg => "avg",
+            Self::Min => "min",
+            Self::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for AggregateFunction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One entry of the aggregate-function list `F = {f1/B1, ..., fp/Bp}`:
+/// a function applied to an input attribute, stored under an output name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AggregateSpec {
+    /// The aggregate function `f_i`.
+    pub function: AggregateFunction,
+    /// The argument attribute the function aggregates over. Ignored (and
+    /// conventionally `"*"`) for `count`.
+    pub attribute: String,
+    /// The output attribute name `B_i`.
+    pub output: String,
+}
+
+impl AggregateSpec {
+    /// Creates a spec with an explicit output name.
+    pub fn new(
+        function: AggregateFunction,
+        attribute: impl Into<String>,
+        output: impl Into<String>,
+    ) -> Self {
+        Self { function, attribute: attribute.into(), output: output.into() }
+    }
+
+    /// `avg(attr)` named `Avg<attr>`-style shorthand constructors.
+    pub fn avg(attribute: &str) -> Self {
+        Self::new(AggregateFunction::Avg, attribute, format!("avg_{attribute}"))
+    }
+
+    /// `sum(attr)` shorthand.
+    pub fn sum(attribute: &str) -> Self {
+        Self::new(AggregateFunction::Sum, attribute, format!("sum_{attribute}"))
+    }
+
+    /// `min(attr)` shorthand.
+    pub fn min(attribute: &str) -> Self {
+        Self::new(AggregateFunction::Min, attribute, format!("min_{attribute}"))
+    }
+
+    /// `max(attr)` shorthand.
+    pub fn max(attribute: &str) -> Self {
+        Self::new(AggregateFunction::Max, attribute, format!("max_{attribute}"))
+    }
+
+    /// `count(*)` shorthand.
+    pub fn count() -> Self {
+        Self::new(AggregateFunction::Count, "*", "count")
+    }
+
+    /// Renames the output attribute (builder style).
+    pub fn as_output(mut self, output: impl Into<String>) -> Self {
+        self.output = output.into();
+        self
+    }
+}
+
+/// Incremental accumulator evaluating one aggregate function under
+/// insertions and deletions, as required by the chronological sweep.
+#[derive(Debug, Clone)]
+pub enum Accumulator {
+    /// Running count.
+    Count {
+        /// Live tuple count.
+        n: usize,
+    },
+    /// Running sum (compensated) and count; evaluates `sum` or `avg`.
+    Sum {
+        /// Kahan-compensated running sum.
+        sum: KahanSum,
+        /// Live tuple count.
+        n: usize,
+        /// When true the accumulator reports the mean instead of the sum.
+        mean: bool,
+    },
+    /// Ordered multiset; evaluates `min` or `max`.
+    Extremum {
+        /// Live values with multiplicities.
+        set: OrderedMultiset,
+        /// When true reports the maximum, otherwise the minimum.
+        max: bool,
+    },
+}
+
+impl Accumulator {
+    /// Creates the accumulator implementing `function`.
+    pub fn for_function(function: AggregateFunction) -> Self {
+        match function {
+            AggregateFunction::Count => Accumulator::Count { n: 0 },
+            AggregateFunction::Sum => {
+                Accumulator::Sum { sum: KahanSum::default(), n: 0, mean: false }
+            }
+            AggregateFunction::Avg => {
+                Accumulator::Sum { sum: KahanSum::default(), n: 0, mean: true }
+            }
+            AggregateFunction::Min => {
+                Accumulator::Extremum { set: OrderedMultiset::new(), max: false }
+            }
+            AggregateFunction::Max => {
+                Accumulator::Extremum { set: OrderedMultiset::new(), max: true }
+            }
+        }
+    }
+
+    /// A tuple with argument value `v` becomes live.
+    pub fn insert(&mut self, v: f64) {
+        match self {
+            Accumulator::Count { n } => *n += 1,
+            Accumulator::Sum { sum, n, .. } => {
+                sum.add(v);
+                *n += 1;
+            }
+            Accumulator::Extremum { set, .. } => set.insert(v),
+        }
+    }
+
+    /// A tuple with argument value `v` stops being live.
+    pub fn remove(&mut self, v: f64) {
+        match self {
+            Accumulator::Count { n } => *n -= 1,
+            Accumulator::Sum { sum, n, .. } => {
+                sum.add(-v);
+                *n -= 1;
+            }
+            Accumulator::Extremum { set, .. } => {
+                let present = set.remove(v);
+                debug_assert!(present, "removed value was never inserted");
+            }
+        }
+    }
+
+    /// The aggregate value over the live tuples; `None` when none are live
+    /// (the aggregation group `r_{g,t}` is empty and no tuple is emitted).
+    pub fn value(&self) -> Option<f64> {
+        match self {
+            Accumulator::Count { n } => (*n > 0).then_some(*n as f64),
+            Accumulator::Sum { sum, n, mean } => {
+                if *n == 0 {
+                    None
+                } else if *mean {
+                    Some(sum.value() / *n as f64)
+                } else {
+                    Some(sum.value())
+                }
+            }
+            Accumulator::Extremum { set, max } => {
+                if *max {
+                    set.max()
+                } else {
+                    set.min()
+                }
+            }
+        }
+    }
+
+    /// Number of live tuples.
+    pub fn live(&self) -> usize {
+        match self {
+            Accumulator::Count { n } => *n,
+            Accumulator::Sum { n, .. } => *n,
+            Accumulator::Extremum { set, .. } => set.len(),
+        }
+    }
+}
+
+/// Kahan–Babuška compensated summation. Insertions and deletions of the
+/// same values should cancel as exactly as possible so that coalescing of
+/// equal consecutive aggregate values is not defeated by float drift.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KahanSum {
+    sum: f64,
+    compensation: f64,
+}
+
+impl KahanSum {
+    /// Adds `v` to the running sum.
+    pub fn add(&mut self, v: f64) {
+        let t = self.sum + v;
+        if self.sum.abs() >= v.abs() {
+            self.compensation += (self.sum - t) + v;
+        } else {
+            self.compensation += (v - t) + self.sum;
+        }
+        self.sum = t;
+    }
+
+    /// The compensated sum.
+    pub fn value(&self) -> f64 {
+        self.sum + self.compensation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_tracks_insertions() {
+        let mut a = Accumulator::for_function(AggregateFunction::Count);
+        assert_eq!(a.value(), None);
+        a.insert(5.0);
+        a.insert(9.0);
+        assert_eq!(a.value(), Some(2.0));
+        a.remove(5.0);
+        assert_eq!(a.value(), Some(1.0));
+    }
+
+    #[test]
+    fn avg_is_sum_over_count() {
+        let mut a = Accumulator::for_function(AggregateFunction::Avg);
+        a.insert(800.0);
+        a.insert(400.0);
+        assert_eq!(a.value(), Some(600.0));
+        a.insert(300.0);
+        assert_eq!(a.value(), Some(500.0));
+        a.remove(800.0);
+        assert_eq!(a.value(), Some(350.0));
+    }
+
+    #[test]
+    fn sum_supports_deletion() {
+        let mut a = Accumulator::for_function(AggregateFunction::Sum);
+        a.insert(1.5);
+        a.insert(2.5);
+        a.remove(1.5);
+        assert_eq!(a.value(), Some(2.5));
+        a.remove(2.5);
+        assert_eq!(a.value(), None);
+    }
+
+    #[test]
+    fn min_max_track_extrema_under_deletion() {
+        let mut lo = Accumulator::for_function(AggregateFunction::Min);
+        let mut hi = Accumulator::for_function(AggregateFunction::Max);
+        for v in [3.0, 1.0, 2.0] {
+            lo.insert(v);
+            hi.insert(v);
+        }
+        assert_eq!(lo.value(), Some(1.0));
+        assert_eq!(hi.value(), Some(3.0));
+        lo.remove(1.0);
+        hi.remove(3.0);
+        assert_eq!(lo.value(), Some(2.0));
+        assert_eq!(hi.value(), Some(2.0));
+    }
+
+    #[test]
+    fn kahan_cancellation_is_exact_for_roundtrips() {
+        let mut s = KahanSum::default();
+        let vs = [0.1, 0.2, 0.3, 1e15, 7.0];
+        for v in vs {
+            s.add(v);
+        }
+        for v in vs {
+            s.add(-v);
+        }
+        assert_eq!(s.value(), 0.0);
+    }
+
+    #[test]
+    fn spec_shorthands() {
+        let s = AggregateSpec::avg("Sal").as_output("AvgSal");
+        assert_eq!(s.function, AggregateFunction::Avg);
+        assert_eq!(s.attribute, "Sal");
+        assert_eq!(s.output, "AvgSal");
+        assert_eq!(AggregateSpec::count().attribute, "*");
+    }
+}

@@ -1,0 +1,72 @@
+//! Error type for the aggregation operators.
+
+use std::fmt;
+
+use pta_temporal::TemporalError;
+
+/// Errors raised while evaluating temporal aggregation queries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ItaError {
+    /// An underlying data-model error.
+    Temporal(TemporalError),
+    /// An aggregate function was applied to a non-numeric attribute.
+    NonNumericAggregate {
+        /// The offending attribute.
+        attribute: String,
+    },
+    /// A query listed no aggregate functions.
+    NoAggregates,
+    /// An STA query supplied no spans.
+    EmptySpans,
+    /// STA spans must be sorted and pairwise disjoint so the result is a
+    /// sequential relation.
+    OverlappingSpans {
+        /// Index of the offending span.
+        index: usize,
+    },
+    /// A span width was not positive.
+    InvalidSpanWidth(i64),
+}
+
+impl fmt::Display for ItaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Temporal(e) => write!(f, "{e}"),
+            Self::NonNumericAggregate { attribute } => {
+                write!(f, "cannot aggregate non-numeric attribute {attribute:?}")
+            }
+            Self::NoAggregates => write!(f, "query lists no aggregate functions"),
+            Self::EmptySpans => write!(f, "STA query supplied no spans"),
+            Self::OverlappingSpans { index } => {
+                write!(f, "STA span {index} overlaps or precedes its predecessor")
+            }
+            Self::InvalidSpanWidth(w) => write!(f, "span width must be positive, got {w}"),
+        }
+    }
+}
+
+impl std::error::Error for ItaError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Temporal(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<TemporalError> for ItaError {
+    fn from(e: TemporalError) -> Self {
+        Self::Temporal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wraps_temporal_errors() {
+        let e: ItaError = TemporalError::UnknownAttribute("X".into()).into();
+        assert!(e.to_string().contains("unknown attribute"));
+    }
+}

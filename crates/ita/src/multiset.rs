@@ -1,0 +1,134 @@
+//! An ordered multiset of finite floats.
+//!
+//! `min`/`max` aggregates must support *deletion* during the chronological
+//! sweep (a tuple's interval ends), which running scalars cannot do. This
+//! multiset keeps value multiplicities in a `BTreeMap` keyed by a totally
+//! ordered float wrapper, giving `O(log k)` insert/remove and `O(log k)`
+//! min/max where `k` is the number of distinct live values.
+
+use std::collections::BTreeMap;
+
+/// Finite `f64` with the IEEE total order, usable as a `BTreeMap` key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// Ordered multiset of finite floats with counted multiplicities.
+#[derive(Debug, Default, Clone)]
+pub struct OrderedMultiset {
+    counts: BTreeMap<OrdF64, usize>,
+    len: usize,
+}
+
+impl OrderedMultiset {
+    /// Creates an empty multiset.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Inserts one occurrence of `v`.
+    pub fn insert(&mut self, v: f64) {
+        debug_assert!(v.is_finite(), "multiset values must be finite");
+        *self.counts.entry(OrdF64(v)).or_insert(0) += 1;
+        self.len += 1;
+    }
+
+    /// Removes one occurrence of `v`. Returns `false` when `v` was absent
+    /// (callers treat that as an internal invariant violation).
+    pub fn remove(&mut self, v: f64) -> bool {
+        match self.counts.get_mut(&OrdF64(v)) {
+            Some(c) if *c > 1 => {
+                *c -= 1;
+                self.len -= 1;
+                true
+            }
+            Some(_) => {
+                self.counts.remove(&OrdF64(v));
+                self.len -= 1;
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// The smallest live value.
+    pub fn min(&self) -> Option<f64> {
+        self.counts.keys().next().map(|k| k.0)
+    }
+
+    /// The largest live value.
+    pub fn max(&self) -> Option<f64> {
+        self.counts.keys().next_back().map(|k| k.0)
+    }
+
+    /// Total number of live occurrences.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the multiset is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut m = OrderedMultiset::new();
+        m.insert(3.0);
+        m.insert(1.0);
+        m.insert(3.0);
+        assert_eq!(m.len(), 3);
+        assert_eq!(m.min(), Some(1.0));
+        assert_eq!(m.max(), Some(3.0));
+        assert!(m.remove(3.0));
+        assert_eq!(m.max(), Some(3.0));
+        assert!(m.remove(3.0));
+        assert_eq!(m.max(), Some(1.0));
+        assert!(!m.remove(3.0));
+        assert!(m.remove(1.0));
+        assert!(m.is_empty());
+        assert_eq!(m.min(), None);
+    }
+
+    #[test]
+    fn negative_zero_and_zero_coexist() {
+        let mut m = OrderedMultiset::new();
+        m.insert(0.0);
+        m.insert(-0.0);
+        assert_eq!(m.len(), 2);
+        // total_cmp orders -0.0 < 0.0; removing each works independently.
+        assert!(m.remove(-0.0));
+        assert!(m.remove(0.0));
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn duplicates_count() {
+        let mut m = OrderedMultiset::new();
+        for _ in 0..5 {
+            m.insert(2.5);
+        }
+        for _ in 0..5 {
+            assert!(m.remove(2.5));
+        }
+        assert!(!m.remove(2.5));
+    }
+}

@@ -1,0 +1,115 @@
+//! Moving-window (cumulative) temporal aggregation (MWTA).
+//!
+//! MWTA generalises ITA: the aggregate at instant `t` ranges over all
+//! tuples of the group holding anywhere in the window
+//! `[t − before, t + after]` (§2.1). We use the classical reduction to
+//! ITA: a tuple with timestamp `[b, e]` contributes to instant `t` iff
+//! `[b, e]` intersects the window around `t`, which holds iff
+//! `t ∈ [b − after, e + before]` — so MWTA equals ITA over the relation
+//! with every timestamp stretched by `after` to the left and `before` to
+//! the right.
+
+use pta_temporal::{SequentialRelation, TemporalRelation, TimeInterval};
+
+use crate::error::ItaError;
+use crate::ita::{ita, ItaQuerySpec};
+
+/// A moving window around each time instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Window {
+    /// Chronons before the instant included in the window (`≥ 0`).
+    pub before: i64,
+    /// Chronons after the instant included in the window (`≥ 0`).
+    pub after: i64,
+}
+
+impl Window {
+    /// A window reaching `before` chronons into the past only (cumulative
+    /// aggregation when large).
+    pub fn past(before: i64) -> Self {
+        Self { before, after: 0 }
+    }
+
+    /// A symmetric window of `radius` chronons on both sides.
+    pub fn symmetric(radius: i64) -> Self {
+        Self { before: radius, after: radius }
+    }
+}
+
+/// Moving-window temporal aggregation via the stretched-tuple reduction.
+pub fn mwta(
+    relation: &TemporalRelation,
+    spec: &ItaQuerySpec,
+    window: Window,
+) -> Result<SequentialRelation, ItaError> {
+    if window.before < 0 || window.after < 0 {
+        return Err(ItaError::InvalidSpanWidth(window.before.min(window.after)));
+    }
+    let mut stretched = TemporalRelation::new(relation.schema().clone());
+    for tuple in relation.iter() {
+        let iv = tuple.interval();
+        let start = iv.start().saturating_sub(window.after);
+        let end = iv.end().saturating_add(window.before);
+        stretched.push(tuple.values().to_vec(), TimeInterval::new(start, end)?)?;
+    }
+    ita(&stretched, spec)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::AggregateSpec;
+    use pta_temporal::{DataType, Schema, Value};
+
+    fn iv(a: i64, b: i64) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    fn rel(rows: &[(i64, i64, i64)]) -> TemporalRelation {
+        let schema = Schema::of(&[("V", DataType::Int)]).unwrap();
+        TemporalRelation::from_rows(
+            schema,
+            rows.iter().map(|(v, a, b)| (vec![Value::Int(*v)], iv(*a, *b))),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn zero_window_equals_ita() {
+        let r = rel(&[(1, 1, 4), (2, 3, 6)]);
+        let spec = ItaQuerySpec::new(&[], vec![AggregateSpec::sum("V")]);
+        let a = ita(&r, &spec).unwrap();
+        let b = mwta(&r, &spec, Window { before: 0, after: 0 }).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn past_window_extends_influence_forward() {
+        // Value 5 valid at [1, 1]; with a 2-chronon past window it is seen
+        // at instants 1..3.
+        let r = rel(&[(5, 1, 1)]);
+        let spec = ItaQuerySpec::new(&[], vec![AggregateSpec::sum("V")]);
+        let s = mwta(&r, &spec, Window::past(2)).unwrap();
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.interval(0), iv(1, 3));
+        assert_eq!(s.value(0, 0), 5.0);
+    }
+
+    #[test]
+    fn symmetric_window_smooths_counts() {
+        let r = rel(&[(1, 1, 1), (1, 3, 3)]);
+        let spec = ItaQuerySpec::new(&[], vec![AggregateSpec::count()]);
+        let s = mwta(&r, &spec, Window::symmetric(1)).unwrap();
+        // Stretched tuples: [0,2] and [2,4] → counts 1,2,1 over [0,1],[2,2],[3,4].
+        assert_eq!(s.len(), 3);
+        assert_eq!(s.value(1, 0), 2.0);
+        assert_eq!(s.interval(1), iv(2, 2));
+    }
+
+    #[test]
+    fn negative_window_rejected() {
+        let r = rel(&[(1, 1, 1)]);
+        let spec = ItaQuerySpec::new(&[], vec![AggregateSpec::count()]);
+        assert!(mwta(&r, &spec, Window { before: -1, after: 0 }).is_err());
+    }
+}

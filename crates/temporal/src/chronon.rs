@@ -1,0 +1,19 @@
+//! The discrete time domain.
+//!
+//! The paper assumes a discrete time domain `∆T` whose elements are called
+//! *chronons* (time points/instants) with a total order — e.g. calendar
+//! months. We model a chronon as an `i64`, which is large enough for any
+//! practical granularity (nanoseconds since the epoch still fit) while
+//! keeping interval arithmetic trivial.
+
+/// A time instant in the discrete time domain.
+pub type Chronon = i64;
+
+/// The smallest representable chronon.
+pub const MIN_CHRONON: Chronon = i64::MIN;
+
+/// The largest representable chronon.
+///
+/// [`crate::TimeInterval`] end points are capped one below this so that the
+/// half-open successor `end + 1` used by sweep algorithms never overflows.
+pub const MAX_CHRONON: Chronon = i64::MAX - 1;

@@ -1,0 +1,253 @@
+//! Plain-text (CSV) import/export of temporal relations.
+//!
+//! The on-disk format mirrors the paper's tables: one row per tuple, the
+//! non-temporal attributes first, then the inclusive interval bounds
+//! `t_start`, `t_end`. A schema string such as `"Empl:str,Proj:str,
+//! Sal:int"` declares the attribute names and domains, so files round-trip
+//! without external dependencies.
+
+use std::io::{BufRead, Write};
+
+use crate::error::TemporalError;
+use crate::relation::TemporalRelation;
+use crate::schema::{Attribute, Schema};
+use crate::sequential::SequentialRelation;
+use crate::tuple::Tuple;
+use crate::value::{DataType, Value};
+use crate::TimeInterval;
+
+/// Parses a schema string: comma-separated `name:type` pairs with types
+/// `int`, `float`, `str`, `bool`.
+pub fn parse_schema(spec: &str) -> Result<Schema, TemporalError> {
+    let mut attrs = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (name, ty) = part.split_once(':').ok_or_else(|| TemporalError::NonSequential {
+            index: attrs.len(),
+            reason: format!("schema entry {part:?} is not name:type"),
+        })?;
+        let dtype = match ty.trim().to_ascii_lowercase().as_str() {
+            "int" | "i64" => DataType::Int,
+            "float" | "f64" => DataType::Float,
+            "str" | "string" => DataType::Str,
+            "bool" => DataType::Bool,
+            other => {
+                return Err(TemporalError::NonSequential {
+                    index: attrs.len(),
+                    reason: format!("unknown type {other:?} (use int|float|str|bool)"),
+                })
+            }
+        };
+        attrs.push(Attribute::new(name.trim(), dtype));
+    }
+    Schema::new(attrs)
+}
+
+fn parse_value(raw: &str, dtype: DataType, line: usize) -> Result<Value, TemporalError> {
+    let raw = raw.trim();
+    let err = |what: &str| TemporalError::NonSequential {
+        index: line,
+        reason: format!("cannot parse {raw:?} as {what}"),
+    };
+    match dtype {
+        DataType::Int => raw.parse::<i64>().map(Value::Int).map_err(|_| err("int")),
+        DataType::Float => raw
+            .parse::<f64>()
+            .map_err(|_| err("float"))
+            .and_then(Value::float),
+        DataType::Str => Ok(Value::str(raw)),
+        DataType::Bool => match raw {
+            "true" | "1" => Ok(Value::Bool(true)),
+            "false" | "0" => Ok(Value::Bool(false)),
+            _ => Err(err("bool")),
+        },
+    }
+}
+
+/// Reads a temporal relation from CSV. The first line must be a header;
+/// every following line carries the attribute values in schema order plus
+/// `t_start` and `t_end`. Empty lines and `#` comments are skipped.
+pub fn read_relation(
+    schema: Schema,
+    reader: impl BufRead,
+) -> Result<TemporalRelation, TemporalError> {
+    let arity = schema.arity();
+    let mut rel = TemporalRelation::new(schema);
+    let mut lines = reader.lines().enumerate();
+    // Header.
+    let _ = lines.next();
+    for (lineno, line) in lines {
+        let line = line.map_err(|e| TemporalError::NonSequential {
+            index: lineno,
+            reason: format!("I/O error: {e}"),
+        })?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        if fields.len() != arity + 2 {
+            return Err(TemporalError::ArityMismatch {
+                got: fields.len(),
+                expected: arity + 2,
+            });
+        }
+        let mut values = Vec::with_capacity(arity);
+        for (i, raw) in fields[..arity].iter().enumerate() {
+            values.push(parse_value(raw, rel.schema().attribute(i).data_type(), lineno)?);
+        }
+        let parse_t = |raw: &str| -> Result<i64, TemporalError> {
+            raw.trim().parse::<i64>().map_err(|_| TemporalError::NonSequential {
+                index: lineno,
+                reason: format!("cannot parse chronon {raw:?}"),
+            })
+        };
+        let interval = TimeInterval::new(parse_t(fields[arity])?, parse_t(fields[arity + 1])?)?;
+        rel.push(values, interval)?;
+    }
+    Ok(rel)
+}
+
+fn escape(v: &Value) -> String {
+    let s = v.to_string();
+    debug_assert!(!s.contains(','), "CSV fields must not contain commas");
+    s
+}
+
+/// Writes a temporal relation as CSV (header + one row per tuple).
+pub fn write_relation(
+    relation: &TemporalRelation,
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let names: Vec<&str> =
+        relation.schema().attributes().iter().map(Attribute::name).collect();
+    writeln!(writer, "{},t_start,t_end", names.join(","))?;
+    for t in relation.iter() {
+        let vals: Vec<String> = t.values().iter().map(escape).collect();
+        writeln!(
+            writer,
+            "{},{},{}",
+            vals.join(","),
+            t.interval().start(),
+            t.interval().end()
+        )?;
+    }
+    Ok(())
+}
+
+/// Writes a sequential relation (an ITA/PTA result) as CSV: the grouping
+/// key rendered per `group_names`, the aggregate values per `value_names`,
+/// then the interval bounds.
+pub fn write_sequential(
+    seq: &SequentialRelation,
+    group_names: &[&str],
+    value_names: &[&str],
+    mut writer: impl Write,
+) -> std::io::Result<()> {
+    let mut header: Vec<String> = group_names.iter().map(|s| s.to_string()).collect();
+    header.extend(value_names.iter().map(|s| s.to_string()));
+    writeln!(writer, "{},t_start,t_end", header.join(","))?;
+    for i in 0..seq.len() {
+        let key = seq
+            .group_key(seq.group(i))
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.to_string()))?;
+        let mut fields: Vec<String> = key.values().iter().map(escape).collect();
+        for d in 0..seq.dims() {
+            fields.push(format!("{}", seq.value(i, d)));
+        }
+        writeln!(
+            writer,
+            "{},{},{}",
+            fields.join(","),
+            seq.interval(i).start(),
+            seq.interval(i).end()
+        )?;
+    }
+    Ok(())
+}
+
+/// Convenience re-export of [`Tuple`] construction from parsed parts.
+pub fn tuple(values: Vec<Value>, interval: TimeInterval) -> Tuple {
+    Tuple::new(values, interval)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn schema_parsing() {
+        let s = parse_schema("Empl:str, Sal:int, Rate:float, Active:bool").unwrap();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attribute(1).data_type(), DataType::Int);
+        assert!(parse_schema("X").is_err());
+        assert!(parse_schema("X:widget").is_err());
+        assert!(parse_schema("X:int,X:int").is_err());
+    }
+
+    #[test]
+    fn relation_roundtrip() {
+        let schema = parse_schema("Empl:str,Proj:str,Sal:int").unwrap();
+        let mut rel = TemporalRelation::new(schema.clone());
+        rel.push(
+            vec![Value::str("John"), Value::str("A"), Value::Int(800)],
+            TimeInterval::new(1, 4).unwrap(),
+        )
+        .unwrap();
+        rel.push(
+            vec![Value::str("Ann"), Value::str("A"), Value::Int(400)],
+            TimeInterval::new(3, 6).unwrap(),
+        )
+        .unwrap();
+        let mut buf = Vec::new();
+        write_relation(&rel, &mut buf).unwrap();
+        let text = String::from_utf8(buf.clone()).unwrap();
+        assert!(text.starts_with("Empl,Proj,Sal,t_start,t_end\n"));
+        let back = read_relation(schema, BufReader::new(&buf[..])).unwrap();
+        assert_eq!(back, rel);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_are_skipped() {
+        let schema = parse_schema("V:int").unwrap();
+        let text = "V,t_start,t_end\n# comment\n\n5,1,2\n";
+        let rel = read_relation(schema, BufReader::new(text.as_bytes())).unwrap();
+        assert_eq!(rel.len(), 1);
+        assert_eq!(rel.tuples()[0].value(0), &Value::Int(5));
+    }
+
+    #[test]
+    fn malformed_rows_are_rejected() {
+        let schema = parse_schema("V:int").unwrap();
+        for text in [
+            "V,t_start,t_end\n5,1\n",          // missing field
+            "V,t_start,t_end\nx,1,2\n",        // bad int
+            "V,t_start,t_end\n5,9,2\n",        // inverted interval
+            "V,t_start,t_end\n5,a,2\n",        // bad chronon
+        ] {
+            assert!(
+                read_relation(schema.clone(), BufReader::new(text.as_bytes())).is_err(),
+                "{text:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_export_matches_layout() {
+        use crate::{GroupKey, SequentialBuilder};
+        let mut b = SequentialBuilder::new(1);
+        b.push(
+            GroupKey::new(vec![Value::str("A")]),
+            TimeInterval::new(1, 3).unwrap(),
+            &[733.5],
+        )
+        .unwrap();
+        let seq = b.build();
+        let mut buf = Vec::new();
+        write_sequential(&seq, &["Proj"], &["AvgSal"], &mut buf).unwrap();
+        assert_eq!(
+            String::from_utf8(buf).unwrap(),
+            "Proj,AvgSal,t_start,t_end\nA,733.5,1,3\n"
+        );
+    }
+}

@@ -1,0 +1,118 @@
+//! Error type for the temporal data model.
+
+use std::fmt;
+
+use crate::chronon::Chronon;
+
+/// Errors raised while constructing or validating temporal data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TemporalError {
+    /// An interval was constructed with `start > end`.
+    InvertedInterval {
+        /// Requested start chronon.
+        start: Chronon,
+        /// Requested end chronon.
+        end: Chronon,
+    },
+    /// An interval end point exceeds the representable maximum.
+    IntervalOutOfRange {
+        /// Requested start chronon.
+        start: Chronon,
+        /// Requested end chronon.
+        end: Chronon,
+    },
+    /// A floating-point attribute or aggregate value was not finite.
+    NonFiniteValue {
+        /// Human-readable location of the offending value.
+        context: String,
+    },
+    /// Two attributes in one schema share a name.
+    DuplicateAttribute(String),
+    /// An attribute name was not found in the schema.
+    UnknownAttribute(String),
+    /// A tuple's value count does not match the schema's attribute count.
+    ArityMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Number of attributes the schema expects.
+        expected: usize,
+    },
+    /// A value's type does not match the attribute's declared type.
+    TypeMismatch {
+        /// Attribute whose domain was violated.
+        attribute: String,
+        /// Declared type name.
+        expected: &'static str,
+        /// Supplied type name.
+        got: &'static str,
+    },
+    /// Rows pushed into a [`crate::SequentialBuilder`] violate the
+    /// sequential-relation invariant (sorted by group, chronological and
+    /// non-overlapping within each group).
+    NonSequential {
+        /// Index of the offending row.
+        index: usize,
+        /// Explanation of the violated ordering rule.
+        reason: String,
+    },
+    /// A row carries a different number of aggregate values than the
+    /// relation's dimensionality `p`.
+    DimensionMismatch {
+        /// Number of values supplied.
+        got: usize,
+        /// Dimensionality `p` of the relation.
+        expected: usize,
+    },
+    /// A group id referenced a key that was never interned.
+    UnknownGroup(u32),
+}
+
+impl fmt::Display for TemporalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvertedInterval { start, end } => {
+                write!(f, "inverted interval: start {start} exceeds end {end}")
+            }
+            Self::IntervalOutOfRange { start, end } => {
+                write!(f, "interval [{start}, {end}] exceeds the representable time domain")
+            }
+            Self::NonFiniteValue { context } => {
+                write!(f, "non-finite floating-point value at {context}")
+            }
+            Self::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name {name:?} in schema")
+            }
+            Self::UnknownAttribute(name) => write!(f, "unknown attribute {name:?}"),
+            Self::ArityMismatch { got, expected } => {
+                write!(f, "tuple has {got} values but schema has {expected} attributes")
+            }
+            Self::TypeMismatch { attribute, expected, got } => {
+                write!(f, "attribute {attribute:?} expects {expected} but got {got}")
+            }
+            Self::NonSequential { index, reason } => {
+                write!(f, "row {index} violates sequentiality: {reason}")
+            }
+            Self::DimensionMismatch { got, expected } => {
+                write!(f, "row carries {got} aggregate values, relation has p = {expected}")
+            }
+            Self::UnknownGroup(gid) => write!(f, "unknown group id {gid}"),
+        }
+    }
+}
+
+impl std::error::Error for TemporalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = TemporalError::InvertedInterval { start: 5, end: 2 };
+        assert!(e.to_string().contains("start 5"));
+        let e = TemporalError::ArityMismatch { got: 2, expected: 3 };
+        assert!(e.to_string().contains("2 values"));
+        let e = TemporalError::NonSequential { index: 7, reason: "overlap".into() };
+        assert!(e.to_string().contains("row 7"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Inclusive time intervals over the discrete time domain.
+
+use std::fmt;
+
+use crate::chronon::{Chronon, MAX_CHRONON};
+use crate::error::TemporalError;
+
+/// A timestamp: a convex set of chronons `[start, end]`, both inclusive.
+///
+/// This matches the paper's representation `t = [tb, te]`. Intervals always
+/// contain at least one chronon (`start <= end`); the degenerate instant
+/// `[t, t]` is the timestamp of an un-coalesced ITA result tuple.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TimeInterval {
+    start: Chronon,
+    end: Chronon,
+}
+
+impl TimeInterval {
+    /// Creates the interval `[start, end]`.
+    ///
+    /// Fails with [`TemporalError::InvertedInterval`] when `start > end` and
+    /// with [`TemporalError::IntervalOutOfRange`] when `end` exceeds
+    /// [`MAX_CHRONON`] (reserved so `end + 1` cannot overflow).
+    pub fn new(start: Chronon, end: Chronon) -> Result<Self, TemporalError> {
+        if start > end {
+            return Err(TemporalError::InvertedInterval { start, end });
+        }
+        if end > MAX_CHRONON {
+            return Err(TemporalError::IntervalOutOfRange { start, end });
+        }
+        Ok(Self { start, end })
+    }
+
+    /// Creates the degenerate instant interval `[t, t]`.
+    pub fn instant(t: Chronon) -> Result<Self, TemporalError> {
+        Self::new(t, t)
+    }
+
+    /// Inclusive starting chronon (`tb`).
+    #[inline]
+    pub fn start(&self) -> Chronon {
+        self.start
+    }
+
+    /// Inclusive ending chronon (`te`).
+    #[inline]
+    pub fn end(&self) -> Chronon {
+        self.end
+    }
+
+    /// Number of chronons in the interval, `|T| = te - tb + 1`.
+    ///
+    /// This is the weight used by the merge operator (Def. 3) and the SSE
+    /// error measure (Def. 5).
+    #[inline]
+    pub fn len(&self) -> u64 {
+        // start <= end is an invariant, so the difference is non-negative.
+        (self.end - self.start) as u64 + 1
+    }
+
+    /// Intervals are never empty; provided for API symmetry.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Does the interval contain chronon `t`?
+    #[inline]
+    pub fn contains_point(&self, t: Chronon) -> bool {
+        self.start <= t && t <= self.end
+    }
+
+    /// Does `self` fully contain `other`?
+    #[inline]
+    pub fn contains(&self, other: &TimeInterval) -> bool {
+        self.start <= other.start && other.end <= self.end
+    }
+
+    /// Do the two intervals share at least one chronon (`t ∩ t' ≠ ∅`)?
+    #[inline]
+    pub fn overlaps(&self, other: &TimeInterval) -> bool {
+        self.start <= other.end && other.start <= self.end
+    }
+
+    /// Allen's *meets*: `self` ends exactly one chronon before `other`
+    /// starts. This is condition (2) of tuple adjacency (Def. 2).
+    #[inline]
+    pub fn meets(&self, other: &TimeInterval) -> bool {
+        self.end + 1 == other.start
+    }
+
+    /// The intersection of the two intervals, if any.
+    pub fn intersect(&self, other: &TimeInterval) -> Option<TimeInterval> {
+        let start = self.start.max(other.start);
+        let end = self.end.min(other.end);
+        (start <= end).then_some(TimeInterval { start, end })
+    }
+
+    /// The convex hull `[min(tb), max(te)]` of the two intervals.
+    ///
+    /// For adjacent tuples this is the concatenated timestamp produced by
+    /// the merge operator `⊕`.
+    pub fn span(&self, other: &TimeInterval) -> TimeInterval {
+        TimeInterval {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
+    }
+
+    /// Iterates over every chronon in the interval.
+    pub fn chronons(&self) -> impl Iterator<Item = Chronon> {
+        self.start..=self.end
+    }
+}
+
+impl fmt::Debug for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+impl fmt::Display for TimeInterval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.start, self.end)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn iv(a: Chronon, b: Chronon) -> TimeInterval {
+        TimeInterval::new(a, b).unwrap()
+    }
+
+    #[test]
+    fn construction_validates_order() {
+        assert!(TimeInterval::new(3, 2).is_err());
+        assert!(TimeInterval::new(2, 2).is_ok());
+        assert!(TimeInterval::new(i64::MIN, i64::MAX).is_err());
+        assert!(TimeInterval::new(i64::MIN, MAX_CHRONON).is_ok());
+    }
+
+    #[test]
+    fn len_counts_inclusive_chronons() {
+        assert_eq!(iv(1, 4).len(), 4);
+        assert_eq!(iv(7, 7).len(), 1);
+        assert_eq!(iv(-2, 2).len(), 5);
+    }
+
+    #[test]
+    fn overlap_is_symmetric_and_inclusive() {
+        assert!(iv(1, 4).overlaps(&iv(4, 6)));
+        assert!(iv(4, 6).overlaps(&iv(1, 4)));
+        assert!(!iv(1, 4).overlaps(&iv(5, 6)));
+        assert!(iv(1, 10).overlaps(&iv(3, 4)));
+    }
+
+    #[test]
+    fn meets_requires_exact_succession() {
+        assert!(iv(1, 4).meets(&iv(5, 8)));
+        assert!(!iv(1, 4).meets(&iv(6, 8)));
+        assert!(!iv(1, 4).meets(&iv(4, 8)));
+        assert!(!iv(5, 8).meets(&iv(1, 4)));
+    }
+
+    #[test]
+    fn intersection_and_span() {
+        assert_eq!(iv(1, 5).intersect(&iv(3, 9)), Some(iv(3, 5)));
+        assert_eq!(iv(1, 2).intersect(&iv(4, 5)), None);
+        assert_eq!(iv(1, 2).span(&iv(5, 9)), iv(1, 9));
+    }
+
+    #[test]
+    fn point_queries() {
+        let t = iv(2, 4);
+        assert!(t.contains_point(2) && t.contains_point(4));
+        assert!(!t.contains_point(1) && !t.contains_point(5));
+        assert!(iv(1, 9).contains(&iv(2, 4)));
+        assert!(!iv(2, 4).contains(&iv(2, 5)));
+    }
+
+    #[test]
+    fn chronon_iteration() {
+        let ts: Vec<_> = iv(3, 6).chronons().collect();
+        assert_eq!(ts, vec![3, 4, 5, 6]);
+    }
+
+    #[test]
+    fn display_matches_paper_notation() {
+        assert_eq!(iv(1, 4).to_string(), "[1, 4]");
+    }
+}

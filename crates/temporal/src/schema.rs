@@ -1,0 +1,124 @@
+//! Relation schemas.
+
+use std::fmt;
+
+use crate::error::TemporalError;
+use crate::value::DataType;
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Attribute {
+    name: String,
+    dtype: DataType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    pub fn new(name: impl Into<String>, dtype: DataType) -> Self {
+        Self { name: name.into(), dtype }
+    }
+
+    /// The attribute's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attribute's domain.
+    pub fn data_type(&self) -> DataType {
+        self.dtype
+    }
+}
+
+/// The explicit (non-temporal) part of a temporal relation schema
+/// `R = (A1, ..., Am, T)`.
+///
+/// The timestamp attribute `T` is implicit: every tuple of a
+/// [`crate::TemporalRelation`] carries a [`crate::TimeInterval`] besides its
+/// attribute values, so the schema lists only `A1..Am`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    attrs: Vec<Attribute>,
+}
+
+impl Schema {
+    /// Builds a schema, rejecting duplicate attribute names.
+    pub fn new(attrs: Vec<Attribute>) -> Result<Self, TemporalError> {
+        for (i, a) in attrs.iter().enumerate() {
+            if attrs[..i].iter().any(|b| b.name == a.name) {
+                return Err(TemporalError::DuplicateAttribute(a.name.clone()));
+            }
+        }
+        Ok(Self { attrs })
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn of(pairs: &[(&str, DataType)]) -> Result<Self, TemporalError> {
+        Self::new(pairs.iter().map(|(n, t)| Attribute::new(*n, *t)).collect())
+    }
+
+    /// Number of non-temporal attributes.
+    pub fn arity(&self) -> usize {
+        self.attrs.len()
+    }
+
+    /// The attributes in declaration order.
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attrs
+    }
+
+    /// Index of the attribute called `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize, TemporalError> {
+        self.attrs
+            .iter()
+            .position(|a| a.name == name)
+            .ok_or_else(|| TemporalError::UnknownAttribute(name.to_string()))
+    }
+
+    /// Resolves a list of attribute names to their indices.
+    pub fn indices_of(&self, names: &[&str]) -> Result<Vec<usize>, TemporalError> {
+        names.iter().map(|n| self.index_of(n)).collect()
+    }
+
+    /// The attribute at `index`.
+    pub fn attribute(&self, index: usize) -> &Attribute {
+        &self.attrs[index]
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, a) in self.attrs.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", a.name, a.dtype.name())?;
+        }
+        write!(f, ", T)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let r = Schema::of(&[("a", DataType::Int), ("a", DataType::Str)]);
+        assert!(matches!(r, Err(TemporalError::DuplicateAttribute(_))));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        let s = Schema::of(&[("Empl", DataType::Str), ("Sal", DataType::Int)]).unwrap();
+        assert_eq!(s.index_of("Sal").unwrap(), 1);
+        assert!(s.index_of("Nope").is_err());
+        assert_eq!(s.indices_of(&["Sal", "Empl"]).unwrap(), vec![1, 0]);
+    }
+
+    #[test]
+    fn display_includes_time_attribute() {
+        let s = Schema::of(&[("Proj", DataType::Str)]).unwrap();
+        assert_eq!(s.to_string(), "(Proj: Str, T)");
+    }
+}

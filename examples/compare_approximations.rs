@@ -1,0 +1,101 @@
+//! Side-by-side comparison of PTA with classic time-series approximation
+//! methods on one signal — a runnable miniature of the paper's Fig. 2.
+//!
+//! All methods get the same budget of 12 segments/coefficients on a
+//! Mackey–Glass chaotic series; errors use the same SSE measure, and a
+//! terminal plot shows what each approximation looks like.
+//!
+//! ```text
+//! cargo run --release --example compare_approximations
+//! ```
+
+use pta_baselines::{
+    amnesic_size_bounded, apca, chebyshev, dft, dwt_for_size, linear_amnesia, paa, sax,
+    swing_filter, DenseSeries, Padding,
+};
+use pta_core::{gms_size_bounded, pta_size_bounded, Weights};
+use pta_datasets::timeseries::chaotic;
+
+/// Crude terminal plot: one column per bucket of the series.
+fn plot(label: &str, values: &[f64], lo: f64, hi: f64) {
+    const LEVELS: &[char] = &['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
+    let buckets = 72usize;
+    let mut line = String::new();
+    for b in 0..buckets {
+        let i = b * values.len() / buckets;
+        let norm = ((values[i] - lo) / (hi - lo)).clamp(0.0, 1.0);
+        line.push(LEVELS[(norm * (LEVELS.len() - 1) as f64).round() as usize]);
+    }
+    println!("{label:>10} {line}");
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = 12usize;
+    let rel = chaotic(360, 7);
+    let series = DenseSeries::from_sequential(&rel)?;
+    let w = Weights::uniform(1);
+    let (lo, hi) = series
+        .values()
+        .iter()
+        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    println!("Mackey–Glass series, n = {}, budget c = {c}\n", series.len());
+    plot("original", series.values(), lo, hi);
+
+    let pta = pta_size_bounded(&rel, &w, c)?;
+    let gpta = gms_size_bounded(&rel, &w, c)?;
+    let expand = |z: &pta_temporal::SequentialRelation| -> Vec<f64> {
+        let mut out = Vec::with_capacity(series.len());
+        for i in 0..z.len() {
+            for _ in 0..z.interval(i).len() {
+                out.push(z.value(i, 0));
+            }
+        }
+        out
+    };
+    let paa_a = paa(&series, c)?;
+    let apca_a = apca(&series, c, Padding::Zero)?;
+    let dwt_a = dwt_for_size(&series, c, Padding::Zero)?;
+    let dft_a = dft(&series, c)?;
+    let cheb_a = chebyshev(&series, c)?;
+    let sax_a = sax(&series, c, 8)?;
+    let amnesic_a = amnesic_size_bounded(&series, c, linear_amnesia(0.02))?;
+    let pla_a = swing_filter(&series, 4.0)?;
+
+    plot("PTA", &expand(pta.reduction.relation()), lo, hi);
+    plot("gPTAc", &expand(gpta.reduction.relation()), lo, hi);
+    plot("PAA", &paa_a.to_dense(), lo, hi);
+    plot("APCA", &apca_a.to_dense(), lo, hi);
+    plot("DWT", &dwt_a.approx, lo, hi);
+    plot("DFT", &dft_a.approx, lo, hi);
+    plot("Chebyshev", &cheb_a.approx, lo, hi);
+    plot("SAX", &sax_a.approx.to_dense(), lo, hi);
+    plot("amnesic", &amnesic_a.to_dense(), lo, hi);
+    plot("PLA", &pla_a.to_dense(), lo, hi);
+
+    println!("\nSSE with the same budget (lower is better):");
+    let rows = [
+        ("PTA (optimal)", pta.reduction.sse()),
+        ("gPTAc (greedy)", gpta.reduction.sse()),
+        ("APCA", apca_a.sse_against(&series)),
+        ("PAA", paa_a.sse_against(&series)),
+        ("DWT", dwt_a.sse),
+        ("DFT", dft_a.sse),
+        ("Chebyshev", cheb_a.sse),
+        ("SAX (w=8)", sax_a.sse),
+        ("amnesic r=.02", amnesic_a.sse_against(&series)),
+    ];
+    for (name, sse) in rows {
+        println!("  {name:<16} {sse:>12.1}");
+    }
+    println!(
+        "\nSAX symbols: {:?}",
+        sax_a.symbols.iter().map(|s| (b'a' + s) as char).collect::<String>()
+    );
+    println!(
+        "swing-filter PLA (L-inf <= 4.0): {} linear segments, SSE {:.1}, max |err| {:.2}",
+        pla_a.segments(),
+        pla_a.sse_against(&series),
+        pla_a.max_abs_error(&series)
+    );
+    Ok(())
+}

@@ -1,0 +1,208 @@
+//! `pta-cli`: parsimonious temporal aggregation from the command line.
+//!
+//! Reads a temporal relation from CSV, runs ITA/STA/PTA, writes CSV.
+//!
+//! ```text
+//! # Fig. 1(d) from a file:
+//! pta-cli reduce --input proj.csv --schema "Empl:str,Proj:str,Sal:int" \
+//!     --group-by Proj --agg avg:Sal --size 4
+//!
+//! # Error-bounded, greedy, tolerating 1-chronon holes:
+//! pta-cli reduce --input proj.csv --schema "..." --group-by Proj \
+//!     --agg avg:Sal --error 0.2 --algorithm greedy --max-gap 1
+//!
+//! # Plain ITA or fixed-span STA:
+//! pta-cli ita --input proj.csv --schema "..." --group-by Proj --agg avg:Sal
+//! pta-cli sta --input proj.csv --schema "..." --group-by Proj --agg avg:Sal \
+//!     --span-origin 1 --span-width 4
+//! ```
+//!
+//! Output goes to `--output FILE` or stdout.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::process::ExitCode;
+
+use pta::{Agg, AggregateFunction, Algorithm, Bound, Delta, GapPolicy, PtaQuery, SpanSpec};
+use pta_temporal::csv::{parse_schema, read_relation, write_relation, write_sequential};
+use pta_temporal::TemporalRelation;
+
+struct Args {
+    command: String,
+    options: std::collections::HashMap<String, String>,
+}
+
+fn usage() -> &'static str {
+    "usage: pta-cli <reduce|ita|sta> --input FILE --schema \"name:type,...\" \
+     [--group-by A,B] --agg fn:attr[,fn:attr...] \
+     [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
+     [--max-gap G] [--span-origin T --span-width W] [--output FILE]"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next().ok_or_else(|| usage().to_string())?;
+    if matches!(command.as_str(), "-h" | "--help" | "help") {
+        println!("{}", usage());
+        std::process::exit(0);
+    }
+    let mut options = std::collections::HashMap::new();
+    while let Some(flag) = argv.next() {
+        let key = flag
+            .strip_prefix("--")
+            .ok_or_else(|| format!("expected --flag, got {flag:?}"))?
+            .to_string();
+        let value = argv.next().ok_or_else(|| format!("--{key} needs a value"))?;
+        options.insert(key, value);
+    }
+    Ok(Args { command, options })
+}
+
+fn parse_aggs(spec: &str) -> Result<Vec<Agg>, String> {
+    let mut out = Vec::new();
+    for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+        let (f, attr) = part.split_once(':').unwrap_or((part, "*"));
+        let function = match f.to_ascii_lowercase().as_str() {
+            "avg" => AggregateFunction::Avg,
+            "sum" => AggregateFunction::Sum,
+            "min" => AggregateFunction::Min,
+            "max" => AggregateFunction::Max,
+            "count" => AggregateFunction::Count,
+            other => return Err(format!("unknown aggregate {other:?}")),
+        };
+        let output = if attr == "*" { f.to_string() } else { format!("{f}_{attr}") };
+        out.push(Agg::new(function, attr, output));
+    }
+    if out.is_empty() {
+        return Err("--agg lists no aggregate functions".into());
+    }
+    Ok(out)
+}
+
+fn load_relation(args: &Args) -> Result<TemporalRelation, String> {
+    let schema_spec =
+        args.options.get("schema").ok_or("missing --schema \"name:type,...\"")?;
+    let schema = parse_schema(schema_spec).map_err(|e| e.to_string())?;
+    let reader: Box<dyn Read> = match args.options.get("input") {
+        Some(path) if path != "-" => {
+            Box::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
+        }
+        _ => Box::new(io::stdin()),
+    };
+    read_relation(schema, BufReader::new(reader)).map_err(|e| e.to_string())
+}
+
+fn output_writer(args: &Args) -> Result<Box<dyn Write>, String> {
+    Ok(match args.options.get("output") {
+        Some(path) if path != "-" => Box::new(BufWriter::new(
+            File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?,
+        )),
+        _ => Box::new(BufWriter::new(io::stdout())),
+    })
+}
+
+fn group_names(args: &Args) -> Vec<String> {
+    args.options
+        .get("group-by")
+        .map(|g| g.split(',').map(|s| s.trim().to_string()).filter(|s| !s.is_empty()).collect())
+        .unwrap_or_default()
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+    let relation = load_relation(&args)?;
+    let groups = group_names(&args);
+    let group_refs: Vec<&str> = groups.iter().map(String::as_str).collect();
+    let aggs = parse_aggs(args.options.get("agg").ok_or("missing --agg fn:attr")?)?;
+    let value_names: Vec<String> = aggs.iter().map(|a| a.output.clone()).collect();
+    let value_refs: Vec<&str> = value_names.iter().map(String::as_str).collect();
+    let mut out = output_writer(&args)?;
+
+    match args.command.as_str() {
+        "ita" => {
+            let spec = pta::ItaQuerySpec::new(&group_refs, aggs);
+            let seq = pta_ita::ita(&relation, &spec).map_err(|e| e.to_string())?;
+            write_sequential(&seq, &group_refs, &value_refs, &mut out)
+                .map_err(|e| e.to_string())?;
+        }
+        "sta" => {
+            let origin: i64 = args
+                .options
+                .get("span-origin")
+                .ok_or("sta needs --span-origin")?
+                .parse()
+                .map_err(|e| format!("bad --span-origin: {e}"))?;
+            let width: i64 = args
+                .options
+                .get("span-width")
+                .ok_or("sta needs --span-width")?
+                .parse()
+                .map_err(|e| format!("bad --span-width: {e}"))?;
+            let seq = pta_ita::sta(
+                &relation,
+                &group_refs,
+                &aggs,
+                &SpanSpec::Fixed { origin, width },
+            )
+            .map_err(|e| e.to_string())?;
+            write_sequential(&seq, &group_refs, &value_refs, &mut out)
+                .map_err(|e| e.to_string())?;
+        }
+        "reduce" => {
+            let bound = match (args.options.get("size"), args.options.get("error")) {
+                (Some(c), None) => Bound::Size(
+                    c.parse().map_err(|e| format!("bad --size: {e}"))?,
+                ),
+                (None, Some(e)) => Bound::Error(
+                    e.parse().map_err(|e| format!("bad --error: {e}"))?,
+                ),
+                _ => return Err("reduce needs exactly one of --size N or --error EPS".into()),
+            };
+            let mut query = PtaQuery::new().group_by(&group_refs).bound(bound);
+            for a in aggs {
+                query = query.aggregate(a);
+            }
+            if let Some(alg) = args.options.get("algorithm") {
+                query = match alg.as_str() {
+                    "exact" => query.algorithm(Algorithm::Exact),
+                    "greedy" => {
+                        let delta = match args.options.get("delta").map(String::as_str) {
+                            None | Some("1") => Delta::Finite(1),
+                            Some("inf") => Delta::Unbounded,
+                            Some(d) => Delta::Finite(
+                                d.parse().map_err(|e| format!("bad --delta: {e}"))?,
+                            ),
+                        };
+                        query.algorithm(Algorithm::Greedy { delta })
+                    }
+                    other => return Err(format!("unknown algorithm {other:?}")),
+                };
+            }
+            if let Some(g) = args.options.get("max-gap") {
+                let max_gap = g.parse().map_err(|e| format!("bad --max-gap: {e}"))?;
+                query = query.gap_policy(GapPolicy::Tolerate { max_gap });
+            }
+            let result = query.execute(&relation).map_err(|e| e.to_string())?;
+            write_relation(&result.table, &mut out).map_err(|e| e.to_string())?;
+            eprintln!(
+                "ITA {} tuples -> PTA {} tuples, SSE {:.4}",
+                result.ita_size,
+                result.reduction.len(),
+                result.reduction.sse()
+            );
+        }
+        other => return Err(format!("unknown command {other:?}\n{}", usage())),
+    }
+    out.flush().map_err(|e| e.to_string())?;
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}

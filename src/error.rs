@@ -1,0 +1,60 @@
+//! Unified error type of the facade API.
+
+use std::fmt;
+
+use pta_core::CoreError;
+use pta_ita::ItaError;
+use pta_temporal::TemporalError;
+
+/// Any error a PTA query can raise.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Error {
+    /// Query construction / validation failed.
+    InvalidQuery(String),
+    /// The aggregation step failed.
+    Ita(ItaError),
+    /// The reduction step failed.
+    Core(CoreError),
+    /// A data-model violation.
+    Temporal(TemporalError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
+            Self::Ita(e) => write!(f, "aggregation failed: {e}"),
+            Self::Core(e) => write!(f, "reduction failed: {e}"),
+            Self::Temporal(e) => write!(f, "data error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::InvalidQuery(_) => None,
+            Self::Ita(e) => Some(e),
+            Self::Core(e) => Some(e),
+            Self::Temporal(e) => Some(e),
+        }
+    }
+}
+
+impl From<ItaError> for Error {
+    fn from(e: ItaError) -> Self {
+        Self::Ita(e)
+    }
+}
+
+impl From<CoreError> for Error {
+    fn from(e: CoreError) -> Self {
+        Self::Core(e)
+    }
+}
+
+impl From<TemporalError> for Error {
+    fn from(e: TemporalError) -> Self {
+        Self::Temporal(e)
+    }
+}

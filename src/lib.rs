@@ -1,0 +1,72 @@
+//! # Parsimonious Temporal Aggregation
+//!
+//! A from-scratch Rust implementation of *"Parsimonious Temporal
+//! Aggregation"* (Gordevičius, Gamper, Böhlen; EDBT 2009 / VLDB Journal
+//! 2012): a temporal aggregation operator that reduces the result of
+//! instant temporal aggregation (ITA) by merging similar adjacent tuples
+//! until a user-given size bound `c` or error bound `ε` is met, with
+//! minimal sum-squared error.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pta::{Agg, Algorithm, Bound, Delta, PtaQuery};
+//! use pta_datasets::proj_relation;
+//!
+//! // "Average monthly salary per project, in at most 4 tuples."
+//! let out = PtaQuery::new()
+//!     .group_by(&["Proj"])
+//!     .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+//!     .bound(Bound::Size(4))
+//!     .execute(&proj_relation())
+//!     .unwrap();
+//! assert_eq!(out.reduction.len(), 4);
+//! assert!((out.reduction.sse() - 49_166.67).abs() < 1.0);
+//!
+//! // The same query with the streaming greedy algorithm (gPTAc).
+//! let greedy = PtaQuery::new()
+//!     .group_by(&["Proj"])
+//!     .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+//!     .bound(Bound::Size(4))
+//!     .algorithm(Algorithm::Greedy { delta: Delta::Finite(1) })
+//!     .execute(&proj_relation())
+//!     .unwrap();
+//! assert_eq!(greedy.reduction.len(), 4);
+//! ```
+//!
+//! ## Crate map
+//!
+//! * [`pta_temporal`] — the data model: intervals, relations, coalescing,
+//!   sequential relations.
+//! * [`pta_ita`] — instant/span/moving-window temporal aggregation.
+//! * [`pta_core`] — the PTA algorithms: exact DP (`PTAc`/`PTAε`) and
+//!   streaming greedy (`gPTAc`/`gPTAε`).
+//! * [`pta_baselines`] — ATC, PAA, DWT, APCA, DFT, Chebyshev, SAX
+//!   comparators.
+//! * [`pta_datasets`] — deterministic paper-shaped workload generators.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod convert;
+mod error;
+mod query;
+
+pub use convert::to_temporal_relation;
+pub use error::Error;
+pub use query::{
+    ita_table, mwta_table, sta_table, Algorithm, Bound, ExecutionStats, PtaOutput, PtaQuery,
+};
+
+/// Aggregate-spec shorthand re-export: `Agg::avg("Sal")` etc.
+pub use pta_ita::AggregateSpec as Agg;
+
+pub use pta_core::{Delta, Estimates, GapPolicy, Reduction, Weights};
+pub use pta_ita::{AggregateFunction, ItaQuerySpec, SpanSpec, Window};
+pub use pta_temporal::{
+    Chronon, DataType, GroupKey, Schema, SequentialRelation, TemporalRelation, TimeInterval,
+    Tuple, Value,
+};
+
+/// Crate-local result alias.
+pub type Result<T> = std::result::Result<T, Error>;

@@ -1,0 +1,268 @@
+//! The high-level PTA query builder.
+
+use pta_core::{
+    pta_error_bounded_with_policy, pta_size_bounded_with_policy, Delta, Estimates, GPtaC, GPtaE,
+    GapPolicy, Reduction, Weights,
+};
+use pta_ita::{ItaQuerySpec, StreamingIta};
+use pta_temporal::{SequentialRelation, TemporalRelation};
+
+use crate::convert::to_temporal_relation;
+use crate::error::Error;
+
+/// The reduction bound of a PTA query: either a maximal result size
+/// (Def. 6) or a maximal relative error (Def. 7).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Bound {
+    /// At most this many result tuples; the error is minimized.
+    Size(usize),
+    /// At most this fraction of the maximal error; the size is minimized.
+    Error(f64),
+}
+
+/// Which evaluation algorithm executes the reduction.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Algorithm {
+    /// Exact dynamic programming (`PTAc`/`PTAε`, §5).
+    Exact,
+    /// Streaming greedy merging (`gPTAc`/`gPTAε`, §6) with read-ahead δ.
+    Greedy {
+        /// The read-ahead parameter; `Delta::Finite(1)` is the paper's
+        /// recommended setting.
+        delta: Delta,
+    },
+}
+
+/// Per-run statistics of the executed algorithm.
+#[derive(Debug, Clone)]
+pub enum ExecutionStats {
+    /// DP work counters.
+    Exact(pta_core::DpStats),
+    /// Greedy counters (heap size, merges, ...).
+    Greedy(pta_core::GreedyStats),
+}
+
+/// The result of a PTA query.
+#[derive(Debug, Clone)]
+pub struct PtaOutput {
+    /// The result as a displayable relation `(A..., B..., T)`.
+    pub table: TemporalRelation,
+    /// The reduction: reduced sequential relation, provenance, SSE.
+    pub reduction: Reduction,
+    /// The intermediate ITA result size `n`.
+    pub ita_size: usize,
+    /// Algorithm counters.
+    pub stats: ExecutionStats,
+}
+
+/// Builder for parsimonious temporal aggregation queries.
+///
+/// ```
+/// use pta::{Agg, Bound, PtaQuery};
+/// use pta_datasets::proj_relation;
+///
+/// let out = PtaQuery::new()
+///     .group_by(&["Proj"])
+///     .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+///     .bound(Bound::Size(4))
+///     .execute(&proj_relation())
+///     .unwrap();
+/// assert_eq!(out.reduction.len(), 4);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PtaQuery {
+    grouping: Vec<String>,
+    aggregates: Vec<pta_ita::AggregateSpec>,
+    weights: Option<Vec<f64>>,
+    bound: Option<Bound>,
+    algorithm: Algorithm,
+    estimates: Option<Estimates>,
+    policy: GapPolicy,
+}
+
+impl Default for PtaQuery {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PtaQuery {
+    /// Creates an empty query (exact algorithm by default).
+    pub fn new() -> Self {
+        Self {
+            grouping: Vec::new(),
+            aggregates: Vec::new(),
+            weights: None,
+            bound: None,
+            algorithm: Algorithm::Exact,
+            estimates: None,
+            policy: GapPolicy::Strict,
+        }
+    }
+
+    /// Sets the grouping attributes `A`.
+    pub fn group_by(mut self, attrs: &[&str]) -> Self {
+        self.grouping = attrs.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Adds an aggregate function `f/B`.
+    pub fn aggregate(mut self, spec: pta_ita::AggregateSpec) -> Self {
+        self.aggregates.push(spec);
+        self
+    }
+
+    /// Sets per-dimension SSE weights (defaults to 1 everywhere).
+    pub fn weights(mut self, weights: &[f64]) -> Self {
+        self.weights = Some(weights.to_vec());
+        self
+    }
+
+    /// Sets the reduction bound.
+    pub fn bound(mut self, bound: Bound) -> Self {
+        self.bound = Some(bound);
+        self
+    }
+
+    /// Selects the evaluation algorithm.
+    pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
+        self.algorithm = algorithm;
+        self
+    }
+
+    /// Sets the mergeability policy. [`GapPolicy::Tolerate`] enables the
+    /// paper's §8 future-work extension: tuples separated by holes up to
+    /// `max_gap` chronons may merge.
+    pub fn gap_policy(mut self, policy: GapPolicy) -> Self {
+        self.policy = policy;
+        self
+    }
+
+    /// Supplies `(n̂, Ê_max)` estimates for greedy error-bounded
+    /// execution; without them the exact values are computed in a first
+    /// pass.
+    pub fn estimates(mut self, estimates: Estimates) -> Self {
+        self.estimates = Some(estimates);
+        self
+    }
+
+    /// Executes the query: ITA over `relation`, then the bounded
+    /// reduction.
+    pub fn execute(&self, relation: &TemporalRelation) -> Result<PtaOutput, Error> {
+        let bound = self
+            .bound
+            .ok_or_else(|| Error::InvalidQuery("no size or error bound set".into()))?;
+        if self.aggregates.is_empty() {
+            return Err(Error::InvalidQuery("no aggregate functions listed".into()));
+        }
+        let p = self.aggregates.len();
+        let weights = match &self.weights {
+            Some(w) => Weights::new(w)?,
+            None => Weights::uniform(p),
+        };
+        if weights.dims() != p {
+            return Err(Error::InvalidQuery(format!(
+                "{} weights for {p} aggregates",
+                weights.dims()
+            )));
+        }
+        let spec = ItaQuerySpec { grouping: self.grouping.clone(), aggregates: self.aggregates.clone() };
+
+        let (reduction, ita_size, stats) = match self.algorithm {
+            Algorithm::Exact => {
+                let seq = pta_ita::ita(relation, &spec)?;
+                let n = seq.len();
+                let out = match bound {
+                    Bound::Size(c) => {
+                        pta_size_bounded_with_policy(&seq, &weights, c, self.policy)?
+                    }
+                    Bound::Error(e) => {
+                        pta_error_bounded_with_policy(&seq, &weights, e, self.policy)?
+                    }
+                };
+                (out.reduction, n, ExecutionStats::Exact(out.stats))
+            }
+            Algorithm::Greedy { delta } => match bound {
+                Bound::Size(c) => {
+                    let stream = StreamingIta::new(relation, &spec)?;
+                    let mut alg = GPtaC::with_policy(weights.clone(), c, delta, self.policy);
+                    for row in stream {
+                        alg.push(&row.key, row.interval, &row.values)?;
+                    }
+                    let out = alg.finish()?;
+                    if out.stats.clamped_to_cmin {
+                        return Err(Error::Core(pta_core::CoreError::SizeBelowMinimum {
+                            requested: c,
+                            cmin: out.reduction.len(),
+                        }));
+                    }
+                    (out.reduction, out.stats.tuples_in, ExecutionStats::Greedy(out.stats))
+                }
+                Bound::Error(eps) => {
+                    let est = match self.estimates {
+                        Some(e) => e,
+                        None => {
+                            // Exact estimates need the full ITA result; the
+                            // paper does the same for its δ experiments.
+                            let seq: SequentialRelation = pta_ita::ita(relation, &spec)?;
+                            Estimates::exact(&seq, &weights)?
+                        }
+                    };
+                    let stream = StreamingIta::new(relation, &spec)?;
+                    let mut alg = GPtaE::with_policy(weights.clone(), eps, delta, est, self.policy)?;
+                    for row in stream {
+                        alg.push(&row.key, row.interval, &row.values)?;
+                    }
+                    let out = alg.finish()?;
+                    (out.reduction, out.stats.tuples_in, ExecutionStats::Greedy(out.stats))
+                }
+            },
+        };
+
+        let group_names: Vec<&str> = self.grouping.iter().map(String::as_str).collect();
+        let value_names: Vec<&str> = self.aggregates.iter().map(|a| a.output.as_str()).collect();
+        let table = to_temporal_relation(reduction.relation(), &group_names, &value_names)?;
+        Ok(PtaOutput { table, reduction, ita_size, stats })
+    }
+}
+
+/// Runs plain ITA and renders the result table — the "step 1" of PTA,
+/// exposed for comparison and display.
+pub fn ita_table(
+    relation: &TemporalRelation,
+    grouping: &[&str],
+    aggregates: Vec<pta_ita::AggregateSpec>,
+) -> Result<TemporalRelation, Error> {
+    let value_names: Vec<String> = aggregates.iter().map(|a| a.output.clone()).collect();
+    let spec = ItaQuerySpec::new(grouping, aggregates);
+    let seq = pta_ita::ita(relation, &spec)?;
+    let names: Vec<&str> = value_names.iter().map(String::as_str).collect();
+    to_temporal_relation(&seq, grouping, &names)
+}
+
+/// Runs moving-window temporal aggregation and renders the result table.
+pub fn mwta_table(
+    relation: &TemporalRelation,
+    grouping: &[&str],
+    aggregates: Vec<pta_ita::AggregateSpec>,
+    window: pta_ita::Window,
+) -> Result<TemporalRelation, Error> {
+    let value_names: Vec<String> = aggregates.iter().map(|a| a.output.clone()).collect();
+    let spec = ItaQuerySpec::new(grouping, aggregates);
+    let seq = pta_ita::mwta(relation, &spec, window)?;
+    let names: Vec<&str> = value_names.iter().map(String::as_str).collect();
+    to_temporal_relation(&seq, grouping, &names)
+}
+
+/// Runs STA and renders the result table (Fig. 1(b)-style queries).
+pub fn sta_table(
+    relation: &TemporalRelation,
+    grouping: &[&str],
+    aggregates: Vec<pta_ita::AggregateSpec>,
+    spans: &pta_ita::SpanSpec,
+) -> Result<TemporalRelation, Error> {
+    let value_names: Vec<String> = aggregates.iter().map(|a| a.output.clone()).collect();
+    let seq = pta_ita::sta(relation, grouping, &aggregates, spans)?;
+    let names: Vec<&str> = value_names.iter().map(String::as_str).collect();
+    to_temporal_relation(&seq, grouping, &names)
+}

@@ -1,0 +1,139 @@
+//! End-to-end tests of the `pta-cli` binary over CSV files.
+
+use std::io::Write;
+use std::process::{Command, Stdio};
+
+const PROJ_CSV: &str = "Empl,Proj,Sal,t_start,t_end\n\
+John,A,800,1,4\n\
+Ann,A,400,3,6\n\
+Tom,A,300,4,7\n\
+John,B,500,4,5\n\
+John,B,500,7,8\n";
+
+const SCHEMA: &str = "Empl:str,Proj:str,Sal:int";
+
+fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_pta-cli"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("binary built by the test harness");
+    child
+        .stdin
+        .as_mut()
+        .expect("piped stdin")
+        .write_all(stdin.as_bytes())
+        .expect("write stdin");
+    let out = child.wait_with_output().expect("cli terminates");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.success(),
+    )
+}
+
+#[test]
+fn reduce_reproduces_fig_1d() {
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
+            "4",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout.contains("A,733.3333333333334,1,3"), "stdout: {stdout}");
+    assert!(stdout.contains("A,375,4,7"));
+    assert!(stderr.contains("SSE 49166.6667"));
+}
+
+#[test]
+fn ita_command_emits_fig_1c() {
+    let (stdout, _, ok) = run_cli(
+        &["ita", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal"],
+        PROJ_CSV,
+    );
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 8, "header + 7 tuples");
+    assert!(stdout.contains("A,800,1,2"));
+    assert!(stdout.contains("B,500,7,8"));
+}
+
+#[test]
+fn sta_command_emits_fig_1b() {
+    let (stdout, _, ok) = run_cli(
+        &[
+            "sta", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal",
+            "--span-origin", "1", "--span-width", "4",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok);
+    assert_eq!(stdout.lines().count(), 5, "header + 4 spans");
+    assert!(stdout.contains("A,500,1,4"));
+    assert!(stdout.contains("A,350,5,8"));
+}
+
+#[test]
+fn error_bound_and_gap_policy_flags() {
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal",
+            "--error", "0.2",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.lines().count(), 5, "eps = 0.2 gives 4 tuples");
+
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
+            "2", "--max-gap", "1",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert_eq!(stdout.lines().count(), 3, "gap tolerance reaches size 2");
+    assert!(stdout.contains("B,500,4,8"));
+}
+
+#[test]
+fn greedy_algorithm_flag() {
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
+            "4", "--algorithm", "greedy", "--delta", "inf",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stderr.contains("SSE 63000"), "greedy error from Fig. 9: {stderr}");
+    assert_eq!(stdout.lines().count(), 5);
+}
+
+#[test]
+fn helpful_errors() {
+    let (_, stderr, ok) = run_cli(&["reduce", "--schema", SCHEMA], PROJ_CSV);
+    assert!(!ok);
+    assert!(stderr.contains("--agg"));
+
+    let (_, stderr, ok) = run_cli(
+        &["reduce", "--schema", SCHEMA, "--agg", "avg:Sal"],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--size") && stderr.contains("--error"));
+
+    let (_, stderr, ok) = run_cli(
+        &[
+            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
+            "1",
+        ],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("cmin"), "reports the reachable minimum: {stderr}");
+}

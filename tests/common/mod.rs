@@ -1,0 +1,108 @@
+//! Shared helpers for the integration tests.
+#![allow(dead_code)]
+
+use pta_temporal::{GroupKey, SequentialBuilder, SequentialRelation, TimeInterval, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The ITA result of the paper's running example (Fig. 1(c)).
+pub fn fig1c() -> SequentialRelation {
+    let mut b = SequentialBuilder::new(1);
+    let rows = [
+        ("A", 1i64, 2i64, 800.0),
+        ("A", 3, 3, 600.0),
+        ("A", 4, 4, 500.0),
+        ("A", 5, 6, 350.0),
+        ("A", 7, 7, 300.0),
+        ("B", 4, 5, 500.0),
+        ("B", 7, 8, 500.0),
+    ];
+    for (g, s, e, v) in rows {
+        b.push(GroupKey::new(vec![Value::str(g)]), TimeInterval::new(s, e).unwrap(), &[v])
+            .unwrap();
+    }
+    b.build()
+}
+
+/// A random sequential relation: `n` tuples, `p` dimensions, group changes
+/// and temporal gaps with the given probabilities, integer-ish values so
+/// float comparisons stay well-conditioned.
+pub fn random_sequential(
+    seed: u64,
+    n: usize,
+    p: usize,
+    group_prob: f64,
+    gap_prob: f64,
+) -> SequentialRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SequentialBuilder::new(p);
+    let mut group = 0i64;
+    let mut t = 0i64;
+    let mut vals = vec![0.0; p];
+    for _ in 0..n {
+        if rng.random_bool(group_prob) {
+            group += 1;
+            t = 0;
+        } else if rng.random_bool(gap_prob) {
+            t += rng.random_range(2..5);
+        }
+        let len = rng.random_range(1..4);
+        for v in &mut vals {
+            *v = rng.random_range(-10..10) as f64;
+        }
+        b.push(
+            GroupKey::new(vec![Value::Int(group)]),
+            TimeInterval::new(t, t + len - 1).unwrap(),
+            &vals,
+        )
+        .unwrap();
+        t += len;
+    }
+    b.build()
+}
+
+/// Exhaustive minimal SSE of partitioning `input` into exactly `k`
+/// contiguous parts that never cross a gap/group boundary — the brute
+/// force the DP must match. Exponential; keep `n` small.
+pub fn brute_force_optimal(input: &SequentialRelation, k: usize) -> f64 {
+    use pta_core::{PrefixStats, Weights};
+    let n = input.len();
+    let w = Weights::uniform(input.dims());
+    let stats = PrefixStats::build(input);
+    let cost = |lo: usize, hi: usize| -> f64 {
+        for i in lo..hi - 1 {
+            if !input.adjacent(i) {
+                return f64::INFINITY;
+            }
+        }
+        stats.range_sse(&w, lo..hi)
+    };
+    // Recursive enumeration over the last cut.
+    fn go(
+        cost: &dyn Fn(usize, usize) -> f64,
+        prefix: usize,
+        parts: usize,
+        memo: &mut std::collections::HashMap<(usize, usize), f64>,
+    ) -> f64 {
+        if parts == 0 {
+            return if prefix == 0 { 0.0 } else { f64::INFINITY };
+        }
+        if prefix < parts {
+            return f64::INFINITY;
+        }
+        if let Some(&v) = memo.get(&(prefix, parts)) {
+            return v;
+        }
+        let mut best = f64::INFINITY;
+        for j in (parts - 1)..prefix {
+            let c = cost(j, prefix);
+            if c.is_finite() {
+                best = best.min(go(cost, j, parts - 1, memo) + c);
+            }
+        }
+        memo.insert((prefix, parts), best);
+        best
+    }
+    let mut memo = std::collections::HashMap::new();
+    go(&cost, n, k, &mut memo)
+}

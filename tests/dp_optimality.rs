@@ -1,0 +1,121 @@
+//! The DP algorithms really are optimal: they match an exhaustive search
+//! over every feasible partition on small random inputs, and the pruned
+//! and naive variants agree everywhere.
+
+mod common;
+
+use common::{brute_force_optimal, random_sequential};
+use pta_core::{
+    gms_size_bounded, optimal_error_curve, pta_error_bounded, pta_size_bounded,
+    pta_size_bounded_naive, Weights,
+};
+
+#[test]
+fn dp_matches_brute_force_on_random_inputs() {
+    for seed in 0..30 {
+        let n = 3 + (seed as usize % 10);
+        let input = random_sequential(seed, n, 1 + seed as usize % 2, 0.15, 0.2);
+        let w = Weights::uniform(input.dims());
+        let curve = optimal_error_curve(&input, &w, n).unwrap();
+        for k in 1..=n {
+            let expected = brute_force_optimal(&input, k);
+            let got = curve[k - 1];
+            if expected.is_infinite() {
+                assert!(got.is_infinite(), "seed {seed} k {k}: got {got}, want inf");
+            } else {
+                assert!(
+                    (got - expected).abs() < 1e-6 * (1.0 + expected),
+                    "seed {seed} k {k}: got {got}, want {expected}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn pruned_and_naive_dp_agree() {
+    for seed in 100..130 {
+        let input = random_sequential(seed, 20, 2, 0.1, 0.25);
+        let w = Weights::uniform(2);
+        for c in input.cmin()..=input.len() {
+            let a = pta_size_bounded(&input, &w, c).unwrap();
+            let b = pta_size_bounded_naive(&input, &w, c).unwrap();
+            assert!(
+                (a.reduction.sse() - b.reduction.sse()).abs()
+                    < 1e-6 * (1.0 + a.reduction.sse()),
+                "seed {seed} c {c}"
+            );
+            assert!(a.stats.cells <= b.stats.cells, "pruning may not add work");
+        }
+    }
+}
+
+#[test]
+fn greedy_never_beats_dp_and_is_logarithmically_close() {
+    for seed in 200..220 {
+        let input = random_sequential(seed, 40, 1, 0.05, 0.1);
+        let w = Weights::uniform(1);
+        for c in [input.cmin(), input.cmin() + 3, input.len() / 2] {
+            let c = c.clamp(input.cmin(), input.len());
+            let opt = pta_size_bounded(&input, &w, c).unwrap().reduction;
+            let greedy = gms_size_bounded(&input, &w, c).unwrap();
+            assert!(
+                greedy.stats.total_error >= opt.sse() - 1e-9,
+                "seed {seed} c {c}: greedy {} < optimal {}",
+                greedy.stats.total_error,
+                opt.sse()
+            );
+            // Thm. 1: the ratio is O(log n); assert a generous constant.
+            if opt.sse() > 1e-9 {
+                let ratio = greedy.stats.total_error / opt.sse();
+                let bound = 4.0 * (input.len() as f64).ln().max(1.0);
+                assert!(ratio <= bound, "seed {seed} c {c}: ratio {ratio} > {bound}");
+            }
+        }
+    }
+}
+
+#[test]
+fn error_bounded_is_minimal_and_within_budget() {
+    for seed in 300..315 {
+        let input = random_sequential(seed, 24, 1, 0.1, 0.15);
+        let w = Weights::uniform(1);
+        let emax = pta_core::max_error(&input, &w).unwrap();
+        if emax <= 0.0 {
+            continue;
+        }
+        let curve = optimal_error_curve(&input, &w, input.len()).unwrap();
+        for eps in [0.05, 0.25, 0.6, 1.0] {
+            let out = pta_error_bounded(&input, &w, eps).unwrap();
+            let c = out.reduction.len();
+            assert!(out.reduction.sse() <= eps * emax + 1e-6 * (1.0 + emax), "seed {seed}");
+            // Minimality: the optimal error one size down busts the budget.
+            if c > input.cmin() {
+                assert!(
+                    curve[c - 2] > eps * emax - 1e-6 * (1.0 + emax),
+                    "seed {seed} eps {eps}: size {} would also satisfy the bound",
+                    c - 1
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn reductions_reproduce_their_claimed_error() {
+    for seed in 400..420 {
+        let input = random_sequential(seed, 30, 3, 0.1, 0.1);
+        let w = Weights::uniform(3);
+        let c = (input.cmin() + input.len()) / 2;
+        let out = pta_size_bounded(&input, &w, c).unwrap();
+        let recomputed = out.reduction.recompute_sse(&input, &w);
+        assert!(
+            (out.reduction.sse() - recomputed).abs() < 1e-6 * (1.0 + recomputed),
+            "seed {seed}: {} vs {}",
+            out.reduction.sse(),
+            recomputed
+        );
+        out.reduction.relation().validate().unwrap();
+        assert_eq!(out.reduction.len(), c);
+    }
+}

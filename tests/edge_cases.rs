@@ -1,0 +1,221 @@
+//! Edge cases and failure injection across the whole stack.
+
+mod common;
+
+use pta::{ita_table, mwta_table, Agg, Algorithm, Bound, Delta, GapPolicy, PtaQuery, Window};
+use pta_core::{
+    pta_size_bounded, Delta as CoreDelta, Estimates, GPtaC, GPtaE, Weights,
+};
+use pta_temporal::{
+    DataType, GroupKey, Schema, SequentialBuilder, SequentialRelation, TemporalRelation,
+    TimeInterval, Value,
+};
+
+#[test]
+fn single_tuple_relation_roundtrips() {
+    let mut b = SequentialBuilder::new(1);
+    b.push(GroupKey::empty(), TimeInterval::new(5, 9).unwrap(), &[42.0]).unwrap();
+    let input = b.build();
+    let w = Weights::uniform(1);
+    let out = pta_size_bounded(&input, &w, 1).unwrap();
+    assert_eq!(out.reduction.len(), 1);
+    assert_eq!(out.reduction.sse(), 0.0);
+    let g = GPtaC::run(&input, &w, 1, CoreDelta::Finite(1)).unwrap();
+    assert_eq!(g.reduction.len(), 1);
+}
+
+#[test]
+fn extreme_chronon_positions() {
+    use pta_temporal::chronon::MAX_CHRONON;
+    let mut b = SequentialBuilder::new(1);
+    b.push(GroupKey::empty(), TimeInterval::new(i64::MIN, i64::MIN + 1).unwrap(), &[1.0])
+        .unwrap();
+    b.push(
+        GroupKey::empty(),
+        TimeInterval::new(MAX_CHRONON - 1, MAX_CHRONON).unwrap(),
+        &[2.0],
+    )
+    .unwrap();
+    let input = b.build();
+    input.validate().unwrap();
+    assert!(!input.adjacent(0));
+    assert_eq!(input.cmin(), 2);
+    let w = Weights::uniform(1);
+    // Reduction works; the huge hole is never bridged by Strict policy.
+    let out = pta_size_bounded(&input, &w, 2).unwrap();
+    assert_eq!(out.reduction.len(), 2);
+}
+
+#[test]
+fn zero_dimensional_relations_merge_freely() {
+    // p = 0 is degenerate but well-defined: every merge has zero error.
+    let mut b = SequentialBuilder::new(0);
+    for t in 0..5i64 {
+        b.push(GroupKey::empty(), TimeInterval::instant(t).unwrap(), &[]).unwrap();
+    }
+    let input = b.build();
+    let w = Weights::uniform(0);
+    let out = pta_size_bounded(&input, &w, 2).unwrap();
+    assert_eq!(out.reduction.len(), 2);
+    assert_eq!(out.reduction.sse(), 0.0);
+}
+
+#[test]
+fn identical_values_coalesce_to_zero_error_everywhere() {
+    let mut b = SequentialBuilder::new(2);
+    for t in 0..20i64 {
+        b.push(GroupKey::empty(), TimeInterval::instant(t).unwrap(), &[3.5, -1.0]).unwrap();
+    }
+    let input = b.build();
+    let w = Weights::uniform(2);
+    for c in 1..=5 {
+        let out = pta_size_bounded(&input, &w, c).unwrap();
+        assert_eq!(out.reduction.sse(), 0.0, "c = {c}");
+    }
+    let g = GPtaE::run(&input, &w, 0.0, CoreDelta::Finite(1), None).unwrap();
+    assert_eq!(g.reduction.len(), 1, "zero budget still merges zero-cost pairs");
+}
+
+#[test]
+fn huge_weights_stay_finite() {
+    let input = common::random_sequential(1, 20, 1, 0.1, 0.1);
+    let w = Weights::new(&[1e150]).unwrap();
+    let out = pta_size_bounded(&input, &w, input.cmin()).unwrap();
+    assert!(out.reduction.sse().is_finite());
+}
+
+#[test]
+fn facade_rejects_unknown_attributes() {
+    let rel = pta_datasets::proj_relation();
+    let err = PtaQuery::new()
+        .group_by(&["Nope"])
+        .aggregate(Agg::avg("Sal"))
+        .bound(Bound::Size(3))
+        .execute(&rel)
+        .unwrap_err();
+    assert!(err.to_string().contains("Nope"));
+    let err = PtaQuery::new()
+        .aggregate(Agg::avg("Missing"))
+        .bound(Bound::Size(3))
+        .execute(&rel)
+        .unwrap_err();
+    assert!(err.to_string().contains("Missing"));
+}
+
+#[test]
+fn facade_rejects_bad_weights() {
+    let rel = pta_datasets::proj_relation();
+    let err = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .weights(&[0.0])
+        .bound(Bound::Size(4))
+        .execute(&rel)
+        .unwrap_err();
+    assert!(matches!(err, pta::Error::Core(_)));
+    let err = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .weights(&[1.0, 2.0])
+        .bound(Bound::Size(4))
+        .execute(&rel)
+        .unwrap_err();
+    assert!(matches!(err, pta::Error::Core(_) | pta::Error::InvalidQuery(_)));
+}
+
+#[test]
+fn facade_gap_policy_reaches_smaller_sizes() {
+    // Project B's two assignments ([4,5] and [7,8]) are separated by one
+    // empty month; tolerating it merges them.
+    let rel = pta_datasets::proj_relation();
+    let strict = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .bound(Bound::Size(2))
+        .execute(&rel);
+    assert!(strict.is_err(), "strict cmin is 3");
+    let tolerant = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .bound(Bound::Size(2))
+        .gap_policy(GapPolicy::Tolerate { max_gap: 1 })
+        .execute(&rel)
+        .unwrap();
+    assert_eq!(tolerant.reduction.len(), 2);
+    // B's merged tuple spans [4, 8] with value 500 (both plateaus equal).
+    let z = tolerant.reduction.relation();
+    let b_idx = (0..z.len())
+        .find(|&i| z.group_key(z.group(i)).unwrap().values() == [Value::str("B")])
+        .unwrap();
+    assert_eq!(z.interval(b_idx), TimeInterval::new(4, 8).unwrap());
+    assert_eq!(z.value(b_idx, 0), 500.0);
+}
+
+#[test]
+fn facade_greedy_gap_policy_matches_exact_partition_on_proj() {
+    let rel = pta_datasets::proj_relation();
+    for alg in [Algorithm::Exact, Algorithm::Greedy { delta: Delta::Unbounded }] {
+        let out = PtaQuery::new()
+            .group_by(&["Proj"])
+            .aggregate(Agg::avg("Sal"))
+            .bound(Bound::Size(2))
+            .gap_policy(GapPolicy::Tolerate { max_gap: 1 })
+            .algorithm(alg)
+            .execute(&rel)
+            .unwrap();
+        assert_eq!(out.reduction.len(), 2, "{alg:?}");
+    }
+}
+
+#[test]
+fn mwta_table_smoke() {
+    let rel = pta_datasets::proj_relation();
+    let t = mwta_table(&rel, &["Proj"], vec![Agg::count().as_output("Held")], Window::past(1))
+        .unwrap();
+    assert!(!t.is_empty());
+    // The window extends each tuple's influence one month forward.
+    let ita = ita_table(&rel, &["Proj"], vec![Agg::count().as_output("Held")]).unwrap();
+    let span = |r: &TemporalRelation| {
+        r.time_extent().map(|iv| (iv.start(), iv.end())).unwrap()
+    };
+    assert_eq!(span(&t).1, span(&ita).1 + 1);
+}
+
+#[test]
+fn streaming_estimates_from_argument_size() {
+    // gPTAε driven by the 2|r|−1 size estimate and a rough error estimate
+    // still respects the final (exact) budget.
+    let input = common::random_sequential(7, 50, 1, 0.05, 0.1);
+    let w = Weights::uniform(1);
+    let emax = pta_core::max_error(&input, &w).unwrap();
+    let est = Estimates::from_argument_size(30, emax * 0.5).unwrap();
+    let out = GPtaE::run(&input, &w, 0.4, CoreDelta::Finite(1), Some(est)).unwrap();
+    assert!(out.stats.total_error <= 0.4 * emax + 1e-6 * (1.0 + emax));
+}
+
+#[test]
+fn non_numeric_group_keys_flow_through_output_schema() {
+    let schema = Schema::of(&[("Flag", DataType::Bool), ("V", DataType::Int)]).unwrap();
+    let mut rel = TemporalRelation::new(schema);
+    rel.push(vec![Value::Bool(true), Value::Int(4)], TimeInterval::new(0, 3).unwrap()).unwrap();
+    rel.push(vec![Value::Bool(false), Value::Int(9)], TimeInterval::new(1, 2).unwrap()).unwrap();
+    let out = PtaQuery::new()
+        .group_by(&["Flag"])
+        .aggregate(Agg::sum("V"))
+        .bound(Bound::Size(4))
+        .execute(&rel)
+        .unwrap();
+    assert_eq!(out.table.schema().to_string(), "(Flag: Bool, sum_V: Float, T)");
+}
+
+/// The relation stays usable after a failed push (error safety).
+#[test]
+fn builder_remains_usable_after_rejected_row() {
+    let mut b = SequentialBuilder::new(1);
+    b.push(GroupKey::empty(), TimeInterval::new(0, 4).unwrap(), &[1.0]).unwrap();
+    assert!(b.push(GroupKey::empty(), TimeInterval::new(2, 6).unwrap(), &[2.0]).is_err());
+    b.push(GroupKey::empty(), TimeInterval::new(5, 6).unwrap(), &[2.0]).unwrap();
+    let rel: SequentialRelation = b.build();
+    rel.validate().unwrap();
+    assert_eq!(rel.len(), 2);
+}

@@ -1,0 +1,136 @@
+//! The streaming algorithms agree with their offline reference (Thms.
+//! 2/3) and their bookkeeping stays consistent on random inputs.
+
+mod common;
+
+use common::random_sequential;
+use pta_core::{
+    gms_error_bounded, gms_size_bounded, greedy_error_curve, max_error, Delta, Estimates, GPtaC,
+    GPtaE, Weights,
+};
+
+#[test]
+fn theorem_2_gptac_with_unbounded_delta_equals_gms() {
+    for seed in 0..25 {
+        let input = random_sequential(seed, 50, 1, 0.08, 0.15);
+        let w = Weights::uniform(1);
+        for c in [input.cmin(), (input.cmin() + input.len()) / 2, input.len() - 1] {
+            let c = c.clamp(input.cmin(), input.len());
+            let streaming = GPtaC::run(&input, &w, c, Delta::Unbounded).unwrap();
+            let offline = gms_size_bounded(&input, &w, c).unwrap();
+            assert_eq!(
+                streaming.reduction.source_ranges(),
+                offline.reduction.source_ranges(),
+                "seed {seed} c {c}"
+            );
+            assert!(
+                (streaming.stats.total_error - offline.stats.total_error).abs() < 1e-9,
+                "seed {seed} c {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn theorem_3_gptae_with_unbounded_delta_equals_gms() {
+    for seed in 30..50 {
+        let input = random_sequential(seed, 40, 1, 0.1, 0.12);
+        let w = Weights::uniform(1);
+        for eps in [0.1, 0.4, 0.8] {
+            let streaming = GPtaE::run(&input, &w, eps, Delta::Unbounded, None).unwrap();
+            let offline = gms_error_bounded(&input, &w, eps).unwrap();
+            assert_eq!(
+                streaming.reduction.source_ranges(),
+                offline.reduction.source_ranges(),
+                "seed {seed} eps {eps}"
+            );
+        }
+    }
+}
+
+#[test]
+fn finite_delta_respects_size_and_error_budgets() {
+    for seed in 60..80 {
+        let input = random_sequential(seed, 60, 2, 0.05, 0.1);
+        let w = Weights::uniform(2);
+        let emax = max_error(&input, &w).unwrap();
+        for delta in [Delta::Finite(0), Delta::Finite(1), Delta::Finite(3)] {
+            let c = (input.cmin() + input.len()) / 2;
+            let out = GPtaC::run(&input, &w, c, delta).unwrap();
+            assert_eq!(out.reduction.len(), c, "seed {seed} {delta:?}");
+            out.reduction.relation().validate().unwrap();
+            let recomputed = out.reduction.recompute_sse(&input, &w);
+            assert!(
+                (out.stats.total_error - recomputed).abs() < 1e-6 * (1.0 + recomputed),
+                "seed {seed} {delta:?}: tracked vs recomputed"
+            );
+
+            for eps in [0.2, 0.7] {
+                let out = GPtaE::run(&input, &w, eps, delta, None).unwrap();
+                assert!(
+                    out.stats.total_error <= eps * emax + 1e-6 * (1.0 + emax),
+                    "seed {seed} {delta:?} eps {eps}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn error_curve_is_consistent_with_runs_and_monotone() {
+    for seed in 90..105 {
+        let input = random_sequential(seed, 45, 1, 0.1, 0.15);
+        let w = Weights::uniform(1);
+        let curve = greedy_error_curve(&input, &w).unwrap();
+        // Monotone: fewer tuples, more error.
+        for k in input.cmin()..input.len() {
+            assert!(curve[k - 1] >= curve[k] - 1e-9, "seed {seed} k {k}");
+        }
+        for c in [input.cmin(), input.len() / 2 + 1] {
+            let c = c.clamp(input.cmin(), input.len());
+            let run = gms_size_bounded(&input, &w, c).unwrap();
+            assert!(
+                (curve[c - 1] - run.stats.total_error).abs() < 1e-9,
+                "seed {seed} c {c}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_push_interface_matches_bulk_run() {
+    for seed in 110..120 {
+        let input = random_sequential(seed, 35, 1, 0.12, 0.2);
+        let w = Weights::uniform(1);
+        let c = input.cmin().max(3).min(input.len());
+        let bulk = GPtaC::run(&input, &w, c, Delta::Finite(1)).unwrap();
+        let mut alg = GPtaC::new(w.clone(), c, Delta::Finite(1));
+        for i in 0..input.len() {
+            let key = input.group_key(input.group(i)).unwrap().clone();
+            alg.push(&key, input.interval(i), input.values(i)).unwrap();
+        }
+        let streamed = alg.finish().unwrap();
+        assert_eq!(bulk.reduction.source_ranges(), streamed.reduction.source_ranges());
+        assert_eq!(bulk.stats.max_heap_size, streamed.stats.max_heap_size);
+    }
+}
+
+#[test]
+fn conservative_estimates_preserve_gms_equivalence() {
+    // Thm. 3's premise: underestimating Emax/n keeps gPTAε ≡ GMS.
+    for seed in 130..140 {
+        let input = random_sequential(seed, 40, 1, 0.1, 0.15);
+        let w = Weights::uniform(1);
+        let exact = Estimates::exact(&input, &w).unwrap();
+        let conservative = Estimates::new(exact.n_hat * 2.0, exact.emax_hat / 2.0).unwrap();
+        for eps in [0.3, 0.9] {
+            let a = GPtaE::run(&input, &w, eps, Delta::Unbounded, Some(conservative)).unwrap();
+            let b = gms_error_bounded(&input, &w, eps).unwrap();
+            assert_eq!(
+                a.reduction.source_ranges(),
+                b.reduction.source_ranges(),
+                "seed {seed} eps {eps}"
+            );
+        }
+    }
+}

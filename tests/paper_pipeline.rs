@@ -1,0 +1,175 @@
+//! End-to-end reproduction of every number the paper derives from the
+//! running example (Figs. 1, 4, 5, 9, 10; Examples 1–22), through the
+//! public facade API.
+
+mod common;
+
+use pta::{ita_table, sta_table, Agg, Algorithm, Bound, Delta, PtaQuery, SpanSpec, Value};
+use pta_datasets::{proj_relation, PROJ_ITA_VALUES};
+
+#[test]
+fn fig_1b_sta_result() {
+    let sta = sta_table(
+        &proj_relation(),
+        &["Proj"],
+        vec![Agg::avg("Sal").as_output("AvgSal")],
+        &SpanSpec::Fixed { origin: 1, width: 4 },
+    )
+    .unwrap();
+    let expected = [("A", 500.0, 1, 4), ("A", 350.0, 5, 8), ("B", 500.0, 1, 4), ("B", 500.0, 5, 8)];
+    assert_eq!(sta.len(), 4);
+    for (t, (g, v, s, e)) in sta.iter().zip(expected) {
+        assert_eq!(t.value(0), &Value::str(g));
+        assert_eq!(t.value(1).as_f64().unwrap(), v);
+        assert_eq!((t.interval().start(), t.interval().end()), (s, e));
+    }
+}
+
+#[test]
+fn fig_1c_ita_result() {
+    let ita = ita_table(&proj_relation(), &["Proj"], vec![Agg::avg("Sal").as_output("AvgSal")])
+        .unwrap();
+    assert_eq!(ita.len(), PROJ_ITA_VALUES.len());
+    for (t, (g, v, s, e)) in ita.iter().zip(PROJ_ITA_VALUES) {
+        assert_eq!(t.value(0), &Value::str(g));
+        assert!((t.value(1).as_f64().unwrap() - v).abs() < 1e-9);
+        assert_eq!((t.interval().start(), t.interval().end()), (s, e));
+    }
+}
+
+#[test]
+fn fig_1d_pta_result_through_facade() {
+    let out = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+        .bound(Bound::Size(4))
+        .execute(&proj_relation())
+        .unwrap();
+    assert_eq!(out.ita_size, 7);
+    let z = out.reduction.relation();
+    let expected = [("A", 733.333_333, 1, 3), ("A", 375.0, 4, 7), ("B", 500.0, 4, 5), ("B", 500.0, 7, 8)];
+    for (i, (g, v, s, e)) in expected.into_iter().enumerate() {
+        assert_eq!(z.group_key(z.group(i)).unwrap().values(), &[Value::str(g)]);
+        assert!((z.value(i, 0) - v).abs() < 1e-4);
+        assert_eq!((z.interval(i).start(), z.interval(i).end()), (s, e));
+    }
+    assert!((out.reduction.sse() - 49_166.666_67).abs() < 1e-2);
+}
+
+#[test]
+fn example_17_greedy_through_facade() {
+    let out = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .bound(Bound::Size(4))
+        .algorithm(Algorithm::Greedy { delta: Delta::Unbounded })
+        .execute(&proj_relation())
+        .unwrap();
+    assert!((out.reduction.sse() - 63_000.0).abs() < 1e-6);
+    // Fig. 9: z2 = (A, 420, [3, 7]).
+    let z = out.reduction.relation();
+    assert!((z.value(1, 0) - 420.0).abs() < 1e-9);
+    assert_eq!((z.interval(1).start(), z.interval(1).end()), (3, 7));
+}
+
+#[test]
+fn example_7_error_bounds_through_facade() {
+    let run = |eps: f64| {
+        PtaQuery::new()
+            .group_by(&["Proj"])
+            .aggregate(Agg::avg("Sal"))
+            .bound(Bound::Error(eps))
+            .execute(&proj_relation())
+            .unwrap()
+            .reduction
+            .len()
+    };
+    assert_eq!(run(1.0), 3, "eps = 1 gives the maximal reduction");
+    assert_eq!(run(0.2), 4, "eps = 0.2 gives Fig. 1(d)");
+}
+
+#[test]
+fn greedy_error_bounded_through_facade() {
+    let out = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .bound(Bound::Error(0.5))
+        .algorithm(Algorithm::Greedy { delta: Delta::Finite(1) })
+        .execute(&proj_relation())
+        .unwrap();
+    // Greedy merges within half the maximal error: 1667 + 5000 + 56333 =
+    // 63000 <= 0.5 · 269285.7.
+    assert_eq!(out.reduction.len(), 4);
+    assert!(out.reduction.sse() <= 0.5 * 269_285.72);
+}
+
+#[test]
+fn unbounded_query_is_rejected() {
+    let err = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .execute(&proj_relation())
+        .unwrap_err();
+    assert!(matches!(err, pta::Error::InvalidQuery(_)));
+}
+
+#[test]
+fn queries_without_aggregates_are_rejected() {
+    let err = PtaQuery::new()
+        .bound(Bound::Size(4))
+        .execute(&proj_relation())
+        .unwrap_err();
+    assert!(matches!(err, pta::Error::InvalidQuery(_)));
+}
+
+#[test]
+fn size_bound_below_cmin_is_reported_for_both_algorithms() {
+    for alg in [Algorithm::Exact, Algorithm::Greedy { delta: Delta::Finite(1) }] {
+        let err = PtaQuery::new()
+            .group_by(&["Proj"])
+            .aggregate(Agg::avg("Sal"))
+            .bound(Bound::Size(2))
+            .algorithm(alg)
+            .execute(&proj_relation())
+            .unwrap_err();
+        assert!(
+            matches!(err, pta::Error::Core(pta_core::CoreError::SizeBelowMinimum { .. })),
+            "{alg:?} gave {err}"
+        );
+    }
+}
+
+#[test]
+fn weighted_query_scales_error() {
+    let base = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .bound(Bound::Size(4))
+        .execute(&proj_relation())
+        .unwrap();
+    let scaled = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal"))
+        .weights(&[3.0])
+        .bound(Bound::Size(4))
+        .execute(&proj_relation())
+        .unwrap();
+    assert!((scaled.reduction.sse() - 9.0 * base.reduction.sse()).abs() < 1e-6);
+}
+
+#[test]
+fn multi_aggregate_pta_query() {
+    let out = PtaQuery::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+        .aggregate(Agg::count().as_output("Heads"))
+        .bound(Bound::Size(5))
+        .execute(&proj_relation())
+        .unwrap();
+    assert_eq!(out.reduction.relation().dims(), 2);
+    assert_eq!(out.reduction.len(), 5);
+    assert_eq!(
+        out.table.schema().to_string(),
+        "(Proj: Str, AvgSal: Float, Heads: Float, T)"
+    );
+}
