@@ -27,21 +27,33 @@ pub fn amnesic_size_bounded(
 ) -> Result<PiecewiseConstant, BaselineError> {
     let n = series.len();
     if c == 0 || c > n {
-        return Err(BaselineError::InvalidSize { requested: c, len: n });
+        return Err(BaselineError::invalid_size(c, n));
     }
-    // Weighted prefix sums: W, S, SS (1-based with a zero row).
-    let mut pw = vec![0.0; n + 1];
-    let mut ps = vec![0.0; n + 1];
-    let mut pss = vec![0.0; n + 1];
+    // First pass: validate the weights and find the weighted global mean
+    // — the centering point that keeps `SS − S²/W` well-conditioned for
+    // large-mean data, mirroring `pta_core::PrefixStats`.
+    let mut ws = Vec::with_capacity(n);
+    let (mut wsum, mut wxsum) = (0.0, 0.0);
     for t in 0..n {
         let age = n - 1 - t;
         let w = weight(age);
         if !(w.is_finite() && w > 0.0) {
-            return Err(BaselineError::InvalidParameter(format!(
-                "amnesic weight at age {age} must be positive and finite, got {w}"
-            )));
+            return Err(BaselineError::invalid_parameter(
+                "amnesic weight",
+                format!("weight at age {age} must be positive and finite, got {w}"),
+            ));
         }
-        let x = series.get(t);
+        wsum += w;
+        wxsum += w * series.get(t);
+        ws.push(w);
+    }
+    let mu = wxsum / wsum;
+    // Weighted prefix sums centered at μ: W, S, SS (1-based, zero row).
+    let mut pw = vec![0.0; n + 1];
+    let mut ps = vec![0.0; n + 1];
+    let mut pss = vec![0.0; n + 1];
+    for (t, &w) in ws.iter().enumerate() {
+        let x = series.get(t) - mu;
         pw[t + 1] = pw[t] + w;
         ps[t + 1] = ps[t] + w * x;
         pss[t + 1] = pss[t] + w * x * x;
@@ -94,10 +106,8 @@ pub fn amnesic_size_bounded(
         i = j;
     }
     bounds.reverse();
-    let values = bounds
-        .windows(2)
-        .map(|w| (ps[w[1]] - ps[w[0]]) / (pw[w[1]] - pw[w[0]]))
-        .collect();
+    let values =
+        bounds.windows(2).map(|w| mu + (ps[w[1]] - ps[w[0]]) / (pw[w[1]] - pw[w[0]])).collect();
     PiecewiseConstant::new(n, &bounds, values)
 }
 
@@ -122,8 +132,7 @@ mod tests {
     #[test]
     fn unit_weights_equal_pta() {
         let s = series();
-        let rel =
-            SequentialRelation::from_time_series(1, 0, s.values()).expect("valid series");
+        let rel = SequentialRelation::from_time_series(1, 0, s.values()).expect("valid series");
         let w = Weights::uniform(1);
         for c in [1usize, 3, 7, 20] {
             let amn = amnesic_size_bounded(&s, c, |_| 1.0).unwrap();
@@ -194,6 +203,28 @@ mod tests {
             PiecewiseConstant::new(s.len(), &bounds, values).unwrap()
         };
         assert!(weighted_err(&amnesic) <= weighted_err(&reweighted) + 1e-9);
+    }
+
+    /// Regression: the centered cost must survive large-mean data (an
+    /// uncentered `SS − S²/W` collapses every segment cost to ~0 there),
+    /// and the unit-weight = PTA equivalence must hold on it too.
+    #[test]
+    fn unit_weights_equal_pta_for_large_means() {
+        let values: Vec<f64> = (0..64).map(|i| 1.0e8 + (((i * 13) % 17) as f64 - 8.0)).collect();
+        let s = DenseSeries::new(values.clone());
+        let rel = SequentialRelation::from_time_series(1, 0, &values).expect("valid series");
+        let w = Weights::uniform(1);
+        for c in [2usize, 5, 9] {
+            let amn = amnesic_size_bounded(&s, c, |_| 1.0).unwrap();
+            let pta = pta_size_bounded(&rel, &w, c).unwrap();
+            assert!(
+                (amn.sse_against(&s) - pta.reduction.sse()).abs()
+                    < 1e-6 * (1.0 + pta.reduction.sse()),
+                "c = {c}: amnesic {} vs PTA {}",
+                amn.sse_against(&s),
+                pta.reduction.sse()
+            );
+        }
     }
 
     #[test]

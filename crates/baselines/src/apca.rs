@@ -22,7 +22,7 @@ pub fn apca(
 ) -> Result<PiecewiseConstant, BaselineError> {
     let n = series.len();
     if c == 0 || c > n {
-        return Err(BaselineError::InvalidSize { requested: c, len: n });
+        return Err(BaselineError::invalid_size(c, n));
     }
     // Step 1: reconstruct from the c most significant coefficients.
     let table = DwtTable::build(series, padding);

@@ -24,9 +24,10 @@ pub fn atc(
 ) -> Result<Reduction, BaselineError> {
     let valid_threshold = threshold >= 0.0; // false for NaN too
     if !valid_threshold {
-        return Err(BaselineError::InvalidParameter(format!(
-            "ATC threshold must be non-negative, got {threshold}"
-        )));
+        return Err(BaselineError::invalid_parameter(
+            "threshold",
+            format!("ATC threshold must be non-negative, got {threshold}"),
+        ));
     }
     weights.check_dims(input.dims()).map_err(BaselineError::Core)?;
     let n = input.len();
@@ -36,8 +37,7 @@ pub fn atc(
     let mut start = 0usize;
     for i in 0..n.saturating_sub(1) {
         // Try to extend the segment [start..=i] with tuple i + 1.
-        let extendable =
-            input.adjacent(i) && stats.range_sse(weights, start..i + 2) <= threshold;
+        let extendable = input.adjacent(i) && stats.range_sse(weights, start..i + 2) <= threshold;
         if !extendable {
             boundaries.push(i + 1);
             start = i + 1;
@@ -61,9 +61,7 @@ pub fn atc_size_targeted(
     steps_per_decade: usize,
 ) -> Result<Vec<f64>, BaselineError> {
     if steps_per_decade == 0 {
-        return Err(BaselineError::InvalidParameter(
-            "steps_per_decade must be positive".into(),
-        ));
+        return Err(BaselineError::invalid_parameter("steps_per_decade", "must be positive"));
     }
     let n = input.len();
     let mut best = vec![f64::INFINITY; n];

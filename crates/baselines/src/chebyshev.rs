@@ -24,7 +24,7 @@ pub struct ChebApprox {
 pub fn chebyshev(series: &DenseSeries, c: usize) -> Result<ChebApprox, BaselineError> {
     let n = series.len();
     if c == 0 || c > n {
-        return Err(BaselineError::InvalidSize { requested: c, len: n });
+        return Err(BaselineError::invalid_size(c, n));
     }
     // Value of the series at a real position in [0, n−1], linearly
     // interpolated between samples.

@@ -27,7 +27,7 @@ pub fn dft(series: &DenseSeries, c: usize) -> Result<DftApprox, BaselineError> {
     let n = series.len();
     let max_freq = n / 2 + 1;
     if c == 0 || c > max_freq {
-        return Err(BaselineError::InvalidSize { requested: c, len: max_freq });
+        return Err(BaselineError::invalid_size(c, max_freq));
     }
     let x = series.values();
     let nf = n as f64;
@@ -91,8 +91,9 @@ mod tests {
     #[test]
     fn single_sinusoid_needs_two_frequencies() {
         let n = 64;
-        let values: Vec<f64> =
-            (0..n).map(|t| 2.0 + (2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64).sin()).collect();
+        let values: Vec<f64> = (0..n)
+            .map(|t| 2.0 + (2.0 * std::f64::consts::PI * 3.0 * t as f64 / n as f64).sin())
+            .collect();
         let s = DenseSeries::new(values);
         // DC + the single tone: exact.
         let a = dft(&s, 2).unwrap();

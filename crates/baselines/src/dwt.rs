@@ -118,7 +118,7 @@ pub fn dwt_top_k(
 ) -> Result<DwtApprox, BaselineError> {
     let n = series.len();
     if n == 0 || k == 0 {
-        return Err(BaselineError::InvalidSize { requested: k, len: n });
+        return Err(BaselineError::invalid_size(k, n));
     }
     let table = DwtTable::build(series, padding);
     Ok(table.approx_at(k.min(table.padded_len())))
@@ -153,16 +153,15 @@ impl DwtTable {
 
         let mut order: Vec<usize> = (0..padded_len).collect();
         order.sort_by(|&a, &b| {
-            coeffs[b]
-                .abs()
-                .partial_cmp(&coeffs[a].abs())
-                .unwrap()
-                .then(a.cmp(&b))
+            coeffs[b].abs().partial_cmp(&coeffs[a].abs()).unwrap().then(a.cmp(&b))
         });
 
         let mut recon = vec![0.0; padded_len];
-        // Running SSE over the original region and boundary count.
-        let mut sse: f64 = series.values().iter().map(|v| v * v).sum();
+        // Running SSE over the original region and boundary count. The
+        // starting point — the error of the all-zero reconstruction — comes
+        // from the shared pta-core kernel; coefficient additions then
+        // adjust it by O(1) per affected chronon.
+        let mut sse: f64 = series.range_sse_constant(0..n, 0.0);
         let mut boundaries = 0usize; // recon is all-zero: none
         let mut entries = Vec::with_capacity(padded_len);
 
@@ -276,7 +275,7 @@ pub fn dwt_for_size(
 ) -> Result<DwtApprox, BaselineError> {
     let n = series.len();
     if c == 0 || c > n {
-        return Err(BaselineError::InvalidSize { requested: c, len: n });
+        return Err(BaselineError::invalid_size(c, n));
     }
     let table = DwtTable::build(series, padding);
     match table.best_for_segments(c) {

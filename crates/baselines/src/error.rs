@@ -3,48 +3,72 @@
 use std::fmt;
 
 use pta_core::CoreError;
-use pta_temporal::TemporalError;
+use pta_temporal::{CommonError, TemporalError};
 
 /// Errors raised by the comparator algorithms.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BaselineError {
-    /// The time-series methods require a gap-free, single-group,
-    /// one-dimensional relation (the paper marks them "not applicable"
-    /// otherwise, §7.2.2).
-    NotApplicable {
-        /// Why the input is outside the method's domain.
-        reason: String,
-    },
-    /// A segment/coefficient count was zero or exceeded the series length.
-    InvalidSize {
-        /// Requested count.
-        requested: usize,
-        /// Series length.
-        len: usize,
-    },
-    /// An invalid parameter (threshold, alphabet size, ...).
-    InvalidParameter(String),
+    /// A failure mode shared across the workspace: not-applicable inputs
+    /// (the paper's "n/a" cells, §7.2.2) and invalid parameters
+    /// (segment count, threshold, alphabet size, ...).
+    Common(CommonError),
     /// An underlying PTA-core error.
     Core(CoreError),
     /// An underlying data-model error.
     Temporal(TemporalError),
 }
 
+impl BaselineError {
+    /// The time-series methods require a gap-free, single-group,
+    /// one-dimensional relation; `reason` says what this input violates.
+    pub fn not_applicable(reason: impl Into<String>) -> Self {
+        Self::Common(CommonError::not_applicable(reason))
+    }
+
+    /// An invalid parameter (threshold, alphabet size, boundaries, ...).
+    pub fn invalid_parameter(what: &'static str, reason: impl Into<String>) -> Self {
+        Self::Common(CommonError::invalid_parameter(what, reason))
+    }
+
+    /// A segment/coefficient count that is zero or exceeds the series
+    /// length — an invalid-parameter failure in the shared vocabulary.
+    pub fn invalid_size(requested: usize, len: usize) -> Self {
+        Self::Common(CommonError::invalid_parameter(
+            "size",
+            format!("requested size {requested} invalid for series of length {len}"),
+        ))
+    }
+
+    /// The shared failure vocabulary, if this error carries one (looking
+    /// through wrapped lower-layer errors).
+    pub fn common(&self) -> Option<&CommonError> {
+        match self {
+            Self::Common(c) => Some(c),
+            Self::Core(e) => e.common(),
+            Self::Temporal(e) => e.common(),
+        }
+    }
+}
+
 impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Self::NotApplicable { reason } => write!(f, "method not applicable: {reason}"),
-            Self::InvalidSize { requested, len } => {
-                write!(f, "requested size {requested} invalid for series of length {len}")
-            }
-            Self::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            Self::Common(e) => write!(f, "{e}"),
             Self::Core(e) => write!(f, "{e}"),
             Self::Temporal(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for BaselineError {}
+impl std::error::Error for BaselineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Common(e) => Some(e),
+            Self::Core(e) => Some(e),
+            Self::Temporal(e) => Some(e),
+        }
+    }
+}
 
 impl From<CoreError> for BaselineError {
     fn from(e: CoreError) -> Self {
@@ -55,5 +79,41 @@ impl From<CoreError> for BaselineError {
 impl From<TemporalError> for BaselineError {
     fn from(e: TemporalError) -> Self {
         Self::Temporal(e)
+    }
+}
+
+impl From<CommonError> for BaselineError {
+    fn from(e: CommonError) -> Self {
+        Self::Common(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn collapsed_variants_expose_the_shared_vocabulary() {
+        let e = BaselineError::not_applicable("relation has gaps");
+        assert!(e.common().is_some_and(CommonError::is_not_applicable));
+        assert!(e.to_string().contains("not applicable"));
+        let e = BaselineError::invalid_parameter("threshold", "must be positive");
+        assert!(e.common().is_some_and(CommonError::is_invalid_parameter));
+        let e = BaselineError::invalid_size(0, 10);
+        assert!(e.common().is_some_and(CommonError::is_invalid_parameter));
+        assert!(e.to_string().contains("length 10"));
+    }
+
+    #[test]
+    fn wrapped_core_errors_surface_their_common_kind() {
+        let e: BaselineError = CoreError::invalid_weights("negative").into();
+        assert!(e.common().is_some_and(CommonError::is_invalid_parameter));
+    }
+
+    #[test]
+    fn source_chain_reaches_the_underlying_error() {
+        use std::error::Error as _;
+        let e: BaselineError = TemporalError::UnknownAttribute("X".into()).into();
+        assert!(e.source().is_some());
     }
 }

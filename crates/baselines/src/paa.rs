@@ -14,7 +14,7 @@ use crate::series::DenseSeries;
 pub fn paa(series: &DenseSeries, c: usize) -> Result<PiecewiseConstant, BaselineError> {
     let n = series.len();
     if c == 0 || c > n {
-        return Err(BaselineError::InvalidSize { requested: c, len: n });
+        return Err(BaselineError::invalid_size(c, n));
     }
     let mut boundaries = Vec::with_capacity(c + 1);
     for k in 0..=c {
@@ -23,13 +23,7 @@ pub fn paa(series: &DenseSeries, c: usize) -> Result<PiecewiseConstant, Baseline
     boundaries[0] = 0;
     boundaries[c] = n;
     // The rounding rule keeps boundaries strictly increasing for c <= n.
-    let values = boundaries
-        .windows(2)
-        .map(|w| {
-            let len = (w[1] - w[0]) as f64;
-            (w[0]..w[1]).map(|i| series.get(i)).sum::<f64>() / len
-        })
-        .collect();
+    let values = boundaries.windows(2).map(|w| series.range_mean(w[0]..w[1])).collect();
     PiecewiseConstant::new(n, &boundaries, values)
 }
 

@@ -56,11 +56,7 @@ impl PiecewiseLinear {
 
     /// Largest absolute deviation from `series`.
     pub fn max_abs_error(&self, series: &DenseSeries) -> f64 {
-        self.to_dense()
-            .iter()
-            .zip(series.values())
-            .map(|(a, x)| (a - x).abs())
-            .fold(0.0, f64::max)
+        self.to_dense().iter().zip(series.values()).map(|(a, x)| (a - x).abs()).fold(0.0, f64::max)
     }
 
     /// SSE against `series` (for cross-method comparisons).
@@ -70,15 +66,13 @@ impl PiecewiseLinear {
 }
 
 /// Swing-filter segmentation with L∞ bound `epsilon ≥ 0`.
-pub fn swing_filter(
-    series: &DenseSeries,
-    epsilon: f64,
-) -> Result<PiecewiseLinear, BaselineError> {
+pub fn swing_filter(series: &DenseSeries, epsilon: f64) -> Result<PiecewiseLinear, BaselineError> {
     let valid_epsilon = epsilon >= 0.0; // false for NaN too
     if !valid_epsilon {
-        return Err(BaselineError::InvalidParameter(format!(
-            "swing filter bound must be non-negative, got {epsilon}"
-        )));
+        return Err(BaselineError::invalid_parameter(
+            "swing filter bound",
+            format!("must be non-negative, got {epsilon}"),
+        ));
     }
     let n = series.len();
     if n == 0 {
@@ -168,9 +162,8 @@ mod tests {
     #[test]
     fn looser_bounds_give_fewer_segments() {
         // Smooth oscillation with small deterministic jitter.
-        let values: Vec<f64> = (0..300)
-            .map(|i| (i as f64 * 0.05).sin() * 20.0 + ((i * 7) % 3) as f64 * 0.2)
-            .collect();
+        let values: Vec<f64> =
+            (0..300).map(|i| (i as f64 * 0.05).sin() * 20.0 + ((i * 7) % 3) as f64 * 0.2).collect();
         let s = DenseSeries::new(values);
         let tight = swing_filter(&s, 0.5).unwrap();
         let loose = swing_filter(&s, 5.0).unwrap();

@@ -27,17 +27,17 @@ pub struct SaxOutput {
 /// SAX with `c` segments over an alphabet of `w ∈ 2..=26` symbols.
 pub fn sax(series: &DenseSeries, c: usize, w: usize) -> Result<SaxOutput, BaselineError> {
     if !(2..=26).contains(&w) {
-        return Err(BaselineError::InvalidParameter(format!(
-            "SAX alphabet size must be in 2..=26, got {w}"
-        )));
+        return Err(BaselineError::invalid_parameter(
+            "alphabet size",
+            format!("SAX alphabet size must be in 2..=26, got {w}"),
+        ));
     }
     let mean = series.mean();
     let sd = series.std_dev();
     let paa_approx = paa(series, c)?;
 
     // Breakpoints β_1..β_{w−1}: standard normal quantiles at i/w.
-    let breakpoints: Vec<f64> =
-        (1..w).map(|i| normal_quantile(i as f64 / w as f64)).collect();
+    let breakpoints: Vec<f64> = (1..w).map(|i| normal_quantile(i as f64 / w as f64)).collect();
     // Bin representative: E[Z | β_i < Z ≤ β_{i+1}] = (φ(a) − φ(b)) / (1/w).
     let phi = |x: f64| (-0.5 * x * x).exp() / (2.0 * std::f64::consts::PI).sqrt();
     let bin_value = |bin: usize| -> f64 {

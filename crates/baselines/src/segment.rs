@@ -22,10 +22,13 @@ impl PiecewiseConstant {
             || boundaries.last() != Some(&n)
             || boundaries.windows(2).any(|w| w[0] >= w[1])
         {
-            return Err(BaselineError::InvalidParameter(format!(
-                "inconsistent boundaries for n = {n}: {boundaries:?} with {} values",
-                values.len()
-            )));
+            return Err(BaselineError::invalid_parameter(
+                "boundaries",
+                format!(
+                    "inconsistent boundaries for n = {n}: {boundaries:?} with {} values",
+                    values.len()
+                ),
+            ));
         }
         Ok(Self { n, cuts: boundaries[1..boundaries.len() - 1].to_vec(), values })
     }
@@ -91,19 +94,17 @@ impl PiecewiseConstant {
         out
     }
 
-    /// SSE against the original series.
+    /// SSE against the original series, evaluated segment by segment
+    /// through the `pta-core` kernel's prefix sums — `O(segments)` rather
+    /// than `O(n)`, and the same code path PTA's own error uses.
     pub fn sse_against(&self, series: &DenseSeries) -> f64 {
         debug_assert_eq!(series.len(), self.n);
         let bounds = self.boundaries();
-        let mut err = 0.0;
-        for (k, w) in bounds.windows(2).enumerate() {
-            let v = self.values[k];
-            for i in w[0]..w[1] {
-                let d = series.get(i) - v;
-                err += d * d;
-            }
-        }
-        err
+        bounds
+            .windows(2)
+            .zip(&self.values)
+            .map(|(w, &v)| series.range_sse_constant(w[0]..w[1], v))
+            .sum()
     }
 
     /// Replaces each segment's constant with the true mean of `series`
@@ -111,13 +112,7 @@ impl PiecewiseConstant {
     /// can only lower the SSE.
     pub fn with_true_means(&self, series: &DenseSeries) -> Self {
         let bounds = self.boundaries();
-        let values = bounds
-            .windows(2)
-            .map(|w| {
-                let len = (w[1] - w[0]) as f64;
-                (w[0]..w[1]).map(|i| series.get(i)).sum::<f64>() / len
-            })
-            .collect();
+        let values = bounds.windows(2).map(|w| series.range_mean(w[0]..w[1])).collect();
         Self { n: self.n, cuts: self.cuts.clone(), values }
     }
 }
@@ -140,6 +135,18 @@ mod tests {
         assert!(PiecewiseConstant::new(5, &[0, 5], vec![1.0, 2.0]).is_err());
         assert!(PiecewiseConstant::new(5, &[0, 0, 5], vec![1.0, 2.0]).is_err());
         assert!(PiecewiseConstant::new(5, &[1, 3, 5], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn sse_is_stable_for_large_means() {
+        // Regression for the centered kernel: values 1e8 ± 0.5 against the
+        // mean-constant fit must yield the true SSE (250 over 1000 points),
+        // not the 0.0 an uncentered SS − 2·rep·S + rep²·L cancels to.
+        let values: Vec<f64> =
+            (0..1000).map(|i| 1.0e8 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let s = DenseSeries::new(values);
+        let pc = PiecewiseConstant::new(1000, &[0, 1000], vec![s.mean()]).unwrap();
+        assert!((pc.sse_against(&s) - 250.0).abs() < 1e-6, "got {}", pc.sse_against(&s));
     }
 
     #[test]

@@ -57,9 +57,7 @@ fn bench_gap_policy(c: &mut Criterion) {
     // trading pruning opportunities for reachable smaller sizes.
     let rel = timeseries::wind(1_500, 12, 120, 14);
     let cc = 300;
-    g.bench_function("strict", |b| {
-        b.iter(|| pta_size_bounded(black_box(&rel), &w, cc).unwrap())
-    });
+    g.bench_function("strict", |b| b.iter(|| pta_size_bounded(black_box(&rel), &w, cc).unwrap()));
     g.bench_function("tolerate_2", |b| {
         b.iter(|| {
             pta_size_bounded_with_policy(

@@ -12,10 +12,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let exe = std::env::current_exe().expect("own path");
     let dir = exe.parent().expect("bin dir");
-    let bins = [
-        "table1", "fig02", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20",
-        "fig21",
-    ];
+    let bins =
+        ["table1", "fig02", "fig14", "fig15", "fig16", "fig17", "fig18", "fig19", "fig20", "fig21"];
     let mut failures = Vec::new();
     for bin in bins {
         println!("\n################ {bin} ################");

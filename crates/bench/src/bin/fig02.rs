@@ -16,11 +16,8 @@ use pta_temporal::SequentialRelation;
 /// `max_len` tuples — the paper's "small excerpt ... with only one
 /// aggregate value and no aggregation groups and temporal gaps".
 fn excerpt(relation: &SequentialRelation, max_len: usize) -> SequentialRelation {
-    let longest = relation
-        .segments()
-        .into_iter()
-        .max_by_key(|r| r.len())
-        .expect("relation is non-empty");
+    let longest =
+        relation.segments().into_iter().max_by_key(|r| r.len()).expect("relation is non-empty");
     let end = longest.end.min(longest.start + max_len);
     relation.slice(longest.start..end)
 }
@@ -34,11 +31,7 @@ fn main() {
     let ex = excerpt(&q.relation, 200);
     let series = DenseSeries::from_sequential(&ex).expect("excerpt is a single run");
     let w = Weights::uniform(1);
-    println!(
-        "excerpt: {} ITA tuples over {} chronons",
-        ex.len(),
-        series.len()
-    );
+    println!("excerpt: {} ITA tuples over {} chronons", ex.len(), series.len());
 
     let pta = pta_size_bounded(&ex, &w, c).expect("c >= cmin on a single run");
     let gpta = gms_size_bounded(&ex, &w, c).expect("c >= cmin on a single run");
@@ -61,7 +54,11 @@ fn main() {
         .iter()
         .map(|(name, ours, paper)| row([name.to_string(), fmt(*ours), fmt(*paper)]))
         .collect();
-    print_table("Fig. 2 (errors, 10 coefficients/segments)", &["method", "our error", "paper error"], &rows);
+    print_table(
+        "Fig. 2 (errors, 10 coefficients/segments)",
+        &["method", "our error", "paper error"],
+        &rows,
+    );
     args.write_csv("fig02.csv", &["method", "our_error", "paper_error"], &rows);
 
     // Shape assertions from the paper's figure.
@@ -73,10 +70,7 @@ fn main() {
     );
     for (name, err, _) in &results {
         if *name != "PTA" && *name != "gPTAc" {
-            assert!(
-                *err > gpta_err,
-                "{name} ({err}) should trail the PTA variants ({gpta_err})"
-            );
+            assert!(*err > gpta_err, "{name} ({err}) should trail the PTA variants ({gpta_err})");
         }
     }
     println!("\nshape check: PTA < gPTAc < every competitor — OK");

@@ -14,10 +14,7 @@ use pta_temporal::SequentialRelation;
 /// Normalised error (%) at the reduction ratios (%) requested, from the
 /// optimal error curve. Reduction ratio r maps to size
 /// `k = n − r·(n − cmin)`; 100 % reduction is `cmin` (error = Emax).
-fn curve_at_ratios(
-    relation: &SequentialRelation,
-    ratios: &[f64],
-) -> Vec<(f64, f64)> {
+fn curve_at_ratios(relation: &SequentialRelation, ratios: &[f64]) -> Vec<(f64, f64)> {
     let w = Weights::uniform(relation.dims());
     let n = relation.len();
     let cmin = relation.cmin();
@@ -96,13 +93,17 @@ fn main() {
         for &(r, e) in &pts {
             rows_b.push(row([p.to_string(), fmt(r), fmt(e)]));
         }
-        table_rows.push(row(std::iter::once(format!("{p}D"))
-            .chain(pts.iter().map(|(_, e)| fmt(*e)))));
+        table_rows
+            .push(row(std::iter::once(format!("{p}D")).chain(pts.iter().map(|(_, e)| fmt(*e)))));
     }
     let mut header: Vec<String> = vec!["dims".into()];
     header.extend(ratios_b.iter().map(|r| format!("{r}%")));
     let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
-    print_table("Fig. 14(b): error% by reduction ratio and dimensionality", &header_refs, &table_rows);
+    print_table(
+        "Fig. 14(b): error% by reduction ratio and dimensionality",
+        &header_refs,
+        &table_rows,
+    );
     args.write_csv("fig14b.csv", &["dims", "reduction_pct", "error_pct"], &rows_b);
 
     // Shape checks: higher dimensionality ⇒ higher error at mid-range

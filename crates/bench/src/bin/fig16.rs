@@ -89,13 +89,17 @@ fn main() {
             }
             let (mean, se) = mean_stderr(r);
             means[m] = mean;
-            printed.push(format!("{name}={}" , fmt(mean)));
+            printed.push(format!("{name}={}", fmt(mean)));
             rows.push(row([id.name().to_string(), name.to_string(), fmt(mean), fmt(se)]));
         }
         gpta_mean_by_query.push((id, means));
         println!("{:>3}: {}", id.name(), printed.join("  "));
     }
-    print_table("Fig. 16: average error ratio ± standard error", &["query", "method", "mean", "stderr"], &rows);
+    print_table(
+        "Fig. 16: average error ratio ± standard error",
+        &["query", "method", "mean", "stderr"],
+        &rows,
+    );
     args.write_csv("fig16.csv", &["query", "method", "mean_ratio", "stderr"], &rows);
 
     // Shape checks, matching the paper's findings:

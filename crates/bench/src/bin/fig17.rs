@@ -53,8 +53,7 @@ fn main() {
         let emax = max_error(rel, &w).expect("dims match");
         let cs = linspace_usize(cmin.max(2), n - 1, samples);
         // ε values spanning the interesting range of the optimal curve.
-        let epsilons: Vec<f64> =
-            (1..=samples).map(|i| i as f64 / (samples + 1) as f64).collect();
+        let epsilons: Vec<f64> = (1..=samples).map(|i| i as f64 / (samples + 1) as f64).collect();
 
         for (di, &delta) in deltas.iter().enumerate() {
             // gPTAc: ratio to the optimal error at the same c.
@@ -104,8 +103,16 @@ fn main() {
         }
         println!("{:>3}: done", id.name());
     }
-    print_table("Fig. 17(a): gPTAc error ratio by delta", &["query", "delta", "mean", "stderr"], &rows_c);
-    print_table("Fig. 17(b): gPTAe error ratio by delta", &["query", "delta", "mean", "stderr"], &rows_e);
+    print_table(
+        "Fig. 17(a): gPTAc error ratio by delta",
+        &["query", "delta", "mean", "stderr"],
+        &rows_c,
+    );
+    print_table(
+        "Fig. 17(b): gPTAe error ratio by delta",
+        &["query", "delta", "mean", "stderr"],
+        &rows_e,
+    );
     args.write_csv("fig17a.csv", &["query", "delta", "mean_ratio", "stderr"], &rows_c);
     args.write_csv("fig17b.csv", &["query", "delta", "mean_ratio", "stderr"], &rows_e);
 

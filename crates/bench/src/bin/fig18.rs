@@ -28,7 +28,10 @@ fn main() {
         let c_eff = c.min(n);
         let (naive, t_naive) = time(|| pta_size_bounded_naive(&sub, &w, c_eff).expect("valid c"));
         let (pruned, t_pta) = time(|| pta_size_bounded(&sub, &w, c_eff).expect("valid c"));
-        assert!((naive.reduction.sse() - pruned.reduction.sse()).abs() < 1e-6 * (1.0 + naive.reduction.sse()));
+        assert!(
+            (naive.reduction.sse() - pruned.reduction.sse()).abs()
+                < 1e-6 * (1.0 + naive.reduction.sse())
+        );
         rows_a.push(row([
             n.to_string(),
             fmt(t_naive.as_secs_f64()),
@@ -55,7 +58,10 @@ fn main() {
         let c_eff = c.max(sub.cmin()).min(sub.len());
         let (naive, t_naive) = time(|| pta_size_bounded_naive(&sub, &w, c_eff).expect("valid c"));
         let (pruned, t_pta) = time(|| pta_size_bounded(&sub, &w, c_eff).expect("valid c"));
-        assert!((naive.reduction.sse() - pruned.reduction.sse()).abs() < 1e-6 * (1.0 + naive.reduction.sse()));
+        assert!(
+            (naive.reduction.sse() - pruned.reduction.sse()).abs()
+                < 1e-6 * (1.0 + naive.reduction.sse())
+        );
         last_speedup = t_naive.as_secs_f64() / t_pta.as_secs_f64().max(1e-9);
         rows_b.push(row([
             sub.len().to_string(),

@@ -32,11 +32,7 @@ fn main() {
                 < 1e-6 * (1.0 + naive.reduction.sse())
         );
         speedups.push(t_naive.as_secs_f64() / t_pta.as_secs_f64().max(1e-9));
-        rows.push(row([
-            c.to_string(),
-            fmt(t_naive.as_secs_f64()),
-            fmt(t_pta.as_secs_f64()),
-        ]));
+        rows.push(row([c.to_string(), fmt(t_naive.as_secs_f64()), fmt(t_pta.as_secs_f64())]));
         println!("c = {c}: DP {:.3}s, PTAc {:.3}s", t_naive.as_secs_f64(), t_pta.as_secs_f64());
     }
     print_table("Fig. 19: runtime vs. output size", &["c", "DP_s", "PTAc_s"], &rows);
@@ -44,5 +40,8 @@ fn main() {
 
     let avg_speedup = speedups.iter().sum::<f64>() / speedups.len() as f64;
     assert!(avg_speedup > 2.0, "PTAc should outpace DP across c (avg {avg_speedup}x)");
-    println!("\nshape check: PTAc faster across the whole c range (avg {}x) — OK", fmt(avg_speedup));
+    println!(
+        "\nshape check: PTAc faster across the whole c range (avg {}x) — OK",
+        fmt(avg_speedup)
+    );
 }

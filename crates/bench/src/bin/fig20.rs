@@ -74,10 +74,10 @@ fn main() {
 
     // Shape checks for a mid-range c.
     let mid_c = 1_000.min(n / 10);
-    let heap_of = |delta: Delta| {
-        GPtaC::run(&rel, &w, mid_c, delta).expect("valid").stats.max_heap_size
-    };
-    let (h0, h1, hinf) = (heap_of(Delta::Finite(0)), heap_of(Delta::Finite(1)), heap_of(Delta::Unbounded));
+    let heap_of =
+        |delta: Delta| GPtaC::run(&rel, &w, mid_c, delta).expect("valid").stats.max_heap_size;
+    let (h0, h1, hinf) =
+        (heap_of(Delta::Finite(0)), heap_of(Delta::Finite(1)), heap_of(Delta::Unbounded));
     assert_eq!(hinf, n, "delta = inf must buffer the whole gap-free input");
     assert!(h0 <= mid_c + 1, "delta = 0 keeps the heap at c (got {h0})");
     // β grows mildly with the stream length on noisy data but stays a

@@ -135,11 +135,13 @@ pub fn row<D: Display>(cells: impl IntoIterator<Item = D>) -> Vec<String> {
 /// deduplicated, always containing both ends).
 pub fn linspace_usize(lo: usize, hi: usize, count: usize) -> Vec<usize> {
     if hi <= lo || count <= 1 {
-        return vec![lo.min(hi), hi].into_iter().collect::<std::collections::BTreeSet<_>>().into_iter().collect();
+        return vec![lo.min(hi), hi]
+            .into_iter()
+            .collect::<std::collections::BTreeSet<_>>()
+            .into_iter()
+            .collect();
     }
-    let mut out: Vec<usize> = (0..count)
-        .map(|i| lo + (hi - lo) * i / (count - 1))
-        .collect();
+    let mut out: Vec<usize> = (0..count).map(|i| lo + (hi - lo) * i / (count - 1)).collect();
     out.dedup();
     out
 }

@@ -32,7 +32,7 @@ pub fn error_bounded_with_policy(
     policy: GapPolicy,
 ) -> Result<DpOutcome, CoreError> {
     if !(0.0..=1.0).contains(&epsilon) {
-        return Err(CoreError::InvalidErrorBound(epsilon));
+        return Err(CoreError::invalid_error_bound(epsilon));
     }
     let n = input.len();
     if n == 0 {
@@ -148,14 +148,10 @@ mod tests {
     fn epsilon_out_of_range_is_rejected() {
         let input = fig1c();
         let w = Weights::uniform(1);
-        assert!(matches!(
-            error_bounded(&input, &w, -0.1),
-            Err(CoreError::InvalidErrorBound(_))
-        ));
-        assert!(matches!(
-            error_bounded(&input, &w, 1.5),
-            Err(CoreError::InvalidErrorBound(_))
-        ));
+        let low = error_bounded(&input, &w, -0.1).unwrap_err();
+        assert!(low.common().is_some_and(pta_temporal::CommonError::is_invalid_parameter));
+        let high = error_bounded(&input, &w, 1.5).unwrap_err();
+        assert!(high.common().is_some_and(pta_temporal::CommonError::is_invalid_parameter));
     }
 
     #[test]

@@ -75,11 +75,7 @@ pub fn max_error_with_policy(
 }
 
 /// [`max_error`] reusing prebuilt prefix stats.
-pub fn max_error_with(
-    input: &SequentialRelation,
-    weights: &Weights,
-    stats: &PrefixStats,
-) -> f64 {
+pub fn max_error_with(input: &SequentialRelation, weights: &Weights, stats: &PrefixStats) -> f64 {
     input.segments().into_iter().map(|seg| stats.range_sse(weights, seg)).sum()
 }
 
@@ -180,11 +176,7 @@ impl<'a> DpEngine<'a> {
                 continue;
             }
             let break_below = self.gaps.rightmost_break_below(i);
-            let jmin = if self.prune {
-                break_below.map_or(k - 1, |g| g.max(k - 1))
-            } else {
-                k - 1
-            };
+            let jmin = if self.prune { break_below.map_or(k - 1, |g| g.max(k - 1)) } else { k - 1 };
             // Forced split: the prefix has exactly k − 1 internal breaks,
             // so every cut is pinned to a break (Fig. 7 lines 13–16).
             if self.prune {
@@ -360,9 +352,6 @@ pub(crate) mod tests {
     #[test]
     fn table_size_guard() {
         assert!(check_table_size(1_000, 100).is_ok());
-        assert!(matches!(
-            check_table_size(1 << 20, 1 << 12),
-            Err(CoreError::TableTooLarge { .. })
-        ));
+        assert!(matches!(check_table_size(1 << 20, 1 << 12), Err(CoreError::TableTooLarge { .. })));
     }
 }

@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pta_temporal::TemporalError;
+use pta_temporal::{CommonError, TemporalError};
 
 /// Errors raised by PTA evaluation.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,25 +15,12 @@ pub enum CoreError {
         /// The relation's minimum reachable size.
         cmin: usize,
     },
-    /// The error bound `ε` must lie in `[0, 1]` (Def. 7).
-    InvalidErrorBound(f64),
-    /// Weights must be positive and finite, one per aggregate dimension
-    /// (Def. 5).
-    InvalidWeights {
-        /// Explanation of the violation.
-        reason: String,
-    },
     /// The weight vector length does not match the relation dimensionality.
     WeightDimensionMismatch {
         /// Number of weights supplied.
         got: usize,
         /// Relation dimensionality `p`.
         expected: usize,
-    },
-    /// gPTAε was configured with a non-positive ITA size estimate.
-    InvalidEstimate {
-        /// Explanation of the violation.
-        reason: String,
     },
     /// The DP tables for this (n, c) combination would exceed the memory
     /// budget; use the greedy algorithms for inputs this large.
@@ -43,8 +30,42 @@ pub enum CoreError {
         /// Requested output size `c`.
         c: usize,
     },
+    /// A failure mode shared across the workspace (invalid error bound,
+    /// invalid weights, invalid estimate, ...).
+    Common(CommonError),
     /// An underlying data-model error.
     Temporal(TemporalError),
+}
+
+impl CoreError {
+    /// The error bound `ε` must lie in `[0, 1]` (Def. 7).
+    pub fn invalid_error_bound(epsilon: f64) -> Self {
+        Self::Common(CommonError::invalid_parameter(
+            "error bound",
+            format!("must lie in [0, 1], got {epsilon}"),
+        ))
+    }
+
+    /// Weights must be positive and finite, one per aggregate dimension
+    /// (Def. 5).
+    pub fn invalid_weights(reason: impl Into<String>) -> Self {
+        Self::Common(CommonError::invalid_parameter("weights", reason.into()))
+    }
+
+    /// gPTAε was configured with an unusable ITA size estimate.
+    pub fn invalid_estimate(reason: impl Into<String>) -> Self {
+        Self::Common(CommonError::invalid_parameter("estimate", reason.into()))
+    }
+
+    /// The shared failure vocabulary, if this error carries one (looking
+    /// through wrapped lower-layer errors).
+    pub fn common(&self) -> Option<&CommonError> {
+        match self {
+            Self::Common(c) => Some(c),
+            Self::Temporal(e) => e.common(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -55,19 +76,15 @@ impl fmt::Display for CoreError {
                 "size bound {requested} is below cmin = {cmin}; tuples across temporal gaps or \
                  aggregation groups cannot be merged"
             ),
-            Self::InvalidErrorBound(e) => {
-                write!(f, "error bound must lie in [0, 1], got {e}")
-            }
-            Self::InvalidWeights { reason } => write!(f, "invalid weights: {reason}"),
             Self::WeightDimensionMismatch { got, expected } => {
                 write!(f, "{got} weights supplied for a {expected}-dimensional relation")
             }
-            Self::InvalidEstimate { reason } => write!(f, "invalid estimate: {reason}"),
             Self::TableTooLarge { n, c } => write!(
                 f,
                 "DP split-point table of {n} x {c} entries exceeds the memory budget; \
                  use gPTAc/gPTAe for inputs this large"
             ),
+            Self::Common(e) => write!(f, "{e}"),
             Self::Temporal(e) => write!(f, "{e}"),
         }
     }
@@ -77,6 +94,7 @@ impl std::error::Error for CoreError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Temporal(e) => Some(e),
+            Self::Common(e) => Some(e),
             _ => None,
         }
     }
@@ -88,6 +106,12 @@ impl From<TemporalError> for CoreError {
     }
 }
 
+impl From<CommonError> for CoreError {
+    fn from(e: CommonError) -> Self {
+        Self::Common(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -96,5 +120,20 @@ mod tests {
     fn display_mentions_cmin() {
         let e = CoreError::SizeBelowMinimum { requested: 2, cmin: 3 };
         assert!(e.to_string().contains("cmin = 3"));
+    }
+
+    #[test]
+    fn collapsed_variants_expose_the_shared_vocabulary() {
+        let e = CoreError::invalid_error_bound(1.5);
+        assert!(e.common().is_some_and(CommonError::is_invalid_parameter));
+        assert!(e.to_string().contains("error bound"));
+        assert!(e.to_string().contains("1.5"));
+        assert!(CoreError::invalid_weights("negative")
+            .common()
+            .is_some_and(CommonError::is_invalid_parameter));
+        assert!(CoreError::invalid_estimate("zero")
+            .common()
+            .is_some_and(CommonError::is_invalid_parameter));
+        assert!(CoreError::SizeBelowMinimum { requested: 2, cmin: 3 }.common().is_none());
     }
 }

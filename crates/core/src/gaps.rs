@@ -29,10 +29,7 @@ impl GapVector {
 
     /// Scans `input` for pairs that may not merge under `policy` — the §8
     /// gap-tolerant extension widens runs by bridging small holes.
-    pub fn build_with_policy(
-        input: &SequentialRelation,
-        policy: crate::policy::GapPolicy,
-    ) -> Self {
+    pub fn build_with_policy(input: &SequentialRelation, policy: crate::policy::GapPolicy) -> Self {
         let n = input.len();
         let breaks = (0..n.saturating_sub(1))
             .filter(|&i| !policy.mergeable(input, i))

@@ -8,8 +8,8 @@ use pta_temporal::{GroupId, GroupKey, SequentialRelation, TemporalError, TimeInt
 use crate::error::CoreError;
 use crate::greedy::heap::IndexedMinHeap;
 use crate::greedy::list::{SegmentList, NIL};
-use crate::policy::GapPolicy;
 use crate::greedy::{Delta, GreedyOutcome, GreedyStats};
+use crate::policy::GapPolicy;
 use crate::reduction::Reduction;
 use crate::sse::dsim;
 use crate::weights::Weights;
@@ -231,10 +231,7 @@ impl GreedyEngine {
         let mut parts = Vec::with_capacity(self.list.len());
         for (_, node) in self.list.iter() {
             parts.push((
-                self.group_keys
-                    .get(node.group as usize)
-                    .cloned()
-                    .unwrap_or_else(GroupKey::empty),
+                self.group_keys.get(node.group as usize).cloned().unwrap_or_else(GroupKey::empty),
                 node.interval,
                 node.values.clone(),
                 node.first_src..node.end_src,

@@ -27,14 +27,14 @@ impl Estimates {
     /// Explicit estimates.
     pub fn new(n_hat: f64, emax_hat: f64) -> Result<Self, CoreError> {
         if !(n_hat.is_finite() && n_hat > 0.0) {
-            return Err(CoreError::InvalidEstimate {
-                reason: format!("estimated ITA size {n_hat} must be positive and finite"),
-            });
+            return Err(CoreError::invalid_estimate(format!(
+                "estimated ITA size {n_hat} must be positive and finite"
+            )));
         }
         if !(emax_hat.is_finite() && emax_hat >= 0.0) {
-            return Err(CoreError::InvalidEstimate {
-                reason: format!("estimated maximal error {emax_hat} must be non-negative"),
-            });
+            return Err(CoreError::invalid_estimate(format!(
+                "estimated maximal error {emax_hat} must be non-negative"
+            )));
         }
         Ok(Self { n_hat, emax_hat })
     }
@@ -63,9 +63,9 @@ impl Estimates {
         fraction: f64,
     ) -> Result<Self, CoreError> {
         if !(fraction > 0.0 && fraction <= 1.0) {
-            return Err(CoreError::InvalidEstimate {
-                reason: format!("sample fraction {fraction} must be in (0, 1]"),
-            });
+            return Err(CoreError::invalid_estimate(format!(
+                "sample fraction {fraction} must be in (0, 1]"
+            )));
         }
         let emax = max_error(sample, weights)?;
         Self::new((sample.len().max(1) as f64 / fraction).ceil(), emax / fraction)

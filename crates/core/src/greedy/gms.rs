@@ -65,7 +65,7 @@ pub fn gms_error_bounded_with_policy(
     policy: GapPolicy,
 ) -> Result<GreedyOutcome, CoreError> {
     if !(0.0..=1.0).contains(&epsilon) {
-        return Err(CoreError::InvalidErrorBound(epsilon));
+        return Err(CoreError::invalid_error_bound(epsilon));
     }
     weights.check_dims(input.dims())?;
     let emax = max_error_with_policy(input, weights, policy)?;

@@ -54,7 +54,7 @@ impl GPtaE {
         policy: GapPolicy,
     ) -> Result<Self, CoreError> {
         if !(0.0..=1.0).contains(&epsilon) {
-            return Err(CoreError::InvalidErrorBound(epsilon));
+            return Err(CoreError::invalid_error_bound(epsilon));
         }
         let p = weights.dims();
         let weights_squared = weights.squared_all().to_vec();
@@ -187,11 +187,7 @@ mod tests {
         for eps in [0.0, 0.01, 0.1, 0.3, 0.65, 1.0] {
             let a = GPtaE::run(&input, &w, eps, Delta::Unbounded, None).unwrap();
             let b = gms_error_bounded(&input, &w, eps).unwrap();
-            assert_eq!(
-                a.reduction.source_ranges(),
-                b.reduction.source_ranges(),
-                "eps = {eps}"
-            );
+            assert_eq!(a.reduction.source_ranges(), b.reduction.source_ranges(), "eps = {eps}");
         }
     }
 
@@ -255,9 +251,7 @@ mod tests {
     fn invalid_epsilon_rejected() {
         let w = Weights::uniform(1);
         let est = Estimates::new(10.0, 5.0).unwrap();
-        assert!(matches!(
-            GPtaE::new(w, 1.2, Delta::Finite(1), est),
-            Err(CoreError::InvalidErrorBound(_))
-        ));
+        let err = GPtaE::new(w, 1.2, Delta::Finite(1), est).unwrap_err();
+        assert!(err.common().is_some_and(pta_temporal::CommonError::is_invalid_parameter));
     }
 }

@@ -58,6 +58,7 @@ pub use greedy::{Delta, GreedyOutcome, GreedyStats};
 pub use policy::GapPolicy;
 pub use prefix::PrefixStats;
 pub use reduction::Reduction;
+pub use sse::{dsim, pointwise_sse};
 pub use weights::Weights;
 
 /// Crate-local result alias.

@@ -44,12 +44,7 @@ impl GapPolicy {
     /// Raw form over `(group_a, end_a, group_b, start_b)` for streaming
     /// callers that do not hold a relation.
     #[inline]
-    pub fn mergeable_raw(
-        &self,
-        same_group: bool,
-        end_a: i64,
-        start_b: i64,
-    ) -> bool {
+    pub fn mergeable_raw(&self, same_group: bool, end_a: i64, start_b: i64) -> bool {
         if !same_group {
             return false;
         }

@@ -4,16 +4,24 @@
 //! multi-dimensional data, we precompute for every prefix of the sorted ITA
 //! relation:
 //!
-//! * `S_{d,i}  = Σ_{j ≤ i} |s_j.T| · s_j.B_d` — weighted value sums,
-//! * `SS_{d,i} = Σ_{j ≤ i} |s_j.T| · s_j.B_d²` — weighted square sums,
-//! * `L_i     = Σ_{j ≤ i} |s_j.T|` — total covered chronons.
+//! * `S_{d,i}  = Σ_{j ≤ i} |s_j.T| · (s_j.B_d − μ_d)` — weighted value sums,
+//! * `SS_{d,i} = Σ_{j ≤ i} |s_j.T| · (s_j.B_d − μ_d)²` — weighted square sums,
+//! * `L_i     = Σ_{j ≤ i} |s_j.T|` — total covered chronons,
 //!
-//! The SSE of merging tuples `i..=j` (1-based) into one then evaluates in
-//! `O(p)`:
+//! where `μ_d` is the relation's global length-weighted mean of dimension
+//! `d`. The SSE of merging tuples `i..=j` (1-based) into one then evaluates
+//! in `O(p)`:
 //!
 //! ```text
 //! SSE = Σ_d w_d² [ SS_{d,j} − SS_{d,i−1} − (S_{d,j} − S_{d,i−1})² / (L_j − L_{i−1}) ]
 //! ```
+//!
+//! The centering at `μ` does not change this formula — the SSE is
+//! translation-invariant — but it conditions the arithmetic: without it,
+//! `SS − S²/L` cancels catastrophically for data whose mean is large
+//! relative to its spread (values `1e8 ± 0.5` would lose *all* precision),
+//! which matters because every error figure in the workspace flows through
+//! this kernel.
 
 use pta_temporal::SequentialRelation;
 
@@ -27,9 +35,11 @@ use crate::weights::Weights;
 #[derive(Debug, Clone)]
 pub struct PrefixStats {
     p: usize,
-    /// `(n + 1) × p`, row-major; row 0 is zero.
+    /// Per-dimension global length-weighted mean the sums are centered at.
+    mu: Vec<f64>,
+    /// `(n + 1) × p`, row-major, centered at `mu`; row 0 is zero.
     s: Vec<f64>,
-    /// `(n + 1) × p`, row-major; row 0 is zero.
+    /// `(n + 1) × p`, row-major, centered at `mu`; row 0 is zero.
     ss: Vec<f64>,
     /// `n + 1`; entry 0 is zero.
     l: Vec<f64>,
@@ -42,6 +52,22 @@ impl PrefixStats {
     pub fn build(input: &SequentialRelation) -> Self {
         let n = input.len();
         let p = input.dims();
+        // First pass: the global length-weighted mean per dimension, the
+        // centering point that keeps `SS − S²/L` well-conditioned.
+        let mut mu = vec![0.0; p];
+        let mut total = 0.0;
+        for i in 0..n {
+            let len = input.interval(i).len() as f64;
+            total += len;
+            for (d, m) in mu.iter_mut().enumerate() {
+                *m += len * input.value(i, d);
+            }
+        }
+        if total > 0.0 {
+            for m in &mut mu {
+                *m /= total;
+            }
+        }
         let mut s = vec![0.0; (n + 1) * p];
         let mut ss = vec![0.0; (n + 1) * p];
         let mut l = vec![0.0; n + 1];
@@ -51,12 +77,32 @@ impl PrefixStats {
             let vals = input.values(i);
             let (prev, cur) = ((i) * p, (i + 1) * p);
             for d in 0..p {
-                let v = vals[d];
+                let v = vals[d] - mu[d];
                 s[cur + d] = s[prev + d] + len * v;
                 ss[cur + d] = ss[prev + d] + len * v * v;
             }
         }
-        Self { p, s, ss, l }
+        Self { p, mu, s, ss, l }
+    }
+
+    /// Builds prefix sums over a dense one-dimensional series: one value
+    /// per chronon, unit durations. This is the per-chronon special case
+    /// of the weighted-segment kernel, used by the time-series comparator
+    /// methods so that their reconstruction errors evaluate through the
+    /// same code path as PTA's (Def. 5 with unit weights).
+    pub fn from_dense(values: &[f64]) -> Self {
+        let n = values.len();
+        let mu = if n == 0 { 0.0 } else { values.iter().sum::<f64>() / n as f64 };
+        let mut s = vec![0.0; n + 1];
+        let mut ss = vec![0.0; n + 1];
+        let mut l = vec![0.0; n + 1];
+        for (i, &v) in values.iter().enumerate() {
+            let v = v - mu;
+            l[i + 1] = l[i] + 1.0;
+            s[i + 1] = s[i] + v;
+            ss[i + 1] = ss[i] + v * v;
+        }
+        Self { p: 1, mu: vec![mu], s, ss, l }
     }
 
     /// Number of tuples covered.
@@ -101,12 +147,51 @@ impl PrefixStats {
         err.max(0.0)
     }
 
+    /// The SSE of representing tuples `range` by the *arbitrary* constant
+    /// `rep` (one value per dimension), in `O(p)` time:
+    ///
+    /// ```text
+    /// Σ_d w_d² [ SS_range,d − 2·rep_d·S_range,d + rep_d²·L_range ]
+    /// ```
+    ///
+    /// With `rep` equal to the length-weighted mean this reduces to
+    /// [`PrefixStats::range_sse`]; comparator methods (APCA, DWT, SAX)
+    /// need the general form because their representatives are not
+    /// segment means.
+    #[inline]
+    pub fn range_sse_against(
+        &self,
+        weights: &Weights,
+        range: std::ops::Range<usize>,
+        rep: &[f64],
+    ) -> f64 {
+        debug_assert!(range.end <= self.len());
+        debug_assert_eq!(rep.len(), self.p);
+        if range.is_empty() {
+            return 0.0;
+        }
+        let dur = self.duration(range.clone());
+        let (lo, hi) = (range.start * self.p, range.end * self.p);
+        let mut err = 0.0;
+        for (d, &r) in rep.iter().enumerate() {
+            // The sums are centered at μ_d, so shift the representative
+            // into the same frame (the SSE is translation-invariant).
+            let r = r - self.mu[d];
+            let sum = self.s[hi + d] - self.s[lo + d];
+            let sq = self.ss[hi + d] - self.ss[lo + d];
+            err += weights.squared(d) * (sq - 2.0 * r * sum + r * r * dur);
+        }
+        // Cancellation can produce tiny negatives when `rep` is (near) the
+        // range mean of a (near-)constant range; the true SSE is ≥ 0.
+        err.max(0.0)
+    }
+
     /// The merged (length-weighted mean) value of dimension `d` over
     /// `range` — what `⊕` assigns when the range collapses to one tuple.
     #[inline]
     pub fn merged_value(&self, range: std::ops::Range<usize>, d: usize) -> f64 {
         let dur = self.duration(range.clone());
-        (self.s[range.end * self.p + d] - self.s[range.start * self.p + d]) / dur
+        self.mu[d] + (self.s[range.end * self.p + d] - self.s[range.start * self.p + d]) / dur
     }
 
     /// Writes all `p` merged values of `range` into `out`.
@@ -115,7 +200,7 @@ impl PrefixStats {
         let dur = self.duration(range.clone());
         let (lo, hi) = (range.start * self.p, range.end * self.p);
         for (d, o) in out.iter_mut().enumerate() {
-            *o = (self.s[hi + d] - self.s[lo + d]) / dur;
+            *o = self.mu[d] + (self.s[hi + d] - self.s[lo + d]) / dur;
         }
     }
 }
@@ -144,17 +229,25 @@ mod tests {
         b.build()
     }
 
-    /// Example 12: S = ⟨1600, 2200, 2700, 3400, ...⟩,
+    /// Example 12 (paper, uncentered): S = ⟨1600, 2200, 2700, 3400, ...⟩,
     /// SS = ⟨1 280 000, 1 640 000, 1 890 000, 2 135 000, ...⟩,
-    /// L = ⟨2, 3, 4, 6, ...⟩.
+    /// L = ⟨2, 3, 4, 6, ...⟩. The kernel stores sums centered at the
+    /// global mean μ for numerical stability; the paper's raw values are
+    /// recovered as `S = S' + μL` and `SS = SS' + 2μS' + μ²L`.
     #[test]
     fn example_12_prefixes() {
         let st = PrefixStats::build(&fig1c());
-        let s: Vec<f64> = (1..=4).map(|i| st.s[i]).collect();
-        let ss: Vec<f64> = (1..=4).map(|i| st.ss[i]).collect();
+        let mu = st.mu[0];
+        let s: Vec<f64> = (1..=4).map(|i| st.s[i] + mu * st.l[i]).collect();
+        let ss: Vec<f64> =
+            (1..=4).map(|i| st.ss[i] + 2.0 * mu * st.s[i] + mu * mu * st.l[i]).collect();
         let l: Vec<f64> = (1..=4).map(|i| st.l[i]).collect();
-        assert_eq!(s, vec![1600.0, 2200.0, 2700.0, 3400.0]);
-        assert_eq!(ss, vec![1_280_000.0, 1_640_000.0, 1_890_000.0, 2_135_000.0]);
+        for (got, want) in s.iter().zip([1600.0, 2200.0, 2700.0, 3400.0]) {
+            assert!((got - want).abs() < 1e-6, "S: {got} vs {want}");
+        }
+        for (got, want) in ss.iter().zip([1_280_000.0, 1_640_000.0, 1_890_000.0, 2_135_000.0]) {
+            assert!((got - want).abs() < 1e-3, "SS: {got} vs {want}");
+        }
         assert_eq!(l, vec![2.0, 3.0, 4.0, 6.0]);
     }
 
@@ -221,5 +314,87 @@ mod tests {
         let st = PrefixStats::build(&SequentialRelation::empty(2));
         assert!(st.is_empty());
         assert_eq!(st.dims(), 2);
+    }
+
+    #[test]
+    fn dense_prefix_matches_unit_interval_relation() {
+        let values = [3.0, 1.0, 4.0, 1.0, 5.0, 9.0, 2.0, 6.0];
+        let mut b = SequentialBuilder::new(1);
+        for (i, &v) in values.iter().enumerate() {
+            b.push(GroupKey::empty(), TimeInterval::instant(i as i64).unwrap(), &[v]).unwrap();
+        }
+        let from_rel = PrefixStats::build(&b.build());
+        let from_dense = PrefixStats::from_dense(&values);
+        let w = Weights::uniform(1);
+        assert_eq!(from_dense.len(), values.len());
+        for lo in 0..values.len() {
+            for hi in lo + 1..=values.len() {
+                assert!(
+                    (from_rel.range_sse(&w, lo..hi) - from_dense.range_sse(&w, lo..hi)).abs()
+                        < 1e-9
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn sse_against_mean_reduces_to_range_sse() {
+        let st = PrefixStats::build(&fig1c());
+        let w = Weights::uniform(1);
+        for lo in 0..7 {
+            for hi in lo + 1..=7 {
+                let mean = [st.merged_value(lo..hi, 0)];
+                let via_rep = st.range_sse_against(&w, lo..hi, &mean);
+                let direct = st.range_sse(&w, lo..hi);
+                assert!((via_rep - direct).abs() < 1e-6 * (1.0 + direct));
+            }
+        }
+    }
+
+    #[test]
+    fn sse_against_arbitrary_rep_matches_naive() {
+        let input = fig1c();
+        let st = PrefixStats::build(&input);
+        let w = Weights::uniform(1);
+        for rep in [0.0, 450.0, -120.5, 800.0] {
+            for lo in 0..input.len() {
+                for hi in lo + 1..=input.len() {
+                    let naive = sse_of_range_naive(&input, &w, lo..hi, &[rep]);
+                    let fast = st.range_sse_against(&w, lo..hi, &[rep]);
+                    assert!(
+                        (naive - fast).abs() < 1e-6 * (1.0 + naive),
+                        "rep {rep} range {lo}..{hi}: naive {naive} vs fast {fast}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn centering_preserves_precision_for_large_means() {
+        // Values 1e8 ± 0.5: uncentered prefix sums would cancel to 0 (the
+        // true SSE of a mean-constant fit over 1000 points is 250).
+        let values: Vec<f64> =
+            (0..1000).map(|i| 1.0e8 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let st = PrefixStats::from_dense(&values);
+        let w = Weights::uniform(1);
+        let mean = st.merged_value(0..1000, 0);
+        assert!((mean - 1.0e8).abs() < 1e-6);
+        assert!((st.range_sse(&w, 0..1000) - 250.0).abs() < 1e-6);
+        assert!((st.range_sse_against(&w, 0..1000, &[mean]) - 250.0).abs() < 1e-6);
+        // Same through the relation-based constructor.
+        let mut b = SequentialBuilder::new(1);
+        for (i, &v) in values.iter().enumerate() {
+            b.push(GroupKey::empty(), TimeInterval::instant(i as i64).unwrap(), &[v]).unwrap();
+        }
+        let st2 = PrefixStats::build(&b.build());
+        assert!((st2.range_sse(&w, 0..1000) - 250.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sse_against_empty_range_is_zero() {
+        let st = PrefixStats::from_dense(&[1.0, 2.0]);
+        let w = Weights::uniform(1);
+        assert_eq!(st.range_sse_against(&w, 1..1, &[7.0]), 0.0);
     }
 }

@@ -65,10 +65,8 @@ impl Reduction {
                 }
             }
             let group = input.group(lo);
-            let interval = TimeInterval::new(
-                input.interval(lo).start(),
-                input.interval(hi - 1).end(),
-            )?;
+            let interval =
+                TimeInterval::new(input.interval(lo).start(), input.interval(hi - 1).end())?;
             stats.merged_values(lo..hi, &mut values);
             sse += stats.range_sse(weights, lo..hi);
             let key = input.group_key(group)?.clone();

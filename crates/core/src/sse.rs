@@ -28,6 +28,26 @@ pub fn dsim(weights: &Weights, len_i: u64, vals_i: &[f64], len_j: u64, vals_j: &
     err
 }
 
+/// The SSE between two dense signals of equal length: `Σ_t (x_t − y_t)²`
+/// — Def. 5 per chronon with unit weights and unit durations.
+///
+/// This is the evaluation path for comparator methods whose
+/// reconstruction is not piecewise constant (DFT, Chebyshev, PLA); the
+/// piecewise-constant methods go through
+/// [`crate::prefix::PrefixStats::range_sse_against`] instead. Both live
+/// here so every method in the paper's comparison reports error through
+/// the pta-core kernel.
+pub fn pointwise_sse(xs: &[f64], ys: &[f64]) -> f64 {
+    debug_assert_eq!(xs.len(), ys.len());
+    xs.iter()
+        .zip(ys)
+        .map(|(x, y)| {
+            let d = x - y;
+            d * d
+        })
+        .sum()
+}
+
 /// The SSE of representing the source tuples `range` of `input` by the
 /// single merged value `merged` (one value per dimension):
 /// `Σ_{s ∈ range} Σ_d w_d² |s.T| (s.B_d − merged_d)²`.
@@ -54,10 +74,7 @@ pub fn sse_of_range_naive(
 
 /// The length-weighted mean of `range` per dimension — the value the merge
 /// operator assigns when the whole range is merged into one tuple.
-pub fn merged_value_naive(
-    input: &SequentialRelation,
-    range: std::ops::Range<usize>,
-) -> Vec<f64> {
+pub fn merged_value_naive(input: &SequentialRelation, range: std::ops::Range<usize>) -> Vec<f64> {
     let p = input.dims();
     let mut sums = vec![0.0; p];
     let mut total = 0.0;
@@ -146,6 +163,29 @@ mod tests {
         let by_range = sse_of_range_naive(&s, &w, 0..2, &merged);
         let by_dsim = dsim(&w, 2, s.values(0), 1, s.values(1));
         assert!((by_range - by_dsim).abs() < 1e-6);
+    }
+
+    #[test]
+    fn pointwise_sse_basics() {
+        assert_eq!(pointwise_sse(&[], &[]), 0.0);
+        assert_eq!(pointwise_sse(&[1.0, 2.0], &[1.0, 2.0]), 0.0);
+        assert_eq!(pointwise_sse(&[1.0, 2.0, 3.0], &[0.0, 2.0, 5.0]), 1.0 + 4.0);
+    }
+
+    #[test]
+    fn pointwise_sse_is_unit_weight_range_sse_on_constants() {
+        // Against a constant approximation, the pointwise form agrees with
+        // the naive weighted form on a unit-interval relation.
+        let xs = [4.0, 7.0, 1.0];
+        let mut b = SequentialBuilder::new(1);
+        for (i, &x) in xs.iter().enumerate() {
+            b.push(GroupKey::empty(), TimeInterval::instant(i as i64).unwrap(), &[x]).unwrap();
+        }
+        let rel = b.build();
+        let w = Weights::uniform(1);
+        let rep = 3.5;
+        let naive = sse_of_range_naive(&rel, &w, 0..3, &[rep]);
+        assert!((pointwise_sse(&xs, &[rep; 3]) - naive).abs() < 1e-12);
     }
 
     /// Example 12 numbers re-derived naively: SSE of merging {s2, s3} = 5 000.

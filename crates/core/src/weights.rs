@@ -24,9 +24,9 @@ impl Weights {
     pub fn new(weights: &[f64]) -> Result<Self, CoreError> {
         for (d, &w) in weights.iter().enumerate() {
             if !w.is_finite() || w <= 0.0 {
-                return Err(CoreError::InvalidWeights {
-                    reason: format!("weight {w} at dimension {d} must be positive and finite"),
-                });
+                return Err(CoreError::invalid_weights(format!(
+                    "weight {w} at dimension {d} must be positive and finite"
+                )));
             }
         }
         Ok(Self { squared: weights.iter().map(|w| w * w).collect() })

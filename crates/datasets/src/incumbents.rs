@@ -74,12 +74,9 @@ impl IncumbentsParams {
 /// `(Dept: Str, Proj: Str, Salary: Int, T)`.
 pub fn generate(params: IncumbentsParams) -> TemporalRelation {
     let mut rng = StdRng::seed_from_u64(params.seed);
-    let schema = Schema::of(&[
-        ("Dept", DataType::Str),
-        ("Proj", DataType::Str),
-        ("Salary", DataType::Int),
-    ])
-    .expect("static schema is valid");
+    let schema =
+        Schema::of(&[("Dept", DataType::Str), ("Proj", DataType::Str), ("Salary", DataType::Int)])
+            .expect("static schema is valid");
     let mut rel = TemporalRelation::new(schema);
 
     for g in 0..params.groups {
@@ -96,13 +93,12 @@ pub fn generate(params: IncumbentsParams) -> TemporalRelation {
             for _ in 0..params.staff_per_group {
                 let mut month = cursor + rng.random_range(0..(period_len / 3).max(1));
                 let mut salary: i64 = rng.random_range(2_000..9_000);
-                let records =
-                    1 + rng.random_range(0.0..params.records_per_employee * 2.0) as usize;
+                let records = 1 + rng.random_range(0.0..params.records_per_employee * 2.0) as usize;
                 for _ in 0..records {
                     if month >= period_end {
                         break;
                     }
-                    let dur = rng.random_range(3..=24).min(period_end - month);
+                    let dur = rng.random_range(3i64..=24).min(period_end - month);
                     rel.push(
                         vec![
                             Value::str(dept.as_str()),
@@ -113,7 +109,7 @@ pub fn generate(params: IncumbentsParams) -> TemporalRelation {
                     )
                     .expect("generated row matches schema");
                     month += dur;
-                    salary += rng.random_range(-300..600);
+                    salary += rng.random_range(-300i64..600);
                 }
             }
             // Gap before the second activity period.
@@ -139,8 +135,7 @@ mod tests {
     #[test]
     fn grouped_ita_has_many_runs() {
         let rel = generate(IncumbentsParams::small());
-        let spec =
-            ItaQuerySpec::new(&["Dept", "Proj"], vec![AggregateSpec::avg("Salary")]);
+        let spec = ItaQuerySpec::new(&["Dept", "Proj"], vec![AggregateSpec::avg("Salary")]);
         let s = ita(&rel, &spec).unwrap();
         s.validate().unwrap();
         // The paper's I* queries have cmin ≫ 1 (131 runs for 16k tuples):

@@ -16,12 +16,9 @@ pub const PROJ_ITA_VALUES: [(&str, f64, i64, i64); 7] = [
 /// Builds the `proj` relation: five project assignments with employee,
 /// project, monthly salary and validity period.
 pub fn proj_relation() -> TemporalRelation {
-    let schema = Schema::of(&[
-        ("Empl", DataType::Str),
-        ("Proj", DataType::Str),
-        ("Sal", DataType::Int),
-    ])
-    .expect("static schema is valid");
+    let schema =
+        Schema::of(&[("Empl", DataType::Str), ("Proj", DataType::Str), ("Sal", DataType::Int)])
+            .expect("static schema is valid");
     let rows = [
         ("John", "A", 800, 1, 4),
         ("Ann", "A", 400, 3, 6),

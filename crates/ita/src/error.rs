@@ -2,7 +2,7 @@
 
 use std::fmt;
 
-use pta_temporal::TemporalError;
+use pta_temporal::{CommonError, TemporalError};
 
 /// Errors raised while evaluating temporal aggregation queries.
 #[derive(Debug, Clone, PartialEq)]
@@ -14,18 +14,45 @@ pub enum ItaError {
         /// The offending attribute.
         attribute: String,
     },
-    /// A query listed no aggregate functions.
-    NoAggregates,
-    /// An STA query supplied no spans.
-    EmptySpans,
     /// STA spans must be sorted and pairwise disjoint so the result is a
     /// sequential relation.
     OverlappingSpans {
         /// Index of the offending span.
         index: usize,
     },
+    /// A failure mode shared across the workspace (empty aggregate list,
+    /// empty span list, non-positive span width, ...).
+    Common(CommonError),
+}
+
+impl ItaError {
+    /// A query listed no aggregate functions.
+    pub fn no_aggregates() -> Self {
+        Self::Common(CommonError::empty_input("aggregate list"))
+    }
+
+    /// An STA query supplied no spans.
+    pub fn empty_spans() -> Self {
+        Self::Common(CommonError::empty_input("span list"))
+    }
+
     /// A span width was not positive.
-    InvalidSpanWidth(i64),
+    pub fn invalid_span_width(width: i64) -> Self {
+        Self::Common(CommonError::invalid_parameter(
+            "span width",
+            format!("must be positive, got {width}"),
+        ))
+    }
+
+    /// The shared failure vocabulary, if this error carries one (looking
+    /// through wrapped lower-layer errors).
+    pub fn common(&self) -> Option<&CommonError> {
+        match self {
+            Self::Common(c) => Some(c),
+            Self::Temporal(e) => e.common(),
+            _ => None,
+        }
+    }
 }
 
 impl fmt::Display for ItaError {
@@ -35,12 +62,10 @@ impl fmt::Display for ItaError {
             Self::NonNumericAggregate { attribute } => {
                 write!(f, "cannot aggregate non-numeric attribute {attribute:?}")
             }
-            Self::NoAggregates => write!(f, "query lists no aggregate functions"),
-            Self::EmptySpans => write!(f, "STA query supplied no spans"),
             Self::OverlappingSpans { index } => {
                 write!(f, "STA span {index} overlaps or precedes its predecessor")
             }
-            Self::InvalidSpanWidth(w) => write!(f, "span width must be positive, got {w}"),
+            Self::Common(e) => write!(f, "{e}"),
         }
     }
 }
@@ -49,6 +74,7 @@ impl std::error::Error for ItaError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             Self::Temporal(e) => Some(e),
+            Self::Common(e) => Some(e),
             _ => None,
         }
     }
@@ -60,6 +86,12 @@ impl From<TemporalError> for ItaError {
     }
 }
 
+impl From<CommonError> for ItaError {
+    fn from(e: CommonError) -> Self {
+        Self::Common(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -68,5 +100,14 @@ mod tests {
     fn wraps_temporal_errors() {
         let e: ItaError = TemporalError::UnknownAttribute("X".into()).into();
         assert!(e.to_string().contains("unknown attribute"));
+    }
+
+    #[test]
+    fn collapsed_variants_expose_the_shared_vocabulary() {
+        assert!(ItaError::no_aggregates().common().is_some_and(CommonError::is_empty_input));
+        assert!(ItaError::empty_spans().common().is_some_and(CommonError::is_empty_input));
+        let e = ItaError::invalid_span_width(0);
+        assert!(e.common().is_some_and(CommonError::is_invalid_parameter));
+        assert!(e.to_string().contains("span width"));
     }
 }

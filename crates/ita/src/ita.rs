@@ -34,7 +34,10 @@ impl ItaQuerySpec {
 ///
 /// Runs in `O(n log n)` per group (endpoint sort + sweep with incremental
 /// accumulators); `min`/`max` add an `O(log n)` multiset factor.
-pub fn ita(relation: &TemporalRelation, spec: &ItaQuerySpec) -> Result<SequentialRelation, ItaError> {
+pub fn ita(
+    relation: &TemporalRelation,
+    spec: &ItaQuerySpec,
+) -> Result<SequentialRelation, ItaError> {
     let stream = StreamingIta::new(relation, spec)?;
     let p = stream.dims();
     let mut builder = SequentialBuilder::with_capacity(p, relation.len() * 2);
@@ -86,9 +89,7 @@ mod tests {
         let s = ita(&proj(), &spec).unwrap();
         assert_eq!(s.dims(), 4);
         // Month 4, project A: salaries {800, 400, 300}.
-        let i = (0..s.len())
-            .find(|&i| s.interval(i).contains_point(4) && s.group(i) == 0)
-            .unwrap();
+        let i = (0..s.len()).find(|&i| s.interval(i).contains_point(4) && s.group(i) == 0).unwrap();
         assert_eq!(s.values(i), &[300.0, 800.0, 3.0, 1500.0]);
     }
 
@@ -99,14 +100,8 @@ mod tests {
         s.validate().unwrap();
         // Counts over months 1..8: 1,1,2,4,3,2,2,1 coalesced:
         // [1,2]=1, [3,3]=2, [4,4]=4, [5,5]=3, [6,7]=2, [8,8]=1.
-        let expected = [
-            (1, 2, 1.0),
-            (3, 3, 2.0),
-            (4, 4, 4.0),
-            (5, 5, 3.0),
-            (6, 7, 2.0),
-            (8, 8, 1.0),
-        ];
+        let expected =
+            [(1, 2, 1.0), (3, 3, 2.0), (4, 4, 4.0), (5, 5, 3.0), (6, 7, 2.0), (8, 8, 1.0)];
         assert_eq!(s.len(), expected.len());
         for (i, (a, b, v)) in expected.iter().enumerate() {
             assert_eq!(s.interval(i), iv(*a, *b));

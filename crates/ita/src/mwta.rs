@@ -43,7 +43,7 @@ pub fn mwta(
     window: Window,
 ) -> Result<SequentialRelation, ItaError> {
     if window.before < 0 || window.after < 0 {
-        return Err(ItaError::InvalidSpanWidth(window.before.min(window.after)));
+        return Err(ItaError::invalid_span_width(window.before.min(window.after)));
     }
     let mut stretched = TemporalRelation::new(relation.schema().clone());
     for tuple in relation.iter() {

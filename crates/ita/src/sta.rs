@@ -38,7 +38,7 @@ impl SpanSpec {
         match self {
             SpanSpec::Fixed { origin, width } => {
                 if *width <= 0 {
-                    return Err(ItaError::InvalidSpanWidth(*width));
+                    return Err(ItaError::invalid_span_width(*width));
                 }
                 let Some(extent) = extent else {
                     return Ok(Vec::new());
@@ -61,7 +61,7 @@ impl SpanSpec {
             }
             SpanSpec::Explicit(spans) => {
                 if spans.is_empty() {
-                    return Err(ItaError::EmptySpans);
+                    return Err(ItaError::empty_spans());
                 }
                 for i in 1..spans.len() {
                     if spans[i].start() <= spans[i - 1].end() {
@@ -83,7 +83,7 @@ pub fn sta(
     spans: &SpanSpec,
 ) -> Result<SequentialRelation, ItaError> {
     if aggregates.is_empty() {
-        return Err(ItaError::NoAggregates);
+        return Err(ItaError::no_aggregates());
     }
     let schema = relation.schema();
     let group_idx = schema.indices_of(grouping)?;
@@ -163,7 +163,8 @@ mod tests {
         )
         .unwrap();
         assert_eq!(s.len(), 4);
-        let expected = [("A", 1, 4, 500.0), ("A", 5, 8, 350.0), ("B", 1, 4, 500.0), ("B", 5, 8, 500.0)];
+        let expected =
+            [("A", 1, 4, 500.0), ("A", 5, 8, 350.0), ("B", 1, 4, 500.0), ("B", 5, 8, 500.0)];
         for (i, (g, a, b, v)) in expected.iter().enumerate() {
             assert_eq!(s.group_key(s.group(i)).unwrap().values(), &[Value::str(*g)]);
             assert_eq!(s.interval(i), iv(*a, *b));
@@ -196,19 +197,17 @@ mod tests {
 
     #[test]
     fn fixed_width_must_be_positive() {
-        let r = sta(&proj(), &[], &[AggregateSpec::count()], &SpanSpec::Fixed { origin: 0, width: 0 });
-        assert!(matches!(r, Err(ItaError::InvalidSpanWidth(0))));
+        let r =
+            sta(&proj(), &[], &[AggregateSpec::count()], &SpanSpec::Fixed { origin: 0, width: 0 });
+        let err = r.unwrap_err();
+        assert!(err.common().is_some_and(pta_temporal::CommonError::is_invalid_parameter));
     }
 
     #[test]
     fn fixed_spans_cover_extents_starting_before_origin() {
-        let s = sta(
-            &proj(),
-            &[],
-            &[AggregateSpec::count()],
-            &SpanSpec::Fixed { origin: 3, width: 10 },
-        )
-        .unwrap();
+        let s =
+            sta(&proj(), &[], &[AggregateSpec::count()], &SpanSpec::Fixed { origin: 3, width: 10 })
+                .unwrap();
         // Extent [1, 8]: spans [-7, 2] and [3, 12] both overlap data.
         assert_eq!(s.len(), 2);
         assert_eq!(s.interval(0), iv(-7, 2));

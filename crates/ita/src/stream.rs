@@ -158,12 +158,11 @@ impl StreamingIta {
     /// aggregates, unknown or non-numeric attributes).
     pub fn new(relation: &TemporalRelation, spec: &ItaQuerySpec) -> Result<Self, ItaError> {
         if spec.aggregates.is_empty() {
-            return Err(ItaError::NoAggregates);
+            return Err(ItaError::no_aggregates());
         }
         let schema = relation.schema();
-        let group_idx = schema.indices_of(
-            &spec.grouping.iter().map(String::as_str).collect::<Vec<_>>(),
-        )?;
+        let group_idx =
+            schema.indices_of(&spec.grouping.iter().map(String::as_str).collect::<Vec<_>>())?;
         // Resolve each aggregate's argument column; count(*) takes none.
         let mut arg_idx: Vec<Option<usize>> = Vec::with_capacity(spec.aggregates.len());
         for agg in &spec.aggregates {
@@ -231,12 +230,9 @@ pub(crate) mod tests {
 
     /// The paper's running example, Fig. 1(a).
     pub(crate) fn proj() -> TemporalRelation {
-        let schema = Schema::of(&[
-            ("Empl", DataType::Str),
-            ("Proj", DataType::Str),
-            ("Sal", DataType::Int),
-        ])
-        .unwrap();
+        let schema =
+            Schema::of(&[("Empl", DataType::Str), ("Proj", DataType::Str), ("Sal", DataType::Int)])
+                .unwrap();
         let rows = [
             ("John", "A", 800, 1, 4),
             ("Ann", "A", 400, 3, 6),
@@ -283,15 +279,13 @@ pub(crate) mod tests {
     #[test]
     fn rejects_missing_aggregates() {
         let spec = ItaQuerySpec { grouping: vec![], aggregates: vec![] };
-        assert!(matches!(StreamingIta::new(&proj(), &spec), Err(ItaError::NoAggregates)));
+        let err = StreamingIta::new(&proj(), &spec).unwrap_err();
+        assert!(err.common().is_some_and(pta_temporal::CommonError::is_empty_input));
     }
 
     #[test]
     fn rejects_non_numeric_aggregate() {
-        let spec = ItaQuerySpec {
-            grouping: vec![],
-            aggregates: vec![AggregateSpec::avg("Empl")],
-        };
+        let spec = ItaQuerySpec { grouping: vec![], aggregates: vec![AggregateSpec::avg("Empl")] };
         assert!(matches!(
             StreamingIta::new(&proj(), &spec),
             Err(ItaError::NonNumericAggregate { .. })

@@ -8,7 +8,7 @@
 
 use std::io::{BufRead, Write};
 
-use crate::error::TemporalError;
+use crate::error::{CommonError, TemporalError};
 use crate::relation::TemporalRelation;
 use crate::schema::{Attribute, Schema};
 use crate::sequential::SequentialRelation;
@@ -21,9 +21,11 @@ use crate::TimeInterval;
 pub fn parse_schema(spec: &str) -> Result<Schema, TemporalError> {
     let mut attrs = Vec::new();
     for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
-        let (name, ty) = part.split_once(':').ok_or_else(|| TemporalError::NonSequential {
-            index: attrs.len(),
-            reason: format!("schema entry {part:?} is not name:type"),
+        let (name, ty) = part.split_once(':').ok_or_else(|| {
+            TemporalError::from(CommonError::invalid_parameter(
+                "schema",
+                format!("schema entry {part:?} is not name:type"),
+            ))
         })?;
         let dtype = match ty.trim().to_ascii_lowercase().as_str() {
             "int" | "i64" => DataType::Int,
@@ -31,10 +33,11 @@ pub fn parse_schema(spec: &str) -> Result<Schema, TemporalError> {
             "str" | "string" => DataType::Str,
             "bool" => DataType::Bool,
             other => {
-                return Err(TemporalError::NonSequential {
-                    index: attrs.len(),
-                    reason: format!("unknown type {other:?} (use int|float|str|bool)"),
-                })
+                return Err(CommonError::invalid_parameter(
+                    "schema",
+                    format!("unknown type {other:?} (use int|float|str|bool)"),
+                )
+                .into())
             }
         };
         attrs.push(Attribute::new(name.trim(), dtype));
@@ -50,10 +53,7 @@ fn parse_value(raw: &str, dtype: DataType, line: usize) -> Result<Value, Tempora
     };
     match dtype {
         DataType::Int => raw.parse::<i64>().map(Value::Int).map_err(|_| err("int")),
-        DataType::Float => raw
-            .parse::<f64>()
-            .map_err(|_| err("float"))
-            .and_then(Value::float),
+        DataType::Float => raw.parse::<f64>().map_err(|_| err("float")).and_then(Value::float),
         DataType::Str => Ok(Value::str(raw)),
         DataType::Bool => match raw {
             "true" | "1" => Ok(Value::Bool(true)),
@@ -86,10 +86,7 @@ pub fn read_relation(
         }
         let fields: Vec<&str> = trimmed.split(',').collect();
         if fields.len() != arity + 2 {
-            return Err(TemporalError::ArityMismatch {
-                got: fields.len(),
-                expected: arity + 2,
-            });
+            return Err(TemporalError::ArityMismatch { got: fields.len(), expected: arity + 2 });
         }
         let mut values = Vec::with_capacity(arity);
         for (i, raw) in fields[..arity].iter().enumerate() {
@@ -114,22 +111,12 @@ fn escape(v: &Value) -> String {
 }
 
 /// Writes a temporal relation as CSV (header + one row per tuple).
-pub fn write_relation(
-    relation: &TemporalRelation,
-    mut writer: impl Write,
-) -> std::io::Result<()> {
-    let names: Vec<&str> =
-        relation.schema().attributes().iter().map(Attribute::name).collect();
+pub fn write_relation(relation: &TemporalRelation, mut writer: impl Write) -> std::io::Result<()> {
+    let names: Vec<&str> = relation.schema().attributes().iter().map(Attribute::name).collect();
     writeln!(writer, "{},t_start,t_end", names.join(","))?;
     for t in relation.iter() {
         let vals: Vec<String> = t.values().iter().map(escape).collect();
-        writeln!(
-            writer,
-            "{},{},{}",
-            vals.join(","),
-            t.interval().start(),
-            t.interval().end()
-        )?;
+        writeln!(writer, "{},{},{}", vals.join(","), t.interval().start(), t.interval().end())?;
     }
     Ok(())
 }
@@ -220,10 +207,10 @@ mod tests {
     fn malformed_rows_are_rejected() {
         let schema = parse_schema("V:int").unwrap();
         for text in [
-            "V,t_start,t_end\n5,1\n",          // missing field
-            "V,t_start,t_end\nx,1,2\n",        // bad int
-            "V,t_start,t_end\n5,9,2\n",        // inverted interval
-            "V,t_start,t_end\n5,a,2\n",        // bad chronon
+            "V,t_start,t_end\n5,1\n",   // missing field
+            "V,t_start,t_end\nx,1,2\n", // bad int
+            "V,t_start,t_end\n5,9,2\n", // inverted interval
+            "V,t_start,t_end\n5,a,2\n", // bad chronon
         ] {
             assert!(
                 read_relation(schema.clone(), BufReader::new(text.as_bytes())).is_err(),
@@ -236,18 +223,11 @@ mod tests {
     fn sequential_export_matches_layout() {
         use crate::{GroupKey, SequentialBuilder};
         let mut b = SequentialBuilder::new(1);
-        b.push(
-            GroupKey::new(vec![Value::str("A")]),
-            TimeInterval::new(1, 3).unwrap(),
-            &[733.5],
-        )
-        .unwrap();
+        b.push(GroupKey::new(vec![Value::str("A")]), TimeInterval::new(1, 3).unwrap(), &[733.5])
+            .unwrap();
         let seq = b.build();
         let mut buf = Vec::new();
         write_sequential(&seq, &["Proj"], &["AvgSal"], &mut buf).unwrap();
-        assert_eq!(
-            String::from_utf8(buf).unwrap(),
-            "Proj,AvgSal,t_start,t_end\nA,733.5,1,3\n"
-        );
+        assert_eq!(String::from_utf8(buf).unwrap(), "Proj,AvgSal,t_start,t_end\nA,733.5,1,3\n");
     }
 }

@@ -1,8 +1,86 @@
-//! Error type for the temporal data model.
+//! Error types for the temporal data model, plus the [`CommonError`]
+//! vocabulary shared by every crate in the workspace.
 
 use std::fmt;
 
 use crate::chronon::Chronon;
+
+/// Failure modes that recur across the workspace's layers.
+///
+/// Before the error unification, `invalid parameter`, `not applicable`
+/// and `empty input` were each re-declared (with slightly different
+/// shapes and wording) by the ita, core and baselines crates. They now
+/// live here, in the bottom layer, and every crate error embeds them via
+/// a `Common` variant — so the facade, tests and callers can classify
+/// failures uniformly with [`CommonError::is_invalid_parameter`] &co.
+/// regardless of which layer raised them.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CommonError {
+    /// A caller-supplied parameter is outside its domain.
+    InvalidParameter {
+        /// Which parameter (e.g. `"error bound"`, `"weights"`).
+        what: &'static str,
+        /// Explanation of the violation.
+        reason: String,
+    },
+    /// The operation is well-formed but undefined for this input (the
+    /// paper's "n/a" cells, §7.2.2).
+    NotApplicable {
+        /// Why the input is outside the method's domain.
+        reason: String,
+    },
+    /// A required input collection was empty.
+    EmptyInput {
+        /// Which input (e.g. `"span list"`).
+        what: &'static str,
+    },
+}
+
+impl CommonError {
+    /// Shorthand constructor for [`CommonError::InvalidParameter`].
+    pub fn invalid_parameter(what: &'static str, reason: impl Into<String>) -> Self {
+        Self::InvalidParameter { what, reason: reason.into() }
+    }
+
+    /// Shorthand constructor for [`CommonError::NotApplicable`].
+    pub fn not_applicable(reason: impl Into<String>) -> Self {
+        Self::NotApplicable { reason: reason.into() }
+    }
+
+    /// Shorthand constructor for [`CommonError::EmptyInput`].
+    pub fn empty_input(what: &'static str) -> Self {
+        Self::EmptyInput { what }
+    }
+
+    /// Whether this is an invalid-parameter failure.
+    pub fn is_invalid_parameter(&self) -> bool {
+        matches!(self, Self::InvalidParameter { .. })
+    }
+
+    /// Whether this is a not-applicable failure.
+    pub fn is_not_applicable(&self) -> bool {
+        matches!(self, Self::NotApplicable { .. })
+    }
+
+    /// Whether this is an empty-input failure.
+    pub fn is_empty_input(&self) -> bool {
+        matches!(self, Self::EmptyInput { .. })
+    }
+}
+
+impl fmt::Display for CommonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::InvalidParameter { what, reason } => {
+                write!(f, "invalid {what}: {reason}")
+            }
+            Self::NotApplicable { reason } => write!(f, "method not applicable: {reason}"),
+            Self::EmptyInput { what } => write!(f, "empty {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CommonError {}
 
 /// Errors raised while constructing or validating temporal data.
 #[derive(Debug, Clone, PartialEq)]
@@ -65,6 +143,25 @@ pub enum TemporalError {
     },
     /// A group id referenced a key that was never interned.
     UnknownGroup(u32),
+    /// A failure mode shared across the workspace (e.g. an unparseable
+    /// schema specification).
+    Common(CommonError),
+}
+
+impl TemporalError {
+    /// The shared failure vocabulary, if this error carries one.
+    pub fn common(&self) -> Option<&CommonError> {
+        match self {
+            Self::Common(c) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+impl From<CommonError> for TemporalError {
+    fn from(e: CommonError) -> Self {
+        Self::Common(e)
+    }
 }
 
 impl fmt::Display for TemporalError {
@@ -96,11 +193,19 @@ impl fmt::Display for TemporalError {
                 write!(f, "row carries {got} aggregate values, relation has p = {expected}")
             }
             Self::UnknownGroup(gid) => write!(f, "unknown group id {gid}"),
+            Self::Common(e) => write!(f, "{e}"),
         }
     }
 }
 
-impl std::error::Error for TemporalError {}
+impl std::error::Error for TemporalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Common(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {

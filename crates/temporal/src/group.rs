@@ -114,9 +114,6 @@ mod tests {
     #[test]
     fn empty_key_displays_as_unit() {
         assert_eq!(GroupKey::empty().to_string(), "()");
-        assert_eq!(
-            GroupKey::new(vec![Value::str("A"), Value::Int(3)]).to_string(),
-            "(A, 3)"
-        );
+        assert_eq!(GroupKey::new(vec![Value::str("A"), Value::Int(3)]).to_string(), "(A, 3)");
     }
 }

@@ -102,10 +102,7 @@ impl TimeInterval {
     /// For adjacent tuples this is the concatenated timestamp produced by
     /// the merge operator `⊕`.
     pub fn span(&self, other: &TimeInterval) -> TimeInterval {
-        TimeInterval {
-            start: self.start.min(other.start),
-            end: self.end.max(other.end),
-        }
+        TimeInterval { start: self.start.min(other.start), end: self.end.max(other.end) }
     }
 
     /// Iterates over every chronon in the interval.

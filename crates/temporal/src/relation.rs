@@ -31,7 +31,11 @@ impl TemporalRelation {
     }
 
     /// Appends a tuple after validating arity and attribute types.
-    pub fn push(&mut self, values: Vec<Value>, interval: TimeInterval) -> Result<(), TemporalError> {
+    pub fn push(
+        &mut self,
+        values: Vec<Value>,
+        interval: TimeInterval,
+    ) -> Result<(), TemporalError> {
         if values.len() != self.schema.arity() {
             return Err(TemporalError::ArityMismatch {
                 got: values.len(),

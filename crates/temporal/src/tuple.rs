@@ -75,7 +75,8 @@ mod tests {
 
     #[test]
     fn display_shows_values_and_interval() {
-        let t = Tuple::new(vec![Value::str("A"), Value::Int(800)], TimeInterval::new(1, 2).unwrap());
+        let t =
+            Tuple::new(vec![Value::str("A"), Value::Int(800)], TimeInterval::new(1, 2).unwrap());
         assert_eq!(t.to_string(), "(A, 800) [1, 2]");
     }
 }

@@ -34,10 +34,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rel = chaotic(360, 7);
     let series = DenseSeries::from_sequential(&rel)?;
     let w = Weights::uniform(1);
-    let (lo, hi) = series
-        .values()
-        .iter()
-        .fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    let (lo, hi) =
+        series.values().iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
     println!("Mackey–Glass series, n = {}, budget c = {c}\n", series.len());
     plot("original", series.values(), lo, hi);
 

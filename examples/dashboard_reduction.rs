@@ -59,9 +59,8 @@ fn main() -> Result<(), pta::Error> {
             .filter(|&i| z.group(i) == gid)
             .map(|i| (z.interval(i).start(), z.interval(i).end(), z.value(i, 0)))
             .collect();
-        let (lo, hi) = pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, _, v)| {
-            (lo.min(v), hi.max(v))
-        });
+        let (lo, hi) =
+            pts.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &(_, _, v)| (lo.min(v), hi.max(v)));
         println!(
             "  {} over {} segments: {}",
             z.group_key(gid)?,

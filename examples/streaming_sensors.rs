@@ -27,7 +27,7 @@ fn sensor_feed(sensors: usize, minutes: i64, seed: u64) -> SequentialRelation {
         let mut t = 0i64;
         while t < minutes {
             // A regime holds for a while, with small quantised jitter.
-            let hold = rng.random_range(5..40).min(minutes - t);
+            let hold = rng.random_range(5i64..40).min(minutes - t);
             for dt in 0..hold {
                 let reading = level + (rng.random_range(-2i32..=2) as f64) * 0.05;
                 b.push(key.clone(), TimeInterval::instant(t + dt).unwrap(), &[reading])

@@ -80,8 +80,7 @@ fn parse_aggs(spec: &str) -> Result<Vec<Agg>, String> {
 }
 
 fn load_relation(args: &Args) -> Result<TemporalRelation, String> {
-    let schema_spec =
-        args.options.get("schema").ok_or("missing --schema \"name:type,...\"")?;
+    let schema_spec = args.options.get("schema").ok_or("missing --schema \"name:type,...\"")?;
     let schema = parse_schema(schema_spec).map_err(|e| e.to_string())?;
     let reader: Box<dyn Read> = match args.options.get("input") {
         Some(path) if path != "-" => {
@@ -138,24 +137,18 @@ fn run() -> Result<(), String> {
                 .ok_or("sta needs --span-width")?
                 .parse()
                 .map_err(|e| format!("bad --span-width: {e}"))?;
-            let seq = pta_ita::sta(
-                &relation,
-                &group_refs,
-                &aggs,
-                &SpanSpec::Fixed { origin, width },
-            )
-            .map_err(|e| e.to_string())?;
+            let seq =
+                pta_ita::sta(&relation, &group_refs, &aggs, &SpanSpec::Fixed { origin, width })
+                    .map_err(|e| e.to_string())?;
             write_sequential(&seq, &group_refs, &value_refs, &mut out)
                 .map_err(|e| e.to_string())?;
         }
         "reduce" => {
             let bound = match (args.options.get("size"), args.options.get("error")) {
-                (Some(c), None) => Bound::Size(
-                    c.parse().map_err(|e| format!("bad --size: {e}"))?,
-                ),
-                (None, Some(e)) => Bound::Error(
-                    e.parse().map_err(|e| format!("bad --error: {e}"))?,
-                ),
+                (Some(c), None) => Bound::Size(c.parse().map_err(|e| format!("bad --size: {e}"))?),
+                (None, Some(e)) => {
+                    Bound::Error(e.parse().map_err(|e| format!("bad --error: {e}"))?)
+                }
                 _ => return Err("reduce needs exactly one of --size N or --error EPS".into()),
             };
             let mut query = PtaQuery::new().group_by(&group_refs).bound(bound);
@@ -169,9 +162,9 @@ fn run() -> Result<(), String> {
                         let delta = match args.options.get("delta").map(String::as_str) {
                             None | Some("1") => Delta::Finite(1),
                             Some("inf") => Delta::Unbounded,
-                            Some(d) => Delta::Finite(
-                                d.parse().map_err(|e| format!("bad --delta: {e}"))?,
-                            ),
+                            Some(d) => {
+                                Delta::Finite(d.parse().map_err(|e| format!("bad --delta: {e}"))?)
+                            }
                         };
                         query.algorithm(Algorithm::Greedy { delta })
                     }

@@ -65,12 +65,8 @@ mod tests {
     #[test]
     fn converts_groups_and_values() {
         let mut b = SequentialBuilder::new(2);
-        b.push(
-            GroupKey::new(vec![Value::str("A")]),
-            TimeInterval::new(1, 3).unwrap(),
-            &[1.5, 2.5],
-        )
-        .unwrap();
+        b.push(GroupKey::new(vec![Value::str("A")]), TimeInterval::new(1, 3).unwrap(), &[1.5, 2.5])
+            .unwrap();
         let seq = b.build();
         let rel = to_temporal_relation(&seq, &["Proj"], &["AvgSal", "MaxSal"]).unwrap();
         assert_eq!(rel.schema().to_string(), "(Proj: Str, AvgSal: Float, MaxSal: Float, T)");

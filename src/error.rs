@@ -1,10 +1,16 @@
 //! Unified error type of the facade API.
+//!
+//! Every crate error converts losslessly into [`Error`] via `From`, and
+//! the shared failure vocabulary ([`CommonError`]) collapsed into the
+//! per-crate errors is reachable uniformly through [`Error::common`] —
+//! one classification path no matter which layer raised the failure.
 
 use std::fmt;
 
+use pta_baselines::BaselineError;
 use pta_core::CoreError;
 use pta_ita::ItaError;
-use pta_temporal::TemporalError;
+use pta_temporal::{CommonError, TemporalError};
 
 /// Any error a PTA query can raise.
 #[derive(Debug, Clone, PartialEq)]
@@ -15,8 +21,24 @@ pub enum Error {
     Ita(ItaError),
     /// The reduction step failed.
     Core(CoreError),
+    /// A comparator algorithm failed.
+    Baseline(BaselineError),
     /// A data-model violation.
     Temporal(TemporalError),
+}
+
+impl Error {
+    /// The shared failure vocabulary (invalid-parameter / not-applicable /
+    /// empty-input), if the wrapped crate error carries one.
+    pub fn common(&self) -> Option<&CommonError> {
+        match self {
+            Self::InvalidQuery(_) => None,
+            Self::Ita(e) => e.common(),
+            Self::Core(e) => e.common(),
+            Self::Baseline(e) => e.common(),
+            Self::Temporal(e) => e.common(),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -25,6 +47,7 @@ impl fmt::Display for Error {
             Self::InvalidQuery(msg) => write!(f, "invalid query: {msg}"),
             Self::Ita(e) => write!(f, "aggregation failed: {e}"),
             Self::Core(e) => write!(f, "reduction failed: {e}"),
+            Self::Baseline(e) => write!(f, "comparator failed: {e}"),
             Self::Temporal(e) => write!(f, "data error: {e}"),
         }
     }
@@ -36,6 +59,7 @@ impl std::error::Error for Error {
             Self::InvalidQuery(_) => None,
             Self::Ita(e) => Some(e),
             Self::Core(e) => Some(e),
+            Self::Baseline(e) => Some(e),
             Self::Temporal(e) => Some(e),
         }
     }
@@ -53,8 +77,54 @@ impl From<CoreError> for Error {
     }
 }
 
+impl From<BaselineError> for Error {
+    fn from(e: BaselineError) -> Self {
+        Self::Baseline(e)
+    }
+}
+
 impl From<TemporalError> for Error {
     fn from(e: TemporalError) -> Self {
         Self::Temporal(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_crate_error_converts_and_chains() {
+        use std::error::Error as _;
+        let errors: Vec<Error> = vec![
+            ItaError::no_aggregates().into(),
+            CoreError::invalid_error_bound(2.0).into(),
+            BaselineError::not_applicable("gaps").into(),
+            TemporalError::UnknownAttribute("X".into()).into(),
+        ];
+        for e in &errors {
+            assert!(e.source().is_some(), "{e} has no source");
+            assert!(!e.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn common_classification_crosses_layers() {
+        let ita: Error = ItaError::no_aggregates().into();
+        assert!(ita.common().is_some_and(CommonError::is_empty_input));
+        let core: Error = CoreError::invalid_weights("negative").into();
+        assert!(core.common().is_some_and(CommonError::is_invalid_parameter));
+        let baseline: Error = BaselineError::not_applicable("two groups").into();
+        assert!(baseline.common().is_some_and(CommonError::is_not_applicable));
+        // Even nested: a core error wrapped by baselines, wrapped by pta.
+        let nested: Error = BaselineError::from(CoreError::invalid_weights("nan")).into();
+        assert!(nested.common().is_some_and(CommonError::is_invalid_parameter));
+        // ... and a temporal CommonError reached through any wrapping layer.
+        let schema = CommonError::invalid_parameter("schema", "bad type");
+        let via_core: Error = CoreError::from(TemporalError::from(schema.clone())).into();
+        assert!(via_core.common().is_some_and(CommonError::is_invalid_parameter));
+        let via_baseline: Error = BaselineError::from(TemporalError::from(schema)).into();
+        assert!(via_baseline.common().is_some_and(CommonError::is_invalid_parameter));
+        assert!(Error::InvalidQuery("no bound".into()).common().is_none());
     }
 }

@@ -64,8 +64,8 @@ pub use pta_ita::AggregateSpec as Agg;
 pub use pta_core::{Delta, Estimates, GapPolicy, Reduction, Weights};
 pub use pta_ita::{AggregateFunction, ItaQuerySpec, SpanSpec, Window};
 pub use pta_temporal::{
-    Chronon, DataType, GroupKey, Schema, SequentialRelation, TemporalRelation, TimeInterval,
-    Tuple, Value,
+    Chronon, CommonError, DataType, GroupKey, Schema, SequentialRelation, TemporalRelation,
+    TimeInterval, Tuple, Value,
 };
 
 /// Crate-local result alias.

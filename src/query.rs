@@ -149,9 +149,8 @@ impl PtaQuery {
     /// Executes the query: ITA over `relation`, then the bounded
     /// reduction.
     pub fn execute(&self, relation: &TemporalRelation) -> Result<PtaOutput, Error> {
-        let bound = self
-            .bound
-            .ok_or_else(|| Error::InvalidQuery("no size or error bound set".into()))?;
+        let bound =
+            self.bound.ok_or_else(|| Error::InvalidQuery("no size or error bound set".into()))?;
         if self.aggregates.is_empty() {
             return Err(Error::InvalidQuery("no aggregate functions listed".into()));
         }
@@ -166,16 +165,15 @@ impl PtaQuery {
                 weights.dims()
             )));
         }
-        let spec = ItaQuerySpec { grouping: self.grouping.clone(), aggregates: self.aggregates.clone() };
+        let spec =
+            ItaQuerySpec { grouping: self.grouping.clone(), aggregates: self.aggregates.clone() };
 
         let (reduction, ita_size, stats) = match self.algorithm {
             Algorithm::Exact => {
                 let seq = pta_ita::ita(relation, &spec)?;
                 let n = seq.len();
                 let out = match bound {
-                    Bound::Size(c) => {
-                        pta_size_bounded_with_policy(&seq, &weights, c, self.policy)?
-                    }
+                    Bound::Size(c) => pta_size_bounded_with_policy(&seq, &weights, c, self.policy)?,
                     Bound::Error(e) => {
                         pta_error_bounded_with_policy(&seq, &weights, e, self.policy)?
                     }
@@ -209,7 +207,8 @@ impl PtaQuery {
                         }
                     };
                     let stream = StreamingIta::new(relation, &spec)?;
-                    let mut alg = GPtaE::with_policy(weights.clone(), eps, delta, est, self.policy)?;
+                    let mut alg =
+                        GPtaE::with_policy(weights.clone(), eps, delta, est, self.policy)?;
                     for row in stream {
                         alg.push(&row.key, row.interval, &row.values)?;
                     }

@@ -20,12 +20,7 @@ fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
         .stderr(Stdio::piped())
         .spawn()
         .expect("binary built by the test harness");
-    child
-        .stdin
-        .as_mut()
-        .expect("piped stdin")
-        .write_all(stdin.as_bytes())
-        .expect("write stdin");
+    child.stdin.as_mut().expect("piped stdin").write_all(stdin.as_bytes()).expect("write stdin");
     let out = child.wait_with_output().expect("cli terminates");
     (
         String::from_utf8_lossy(&out.stdout).into_owned(),
@@ -37,10 +32,7 @@ fn run_cli(args: &[&str], stdin: &str) -> (String, String, bool) {
 #[test]
 fn reduce_reproduces_fig_1d() {
     let (stdout, stderr, ok) = run_cli(
-        &[
-            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
-            "4",
-        ],
+        &["reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size", "4"],
         PROJ_CSV,
     );
     assert!(ok, "stderr: {stderr}");
@@ -51,10 +43,8 @@ fn reduce_reproduces_fig_1d() {
 
 #[test]
 fn ita_command_emits_fig_1c() {
-    let (stdout, _, ok) = run_cli(
-        &["ita", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal"],
-        PROJ_CSV,
-    );
+    let (stdout, _, ok) =
+        run_cli(&["ita", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal"], PROJ_CSV);
     assert!(ok);
     assert_eq!(stdout.lines().count(), 8, "header + 7 tuples");
     assert!(stdout.contains("A,800,1,2"));
@@ -65,8 +55,17 @@ fn ita_command_emits_fig_1c() {
 fn sta_command_emits_fig_1b() {
     let (stdout, _, ok) = run_cli(
         &[
-            "sta", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal",
-            "--span-origin", "1", "--span-width", "4",
+            "sta",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--span-origin",
+            "1",
+            "--span-width",
+            "4",
         ],
         PROJ_CSV,
     );
@@ -79,10 +78,7 @@ fn sta_command_emits_fig_1b() {
 #[test]
 fn error_bound_and_gap_policy_flags() {
     let (stdout, stderr, ok) = run_cli(
-        &[
-            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal",
-            "--error", "0.2",
-        ],
+        &["reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--error", "0.2"],
         PROJ_CSV,
     );
     assert!(ok, "stderr: {stderr}");
@@ -90,8 +86,17 @@ fn error_bound_and_gap_policy_flags() {
 
     let (stdout, stderr, ok) = run_cli(
         &[
-            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
-            "2", "--max-gap", "1",
+            "reduce",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--size",
+            "2",
+            "--max-gap",
+            "1",
         ],
         PROJ_CSV,
     );
@@ -104,8 +109,19 @@ fn error_bound_and_gap_policy_flags() {
 fn greedy_algorithm_flag() {
     let (stdout, stderr, ok) = run_cli(
         &[
-            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
-            "4", "--algorithm", "greedy", "--delta", "inf",
+            "reduce",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--size",
+            "4",
+            "--algorithm",
+            "greedy",
+            "--delta",
+            "inf",
         ],
         PROJ_CSV,
     );
@@ -120,18 +136,12 @@ fn helpful_errors() {
     assert!(!ok);
     assert!(stderr.contains("--agg"));
 
-    let (_, stderr, ok) = run_cli(
-        &["reduce", "--schema", SCHEMA, "--agg", "avg:Sal"],
-        PROJ_CSV,
-    );
+    let (_, stderr, ok) = run_cli(&["reduce", "--schema", SCHEMA, "--agg", "avg:Sal"], PROJ_CSV);
     assert!(!ok);
     assert!(stderr.contains("--size") && stderr.contains("--error"));
 
     let (_, stderr, ok) = run_cli(
-        &[
-            "reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size",
-            "1",
-        ],
+        &["reduce", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal", "--size", "1"],
         PROJ_CSV,
     );
     assert!(!ok);

@@ -18,8 +18,7 @@ pub fn fig1c() -> SequentialRelation {
         ("B", 7, 8, 500.0),
     ];
     for (g, s, e, v) in rows {
-        b.push(GroupKey::new(vec![Value::str(g)]), TimeInterval::new(s, e).unwrap(), &[v])
-            .unwrap();
+        b.push(GroupKey::new(vec![Value::str(g)]), TimeInterval::new(s, e).unwrap(), &[v]).unwrap();
     }
     b.build()
 }
@@ -44,9 +43,9 @@ pub fn random_sequential(
             group += 1;
             t = 0;
         } else if rng.random_bool(gap_prob) {
-            t += rng.random_range(2..5);
+            t += rng.random_range(2i64..5);
         }
-        let len = rng.random_range(1..4);
+        let len = rng.random_range(1i64..4);
         for v in &mut vals {
             *v = rng.random_range(-10..10) as f64;
         }

@@ -41,8 +41,7 @@ fn pruned_and_naive_dp_agree() {
             let a = pta_size_bounded(&input, &w, c).unwrap();
             let b = pta_size_bounded_naive(&input, &w, c).unwrap();
             assert!(
-                (a.reduction.sse() - b.reduction.sse()).abs()
-                    < 1e-6 * (1.0 + a.reduction.sse()),
+                (a.reduction.sse() - b.reduction.sse()).abs() < 1e-6 * (1.0 + a.reduction.sse()),
                 "seed {seed} c {c}"
             );
             assert!(a.stats.cells <= b.stats.cells, "pruning may not add work");

@@ -3,9 +3,7 @@
 mod common;
 
 use pta::{ita_table, mwta_table, Agg, Algorithm, Bound, Delta, GapPolicy, PtaQuery, Window};
-use pta_core::{
-    pta_size_bounded, Delta as CoreDelta, Estimates, GPtaC, GPtaE, Weights,
-};
+use pta_core::{pta_size_bounded, Delta as CoreDelta, Estimates, GPtaC, GPtaE, Weights};
 use pta_temporal::{
     DataType, GroupKey, Schema, SequentialBuilder, SequentialRelation, TemporalRelation,
     TimeInterval, Value,
@@ -28,14 +26,9 @@ fn single_tuple_relation_roundtrips() {
 fn extreme_chronon_positions() {
     use pta_temporal::chronon::MAX_CHRONON;
     let mut b = SequentialBuilder::new(1);
-    b.push(GroupKey::empty(), TimeInterval::new(i64::MIN, i64::MIN + 1).unwrap(), &[1.0])
+    b.push(GroupKey::empty(), TimeInterval::new(i64::MIN, i64::MIN + 1).unwrap(), &[1.0]).unwrap();
+    b.push(GroupKey::empty(), TimeInterval::new(MAX_CHRONON - 1, MAX_CHRONON).unwrap(), &[2.0])
         .unwrap();
-    b.push(
-        GroupKey::empty(),
-        TimeInterval::new(MAX_CHRONON - 1, MAX_CHRONON).unwrap(),
-        &[2.0],
-    )
-    .unwrap();
     let input = b.build();
     input.validate().unwrap();
     assert!(!input.adjacent(0));
@@ -170,14 +163,12 @@ fn facade_greedy_gap_policy_matches_exact_partition_on_proj() {
 #[test]
 fn mwta_table_smoke() {
     let rel = pta_datasets::proj_relation();
-    let t = mwta_table(&rel, &["Proj"], vec![Agg::count().as_output("Held")], Window::past(1))
-        .unwrap();
+    let t =
+        mwta_table(&rel, &["Proj"], vec![Agg::count().as_output("Held")], Window::past(1)).unwrap();
     assert!(!t.is_empty());
     // The window extends each tuple's influence one month forward.
     let ita = ita_table(&rel, &["Proj"], vec![Agg::count().as_output("Held")]).unwrap();
-    let span = |r: &TemporalRelation| {
-        r.time_extent().map(|iv| (iv.start(), iv.end())).unwrap()
-    };
+    let span = |r: &TemporalRelation| r.time_extent().map(|iv| (iv.start(), iv.end())).unwrap();
     assert_eq!(span(&t).1, span(&ita).1 + 1);
 }
 

@@ -8,7 +8,7 @@ mod common;
 use common::random_sequential;
 use pta_core::{
     gms_size_bounded_with_policy, max_error_with_policy, pta_error_bounded_with_policy,
-    pta_size_bounded, pta_size_bounded_with_policy, GapPolicy, GapVector, GPtaC, Delta, Weights,
+    pta_size_bounded, pta_size_bounded_with_policy, Delta, GPtaC, GapPolicy, GapVector, Weights,
 };
 use pta_temporal::{GroupKey, SequentialBuilder, SequentialRelation, TimeInterval, Value};
 

@@ -89,10 +89,7 @@ fn error_curve_is_consistent_with_runs_and_monotone() {
         for c in [input.cmin(), input.len() / 2 + 1] {
             let c = c.clamp(input.cmin(), input.len());
             let run = gms_size_bounded(&input, &w, c).unwrap();
-            assert!(
-                (curve[c - 1] - run.stats.total_error).abs() < 1e-9,
-                "seed {seed} c {c}"
-            );
+            assert!((curve[c - 1] - run.stats.total_error).abs() < 1e-9, "seed {seed} c {c}");
         }
     }
 }

@@ -27,8 +27,8 @@ fn fig_1b_sta_result() {
 
 #[test]
 fn fig_1c_ita_result() {
-    let ita = ita_table(&proj_relation(), &["Proj"], vec![Agg::avg("Sal").as_output("AvgSal")])
-        .unwrap();
+    let ita =
+        ita_table(&proj_relation(), &["Proj"], vec![Agg::avg("Sal").as_output("AvgSal")]).unwrap();
     assert_eq!(ita.len(), PROJ_ITA_VALUES.len());
     for (t, (g, v, s, e)) in ita.iter().zip(PROJ_ITA_VALUES) {
         assert_eq!(t.value(0), &Value::str(g));
@@ -47,7 +47,8 @@ fn fig_1d_pta_result_through_facade() {
         .unwrap();
     assert_eq!(out.ita_size, 7);
     let z = out.reduction.relation();
-    let expected = [("A", 733.333_333, 1, 3), ("A", 375.0, 4, 7), ("B", 500.0, 4, 5), ("B", 500.0, 7, 8)];
+    let expected =
+        [("A", 733.333_333, 1, 3), ("A", 375.0, 4, 7), ("B", 500.0, 4, 5), ("B", 500.0, 7, 8)];
     for (i, (g, v, s, e)) in expected.into_iter().enumerate() {
         assert_eq!(z.group_key(z.group(i)).unwrap().values(), &[Value::str(g)]);
         assert!((z.value(i, 0) - v).abs() < 1e-4);
@@ -115,10 +116,7 @@ fn unbounded_query_is_rejected() {
 
 #[test]
 fn queries_without_aggregates_are_rejected() {
-    let err = PtaQuery::new()
-        .bound(Bound::Size(4))
-        .execute(&proj_relation())
-        .unwrap_err();
+    let err = PtaQuery::new().bound(Bound::Size(4)).execute(&proj_relation()).unwrap_err();
     assert!(matches!(err, pta::Error::InvalidQuery(_)));
 }
 
@@ -168,8 +166,5 @@ fn multi_aggregate_pta_query() {
         .unwrap();
     assert_eq!(out.reduction.relation().dims(), 2);
     assert_eq!(out.reduction.len(), 5);
-    assert_eq!(
-        out.table.schema().to_string(),
-        "(Proj: Str, AvgSal: Float, Heads: Float, T)"
-    );
+    assert_eq!(out.table.schema().to_string(), "(Proj: Str, AvgSal: Float, Heads: Float, T)");
 }
