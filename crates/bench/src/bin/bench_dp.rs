@@ -1,0 +1,148 @@
+//! DP backtracking-mode benchmark with machine-readable output: times
+//! `PTAc` and `PTAε` under the materialized-table and divide-and-conquer
+//! modes and writes `BENCH_dp.json` — one record per run with `n`, `c`,
+//! the mode that executed, wall time, and the peak number of
+//! `(n + 1)`-entry rows allocated — so the perf trajectory of the exact
+//! DP is tracked from PR to PR.
+
+use std::fmt::Write as _;
+
+use pta_bench::{fmt, print_table, row, time, HarnessArgs, Scale};
+use pta_core::{
+    pta_error_bounded_with_mode, pta_size_bounded_with_mode, DpExecMode, DpMode, DpOutcome, Weights,
+};
+use pta_datasets::uniform;
+use pta_temporal::SequentialRelation;
+
+struct Record {
+    algorithm: &'static str,
+    dataset: &'static str,
+    n: usize,
+    c: usize,
+    mode: DpExecMode,
+    wall_ms: f64,
+    peak_rows: usize,
+    cells: u64,
+}
+
+fn mode_name(mode: DpExecMode) -> &'static str {
+    match mode {
+        DpExecMode::Table => "table",
+        DpExecMode::DivideConquer => "divide_and_conquer",
+    }
+}
+
+fn record(
+    algorithm: &'static str,
+    dataset: &'static str,
+    n: usize,
+    out: &DpOutcome,
+    wall_ms: f64,
+) -> Record {
+    Record {
+        algorithm,
+        dataset,
+        n,
+        c: out.reduction.len(),
+        mode: out.stats.mode,
+        wall_ms,
+        peak_rows: out.stats.peak_rows,
+        cells: out.stats.cells,
+    }
+}
+
+fn json(records: &[Record]) -> String {
+    let mut s = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let _ = write!(
+            s,
+            "  {{\"algorithm\": \"{}\", \"dataset\": \"{}\", \"n\": {}, \"c\": {}, \
+             \"mode\": \"{}\", \"wall_ms\": {:.3}, \"peak_rows\": {}, \"cells\": {}}}",
+            r.algorithm,
+            r.dataset,
+            r.n,
+            r.c,
+            mode_name(r.mode),
+            r.wall_ms,
+            r.peak_rows,
+            r.cells
+        );
+        s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
+    }
+    s.push_str("]\n");
+    s
+}
+
+fn main() {
+    let args = HarnessArgs::parse();
+    println!("DP backtracking modes — table vs divide-and-conquer ({:?} scale)", args.scale);
+    let sizes: Vec<usize> = match args.scale {
+        Scale::Small => vec![250, 500],
+        Scale::Medium => vec![500, 1_000, 2_000],
+        Scale::Paper => vec![1_000, 2_000, 4_000, 8_000],
+    };
+    let p = 4;
+    let w = Weights::uniform(p);
+    let mut records = Vec::new();
+
+    let mut run_both =
+        |algorithm: &'static str,
+         dataset: &'static str,
+         input: &SequentialRelation,
+         exec: &dyn Fn(&SequentialRelation, DpMode) -> DpOutcome| {
+            for mode in [DpMode::Table, DpMode::DivideConquer] {
+                let (out, wall) = time(|| exec(input, mode));
+                records.push(record(
+                    algorithm,
+                    dataset,
+                    input.len(),
+                    &out,
+                    wall.as_secs_f64() * 1e3,
+                ));
+            }
+        };
+
+    for &n in &sizes {
+        let flat = uniform::ungrouped(n, p, 21);
+        let grouped = uniform::grouped((n / 10).max(1), 10, p, 22);
+        let c_flat = (n / 10).max(20).min(flat.len());
+        let c_grouped = (n / 10).max(20).max(grouped.cmin()).min(grouped.len());
+        run_both("size_bounded", "flat", &flat, &|input, mode| {
+            pta_size_bounded_with_mode(input, &w, c_flat, mode).expect("valid size bound")
+        });
+        run_both("size_bounded", "grouped", &grouped, &|input, mode| {
+            pta_size_bounded_with_mode(input, &w, c_grouped, mode).expect("valid size bound")
+        });
+        run_both("error_bounded", "grouped", &grouped, &|input, mode| {
+            pta_error_bounded_with_mode(input, &w, 0.1, mode).expect("valid error bound")
+        });
+    }
+
+    let rows: Vec<Vec<String>> = records
+        .iter()
+        .map(|r| {
+            row([
+                r.algorithm.to_string(),
+                r.dataset.to_string(),
+                r.n.to_string(),
+                r.c.to_string(),
+                mode_name(r.mode).to_string(),
+                fmt(r.wall_ms),
+                r.peak_rows.to_string(),
+                r.cells.to_string(),
+            ])
+        })
+        .collect();
+    print_table(
+        "DP backtracking modes",
+        &["algorithm", "dataset", "n", "c", "mode", "wall_ms", "peak_rows", "cells"],
+        &rows,
+    );
+
+    let payload = json(&records);
+    let path = std::path::Path::new("BENCH_dp.json");
+    match std::fs::write(path, &payload) {
+        Ok(()) => println!("[written {}]", path.display()),
+        Err(e) => eprintln!("cannot write {}: {e}", path.display()),
+    }
+}

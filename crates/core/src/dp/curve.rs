@@ -25,14 +25,13 @@ pub fn optimal_error_curve(
     }
     let engine = DpEngine::new(input, weights, true)?;
     let width = n + 1;
+    // Both row buffers start at ∞; each row fill resets only its window.
     let mut prev = vec![f64::INFINITY; width];
-    prev[0] = 0.0;
     let mut cur = vec![f64::INFINITY; width];
     let mut curve = Vec::with_capacity(kmax);
     for k in 1..=kmax {
-        engine.fill_row(k, &prev, &mut cur, None);
+        engine.fill_row_fwd(k, 0, n, &prev, &mut cur, None);
         std::mem::swap(&mut prev, &mut cur);
-        cur.fill(f64::INFINITY);
         curve.push(prev[n]);
     }
     Ok(curve)

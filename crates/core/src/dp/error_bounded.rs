@@ -2,7 +2,7 @@
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::{check_table_size, max_error_over_runs, DpEngine, DpOutcome, DpStats};
+use crate::dp::{max_error_over_runs, DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats};
 use crate::error::CoreError;
 use crate::policy::GapPolicy;
 use crate::reduction::Reduction;
@@ -14,13 +14,17 @@ use crate::weights::Weights;
 ///
 /// The DP fills rows `k = 1, 2, ...`; the optimal error `E[k][n]`
 /// decreases monotonically with `k`, so the first satisfying row gives the
-/// minimal size (§5.5). Same asymptotic cost as `PTAc`.
+/// minimal size (§5.5). Same asymptotic cost as `PTAc`. The row count is
+/// unknown up front, so split-point rows are recorded only while they fit
+/// the mode's table budget; a satisfying row beyond the budget is
+/// recovered by divide-and-conquer backtracking instead — memory stays
+/// bounded and no input size is rejected.
 pub fn error_bounded(
     input: &SequentialRelation,
     weights: &Weights,
     epsilon: f64,
 ) -> Result<DpOutcome, CoreError> {
-    error_bounded_with_policy(input, weights, epsilon, GapPolicy::Strict)
+    error_bounded_with_opts(input, weights, epsilon, DpOptions::default())
 }
 
 /// `PTAε` under a mergeability policy (§8 gap-tolerant extension): both
@@ -31,6 +35,28 @@ pub fn error_bounded_with_policy(
     epsilon: f64,
     policy: GapPolicy,
 ) -> Result<DpOutcome, CoreError> {
+    error_bounded_with_opts(input, weights, epsilon, DpOptions { policy, mode: DpMode::Auto })
+}
+
+/// `PTAε` with an explicit backtracking mode — pin [`DpMode::Table`] or
+/// [`DpMode::DivideConquer`], or set a custom [`DpMode::Budget`].
+pub fn error_bounded_with_mode(
+    input: &SequentialRelation,
+    weights: &Weights,
+    epsilon: f64,
+    mode: DpMode,
+) -> Result<DpOutcome, CoreError> {
+    error_bounded_with_opts(input, weights, epsilon, DpOptions { policy: GapPolicy::Strict, mode })
+}
+
+/// `PTAε` with both the mergeability policy and the backtracking mode
+/// chosen by the caller — the fully general entry point the facade uses.
+pub fn error_bounded_with_opts(
+    input: &SequentialRelation,
+    weights: &Weights,
+    epsilon: f64,
+    opts: DpOptions,
+) -> Result<DpOutcome, CoreError> {
     if !(0.0..=1.0).contains(&epsilon) {
         return Err(CoreError::invalid_error_bound(epsilon));
     }
@@ -38,36 +64,93 @@ pub fn error_bounded_with_policy(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    let engine = DpEngine::new_full(input, weights, true, policy, true)?;
+    let engine = DpEngine::new_full(input, weights, true, opts.policy, true)?;
     let emax = max_error_over_runs(weights, &engine.stats, &engine.gaps, n);
+    if !emax.is_finite() {
+        return Err(CoreError::non_finite_data("maximal reduction error is not finite"));
+    }
     // Absolute tolerance so ε = 1 stops exactly at cmin despite the DP and
     // the direct Emax summation accumulating rounding differently.
     let threshold = epsilon * emax + 1e-9 * (1.0 + emax);
+    run_with_threshold(input, weights, &engine, opts, threshold)
+}
 
+/// The Fig. 8 row loop against a precomputed absolute threshold.
+/// Factored out so the `found == 0` backstop is unit-testable: with finite
+/// inputs `E[n][n] = 0` always satisfies any valid threshold, so the
+/// typed-error path below is reachable only when a non-finite value
+/// poisoned the threshold or the error table.
+fn run_with_threshold(
+    input: &SequentialRelation,
+    weights: &Weights,
+    engine: &DpEngine<'_>,
+    opts: DpOptions,
+    threshold: f64,
+) -> Result<DpOutcome, CoreError> {
+    let n = engine.n;
     let width = n + 1;
-    let mut jm: Vec<u32> = Vec::new();
+    // Split-point rows are recorded only while the table stays within the
+    // mode's budget; past it the rows keep filling (two error rows only)
+    // and boundaries are recovered by divide and conquer afterwards.
+    let row_budget = opts.mode.row_budget(n).min(n);
+    let mut jm: Vec<usize> = Vec::new();
+    // Both row buffers start at ∞; each row fill resets only its own
+    // window (see `fill_row_fwd`), so sparse rows cost O(window).
     let mut prev = vec![f64::INFINITY; width];
-    prev[0] = 0.0;
     let mut cur = vec![f64::INFINITY; width];
     let mut cells = 0u64;
     let mut found = 0usize;
+    let mut recorded = 0usize;
     for k in 1..=n {
-        check_table_size(n, k)?;
-        jm.resize(k * width, 0);
-        cells += engine.fill_row(k, &prev, &mut cur, Some(&mut jm[(k - 1) * width..k * width]));
+        let jrow = if k <= row_budget {
+            jm.resize(k * width, 0);
+            recorded = k;
+            Some(&mut jm[(k - 1) * width..k * width])
+        } else {
+            None
+        };
+        cells += engine.fill_row_fwd(k, 0, n, &prev, &mut cur, jrow);
         std::mem::swap(&mut prev, &mut cur);
-        cur.fill(f64::INFINITY);
         if prev[n] <= threshold {
             found = k;
             break;
         }
     }
-    debug_assert!(found > 0, "E[n][n] = 0 always satisfies the bound");
+    if found == 0 {
+        return Err(CoreError::non_finite_data(
+            "error-bounded DP finished without any row satisfying the bound",
+        ));
+    }
 
-    let boundaries = engine.backtrack(&jm, found);
-    let reduction =
-        Reduction::from_boundaries_with_policy(input, weights, &engine.stats, &boundaries, policy)?;
-    Ok(DpOutcome { reduction, stats: DpStats { rows: found, cells } })
+    let (boundaries, stats) = if found <= recorded {
+        let boundaries = engine.backtrack(&jm, found);
+        let stats =
+            DpStats { rows: found, cells, peak_rows: recorded + 2, mode: DpExecMode::Table };
+        (boundaries, stats)
+    } else {
+        // Free the search-phase rows before the divide-and-conquer scratch
+        // rows are allocated, keeping the peak at max(search, recovery).
+        drop(jm);
+        drop(prev);
+        drop(cur);
+        let out = engine.dnc_boundaries(found);
+        let stats = DpStats {
+            rows: found + out.rows,
+            cells: cells + out.cells,
+            peak_rows: (recorded + 2).max(4),
+            mode: DpExecMode::DivideConquer,
+        };
+        (out.boundaries, stats)
+    };
+
+    let reduction = Reduction::from_boundaries_with_policy(
+        input,
+        weights,
+        &engine.stats,
+        &boundaries,
+        opts.policy,
+    )?;
+    Ok(DpOutcome { reduction, stats })
 }
 
 #[cfg(test)]
@@ -120,6 +203,37 @@ mod tests {
                 sb.reduction.sse()
             );
         }
+    }
+
+    /// Divide-and-conquer recovery returns the same minimal reduction as
+    /// the recorded table, and reports bounded memory while doing so.
+    #[test]
+    fn modes_agree_across_epsilons() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        for eps in [0.0, 0.02, 0.05, 0.2, 0.5, 1.0] {
+            let table = error_bounded_with_mode(&input, &w, eps, DpMode::Table).unwrap();
+            let dnc = error_bounded_with_mode(&input, &w, eps, DpMode::DivideConquer).unwrap();
+            assert_eq!(table.stats.mode, DpExecMode::Table);
+            assert_eq!(dnc.stats.mode, DpExecMode::DivideConquer);
+            assert!(dnc.stats.peak_rows <= 4, "eps {eps}: {} rows", dnc.stats.peak_rows);
+            assert_eq!(table.reduction.source_ranges(), dnc.reduction.source_ranges(), "eps {eps}");
+            assert!((table.reduction.sse() - dnc.reduction.sse()).abs() < 1e-9, "eps {eps}");
+        }
+    }
+
+    /// A poisoned (NaN) threshold must surface as a typed error, not as a
+    /// release-mode index underflow in backtrack — the `found == 0`
+    /// backstop for non-finite data that slipped past the builder.
+    #[test]
+    fn nan_threshold_yields_typed_error_not_panic() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let engine = DpEngine::new(&input, &w, true).unwrap();
+        let err =
+            run_with_threshold(&input, &w, &engine, DpOptions::default(), f64::NAN).unwrap_err();
+        assert!(err.common().is_some_and(pta_temporal::CommonError::is_invalid_parameter));
+        assert!(err.to_string().contains("non-finite"));
     }
 
     /// The satisfied bound really holds, and size is minimal: one tuple

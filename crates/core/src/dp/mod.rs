@@ -12,6 +12,33 @@
 //! `imax`/`jmin` bounds derived from the gap vector, and Jagadish et al.'s
 //! early break when the range SSE alone exceeds the best cell value.
 //!
+//! # Backtracking modes and their memory model
+//!
+//! Error values only ever need two `(n + 1)`-entry rows, so the memory
+//! question is entirely about recovering the optimal *split points*. Two
+//! interchangeable modes exist, selected by [`DpMode`]:
+//!
+//! * **Materialized table** ([`DpMode::Table`]): record the best split
+//!   point of every cell in a `c × (n + 1)` `usize` matrix and walk it
+//!   backwards once — `O(n · c)` memory, a single DP pass. Fastest while
+//!   the table fits in memory.
+//! * **Divide and conquer** ([`DpMode::DivideConquer`]): record nothing.
+//!   To split `n` tuples into `c` pieces, run a forward DP to row
+//!   `⌊c/2⌋` and a mirrored *suffix* DP to row `⌈c/2⌉` (two rows each),
+//!   pick the midpoint `m` minimizing their sum, and recurse on the two
+//!   halves (Hirschberg's scheme). Memory is four scratch rows —
+//!   `O(n)` regardless of `c` — and because each recursion level halves
+//!   both the piece count and the covered area, the total work is at most
+//!   ~2× the single-pass table fill. This is what lifts exact PTA to
+//!   inputs with `n` in the millions.
+//!
+//! [`DpMode::Auto`] (the default everywhere) materializes the table only
+//! when `c · (n + 1)` fits [`DEFAULT_TABLE_BUDGET`] and silently switches
+//! to divide and conquer beyond it; nothing fails on large inputs anymore
+//! (the pre-existing hard `TableTooLarge` cap is gone). Both modes return
+//! identical reductions and are pinned against each other by the
+//! cross-mode equivalence tests.
+//!
 //! [`size_bounded`] implements `PTAc` (Fig. 7), [`error_bounded`]
 //! implements `PTAε` (Fig. 8), and [`curve`] produces whole error-vs-size
 //! curves for the evaluation. The *naive DP* baseline of the paper's
@@ -30,19 +57,96 @@ use crate::policy::GapPolicy;
 use crate::prefix::PrefixStats;
 use crate::weights::Weights;
 
-/// Hard cap on split-point table entries (×4 bytes each). Inputs needing
-/// more should use the greedy algorithms, as the paper does for its largest
-/// datasets.
-pub const MAX_TABLE_ENTRIES: usize = 1 << 28;
+/// Default split-point table budget of [`DpMode::Auto`], in table entries
+/// (one `usize` each): 2²⁵ entries, i.e. 256 MiB on 64-bit targets.
+/// Inputs whose `c · (n + 1)` exceeds the budget transparently use
+/// divide-and-conquer backtracking — no input is rejected. (The pre-PR
+/// hard cap `MAX_TABLE_ENTRIES` was 2²⁸ entries, beyond which exact PTA
+/// failed with `TableTooLarge`.)
+pub const DEFAULT_TABLE_BUDGET: usize = 1 << 25;
+
+/// How the exact DP recovers the optimal split points. Both modes produce
+/// the same optimal reduction; they trade memory against a small constant
+/// factor of extra work (see the [module docs](self)).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DpMode {
+    /// Materialize the split-point table when `c · (n + 1)` fits
+    /// [`DEFAULT_TABLE_BUDGET`]; divide and conquer otherwise.
+    #[default]
+    Auto,
+    /// [`DpMode::Auto`] with an explicit table budget in entries — the
+    /// opt-in memory knob: the table is materialized only while
+    /// `c · (n + 1)` stays within the budget.
+    Budget(usize),
+    /// Always materialize the split-point table (`O(n · c)` memory, one
+    /// DP pass).
+    Table,
+    /// Always backtrack by divide and conquer (`O(n)` memory, at most
+    /// about twice the split-point evaluations).
+    DivideConquer,
+}
+
+impl DpMode {
+    /// Whether a `c × (n + 1)` split-point table fits this mode's budget.
+    pub fn materializes_table(self, n: usize, c: usize) -> bool {
+        let entries = c.saturating_mul(n.saturating_add(1));
+        match self {
+            Self::Auto => entries <= DEFAULT_TABLE_BUDGET,
+            Self::Budget(budget) => entries <= budget,
+            Self::Table => true,
+            Self::DivideConquer => false,
+        }
+    }
+
+    /// How many `(n + 1)`-wide split-point rows the error-bounded DP may
+    /// record under this mode before falling back to divide-and-conquer
+    /// recovery (`PTAε` does not know its final row count up front).
+    pub(crate) fn row_budget(self, n: usize) -> usize {
+        match self {
+            Self::Auto => DEFAULT_TABLE_BUDGET / (n + 1),
+            Self::Budget(budget) => budget / (n + 1),
+            Self::Table => usize::MAX,
+            Self::DivideConquer => 0,
+        }
+    }
+}
+
+/// The backtracking strategy a DP run actually used — the resolution of a
+/// [`DpMode`] request against the input size.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum DpExecMode {
+    /// Split points were recovered from a materialized table.
+    #[default]
+    Table,
+    /// Split points were recovered by divide and conquer.
+    DivideConquer,
+}
+
+/// Options shared by the exact DP entry points.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DpOptions {
+    /// Mergeability policy (§8 gap-tolerant extension).
+    pub policy: GapPolicy,
+    /// Split-point backtracking mode.
+    pub mode: DpMode,
+}
 
 /// Work counters reported by the DP algorithms; the evaluation uses them to
-/// show how gap pruning shrinks the search space.
+/// show how gap pruning shrinks the search space, and the `dp_memory`
+/// bench tracks `peak_rows` as the memory yardstick of the two modes.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DpStats {
-    /// Number of matrix rows filled (`k` values).
+    /// Number of matrix rows filled (`k` values), counting divide-and-
+    /// conquer re-fills.
     pub rows: usize,
     /// Number of inner-loop split-point evaluations.
     pub cells: u64,
+    /// Peak number of `(n + 1)`-entry rows simultaneously allocated
+    /// (error rows plus recorded split-point rows). `c + 2` for the
+    /// materialized table; a small constant for divide and conquer.
+    pub peak_rows: usize,
+    /// Which backtracking mode actually ran.
+    pub mode: DpExecMode,
 }
 
 /// A finished DP run: the optimal reduction plus work counters.
@@ -112,6 +216,28 @@ pub(crate) struct DpEngine<'a> {
     pub(crate) early_break: bool,
 }
 
+/// Result of one divide-and-conquer backtracking run.
+pub(crate) struct DncOutcome {
+    /// Partition boundaries including `lo` and `hi` (prefix lengths).
+    pub(crate) boundaries: Vec<usize>,
+    /// Split-point evaluations performed.
+    pub(crate) cells: u64,
+    /// Rows filled across the recursion.
+    pub(crate) rows: usize,
+    /// The optimal SSE `E[c][n]` observed at the top split (0 for `c = 1`
+    /// base calls, where it is the single range SSE).
+    pub(crate) optimal_sse: f64,
+}
+
+/// Scratch rows reused across the whole divide-and-conquer recursion —
+/// four `(n + 1)`-entry rows, the entire extra memory of the mode.
+struct DncScratch {
+    fwd_prev: Vec<f64>,
+    fwd_cur: Vec<f64>,
+    bwd_prev: Vec<f64>,
+    bwd_cur: Vec<f64>,
+}
+
 impl<'a> DpEngine<'a> {
     pub(crate) fn new(
         input: &SequentialRelation,
@@ -150,43 +276,67 @@ impl<'a> DpEngine<'a> {
         }
     }
 
-    /// Fills row `k` of the error matrix into `cur` (index = prefix
-    /// length; `cur` must be pre-filled with `∞`), reading row `k − 1`
-    /// from `prev`. When `jrow` is given, records the best split point per
-    /// cell. Returns the number of split-point evaluations.
-    pub(crate) fn fill_row(
+    /// Fills row `k` of the subproblem "partition tuples `lo..hi`": for
+    /// every prefix length `i` in the row's *window* `lo + k ..= imax(k)`,
+    /// `cur[i]` becomes the smallest SSE of reducing tuples `lo..i` to `k`
+    /// tuples, reading row `k − 1` from `prev`. Rows are full-width and
+    /// absolute-indexed; only the window is reset (to `∞`) and written, so
+    /// a row costs `O(window)` — on gap-rich data the window is far
+    /// smaller than `n`, which is what keeps paper-scale runs near-linear.
+    /// Callers must hand in row buffers whose `[lo..=hi]` slice was
+    /// `∞`-initialized before row 1 and alternate `prev`/`cur` between
+    /// consecutive rows; positions outside every window then stay `∞`
+    /// (windows only move right as `k` grows), which is exactly their
+    /// semantic value. When `jrow` is given, records the best split point
+    /// per cell. Returns the number of split-point evaluations.
+    ///
+    /// `lo = 0, hi = n` is the classic whole-input DP row (Fig. 7);
+    /// arbitrary subranges serve the divide-and-conquer recursion.
+    pub(crate) fn fill_row_fwd(
         &self,
         k: usize,
+        lo: usize,
+        hi: usize,
         prev: &[f64],
         cur: &mut [f64],
-        mut jrow: Option<&mut [u32]>,
+        mut jrow: Option<&mut [usize]>,
     ) -> u64 {
-        debug_assert!(k >= 1);
-        let n = self.n;
-        let imax = if self.prune { self.gaps.imax(k) } else { n };
+        debug_assert!(k >= 1 && lo <= hi && hi <= self.n);
+        let imax = if self.prune { self.gaps.imax_within(k, lo, hi) } else { hi };
+        if lo + k > imax {
+            return 0;
+        }
+        cur[lo + k..=imax].fill(f64::INFINITY);
         let mut cells = 0u64;
-        for i in k..=imax {
+        for i in (lo + k)..=imax {
             if k == 1 {
-                // First row: all of the prefix merges into one tuple.
-                cur[i] = self.cost(0, i);
+                // First row: the whole (sub)prefix merges into one tuple.
+                cur[i] = self.cost(lo, i);
                 if let Some(jr) = jrow.as_deref_mut() {
-                    jr[i] = 0;
+                    jr[i] = lo;
                 }
                 cells += 1;
                 continue;
             }
-            let break_below = self.gaps.rightmost_break_below(i);
-            let jmin = if self.prune { break_below.map_or(k - 1, |g| g.max(k - 1)) } else { k - 1 };
+            let break_below = self.gaps.rightmost_break_below(i).filter(|&g| g > lo);
+            let floor = lo + k - 1;
+            let jmin = if self.prune { break_below.map_or(floor, |g| g.max(floor)) } else { floor };
             // Forced split: the prefix has exactly k − 1 internal breaks,
             // so every cut is pinned to a break (Fig. 7 lines 13–16).
             if self.prune {
                 if let Some(g) = break_below {
-                    if k - 2 < self.gaps.count() && self.gaps.breaks()[k - 2] == g {
-                        cur[i] = prev[g] + self.stats.range_sse(self.weights, g..i);
-                        if let Some(jr) = jrow.as_deref_mut() {
-                            jr[i] = g as u32;
-                        }
+                    if self.gaps.breaks_in(lo, i) == k - 1 {
                         cells += 1;
+                        // g < floor means the forced prefix cannot hold
+                        // k − 1 tuples: the cell is infeasible and must
+                        // stay ∞ (prev[g] may hold a stale older row
+                        // outside row k − 1's window).
+                        if g >= floor {
+                            cur[i] = prev[g] + self.stats.range_sse(self.weights, g..i);
+                            if let Some(jr) = jrow.as_deref_mut() {
+                                jr[i] = g;
+                            }
+                        }
                         continue;
                     }
                 }
@@ -214,22 +364,97 @@ impl<'a> DpEngine<'a> {
             }
             cur[i] = best;
             if let Some(jr) = jrow.as_deref_mut() {
-                jr[i] = best_j as u32;
+                jr[i] = best_j;
             }
+        }
+        cells
+    }
+
+    /// Mirror image of [`DpEngine::fill_row_fwd`]: fills *suffix*-DP row
+    /// `k`. For every prefix length `i` in `lo ..= hi − k`, `cur[i]`
+    /// becomes the smallest SSE of reducing tuples `i..hi` to `k` tuples,
+    /// reading row `k − 1` from `prev`. All §5.3 accelerations apply in
+    /// mirrored form: `imin`/`jmax` gap bounds, the pinned cut when the
+    /// suffix holds exactly `k − 1` internal breaks, and the increasing-`j`
+    /// early break (the head-range SSE grows monotonically with `j`).
+    ///
+    /// The divide-and-conquer backtracking pairs this with the forward
+    /// fill to locate optimal midpoints without a split-point table.
+    // Index loops mirror `fill_row_fwd` cell-for-cell; iterator chains
+    // over `cur`/`prev` would obscure the shared structure.
+    #[allow(clippy::needless_range_loop)]
+    pub(crate) fn fill_row_bwd(
+        &self,
+        k: usize,
+        lo: usize,
+        hi: usize,
+        prev: &[f64],
+        cur: &mut [f64],
+    ) -> u64 {
+        debug_assert!(k >= 1 && lo <= hi && hi <= self.n && hi - lo >= k);
+        let imin = if self.prune { self.gaps.imin_within(k, lo, hi) } else { lo };
+        if imin > hi - k {
+            return 0;
+        }
+        cur[imin..=(hi - k)].fill(f64::INFINITY);
+        let mut cells = 0u64;
+        for i in imin..=(hi - k) {
+            if k == 1 {
+                cur[i] = self.cost(i, hi);
+                cells += 1;
+                continue;
+            }
+            let break_above = self.gaps.leftmost_break_above(i).filter(|&g| g < hi);
+            let ceil = hi - (k - 1);
+            let jmax = if self.prune { break_above.map_or(ceil, |g| g.min(ceil)) } else { ceil };
+            // Forced split, mirrored: exactly k − 1 internal breaks in the
+            // suffix pin the first cut to the leftmost break.
+            if self.prune {
+                if let Some(g) = break_above {
+                    if self.gaps.breaks_in(i, hi) == k - 1 {
+                        cells += 1;
+                        // g > ceil: the forced suffix cannot hold k − 1
+                        // tuples — infeasible, keep ∞ (prev[g] may be a
+                        // stale older row outside row k − 1's window).
+                        if g <= ceil {
+                            cur[i] = self.stats.range_sse(self.weights, i..g) + prev[g];
+                        }
+                        continue;
+                    }
+                }
+            }
+            let mut best = f64::INFINITY;
+            for j in (i + 1)..=jmax {
+                cells += 1;
+                let err2 = if self.prune {
+                    // j ≤ jmax guarantees the range crosses no break.
+                    self.stats.range_sse(self.weights, i..j)
+                } else {
+                    self.cost(i, j)
+                };
+                let total = err2 + prev[j];
+                if total < best {
+                    best = total;
+                }
+                if self.early_break && err2 > best {
+                    break;
+                }
+            }
+            cur[i] = best;
         }
         cells
     }
 
     /// Reconstructs the partition boundaries from the split-point matrix:
     /// rows `1..=k`, each of width `n + 1`, flattened row-major.
-    pub(crate) fn backtrack(&self, jm: &[u32], k: usize) -> Vec<usize> {
+    pub(crate) fn backtrack(&self, jm: &[usize], k: usize) -> Vec<usize> {
         let n = self.n;
         let width = n + 1;
         let mut bounds = Vec::with_capacity(k + 1);
         bounds.push(n);
         let mut i = n;
         for kk in (1..=k).rev() {
-            let j = jm[(kk - 1) * width + i] as usize;
+            let j = jm[(kk - 1) * width + i];
             debug_assert!(j < i, "split point must shrink the prefix");
             bounds.push(j);
             i = j;
@@ -238,15 +463,96 @@ impl<'a> DpEngine<'a> {
         bounds.reverse();
         bounds
     }
-}
 
-/// Rejects (n, c) combinations whose split-point table would be too large.
-pub(crate) fn check_table_size(n: usize, c: usize) -> Result<(), CoreError> {
-    let entries = c.saturating_mul(n + 1);
-    if entries > MAX_TABLE_ENTRIES {
-        return Err(CoreError::TableTooLarge { n, c });
+    /// Recovers the optimal partition of the whole input into `c` pieces
+    /// with `O(n)` memory: Hirschberg-style divide-and-conquer
+    /// backtracking over [`DpEngine::fill_row_fwd`] /
+    /// [`DpEngine::fill_row_bwd`]. Requires `1 ≤ c ≤ n` and a feasible
+    /// reduction (`c ≥ cmin`), which the public entry points establish.
+    pub(crate) fn dnc_boundaries(&self, c: usize) -> DncOutcome {
+        debug_assert!(c >= 1 && c <= self.n);
+        let width = self.n + 1;
+        let mut scratch = DncScratch {
+            fwd_prev: vec![f64::INFINITY; width],
+            fwd_cur: vec![f64::INFINITY; width],
+            bwd_prev: vec![f64::INFINITY; width],
+            bwd_cur: vec![f64::INFINITY; width],
+        };
+        let mut boundaries = Vec::with_capacity(c + 1);
+        boundaries.push(0);
+        let mut cells = 0u64;
+        let mut rows = 0usize;
+        let optimal_sse =
+            self.dnc_rec(0, self.n, c, &mut boundaries, &mut scratch, &mut cells, &mut rows);
+        boundaries.push(self.n);
+        debug_assert_eq!(boundaries.len(), c + 1);
+        DncOutcome { boundaries, cells, rows, optimal_sse }
     }
-    Ok(())
+
+    /// Appends the internal cut positions of the optimal `c`-piece
+    /// partition of tuples `lo..hi` to `cuts` (in increasing order) and
+    /// returns that partition's SSE.
+    #[allow(clippy::too_many_arguments)]
+    fn dnc_rec(
+        &self,
+        lo: usize,
+        hi: usize,
+        c: usize,
+        cuts: &mut Vec<usize>,
+        scratch: &mut DncScratch,
+        cells: &mut u64,
+        rows: &mut usize,
+    ) -> f64 {
+        debug_assert!(c >= 1 && hi - lo >= c);
+        if c == 1 {
+            return self.cost(lo, hi);
+        }
+        if hi - lo == c {
+            // Every tuple its own piece: all cuts are forced, SSE 0.
+            cuts.extend(lo + 1..hi);
+            return 0.0;
+        }
+        let k_left = c / 2;
+        let k_right = c - k_left;
+        // A previous node left stale values in the scratch rows; reset the
+        // window once per node, then the row fills reset only their own
+        // (shrinking) windows.
+        scratch.fwd_prev[lo..=hi].fill(f64::INFINITY);
+        scratch.fwd_cur[lo..=hi].fill(f64::INFINITY);
+        scratch.bwd_prev[lo..=hi].fill(f64::INFINITY);
+        scratch.bwd_cur[lo..=hi].fill(f64::INFINITY);
+        // Forward DP to row k_left over [lo, hi]; fwd_prev ends holding
+        // F[k_left][·] = optimal SSE of `lo..i` in k_left pieces.
+        for k in 1..=k_left {
+            *cells += self.fill_row_fwd(k, lo, hi, &scratch.fwd_prev, &mut scratch.fwd_cur, None);
+            std::mem::swap(&mut scratch.fwd_prev, &mut scratch.fwd_cur);
+        }
+        // Suffix DP to row k_right; bwd_prev ends holding
+        // B[k_right][·] = optimal SSE of `i..hi` in k_right pieces.
+        for k in 1..=k_right {
+            *cells += self.fill_row_bwd(k, lo, hi, &scratch.bwd_prev, &mut scratch.bwd_cur);
+            std::mem::swap(&mut scratch.bwd_prev, &mut scratch.bwd_cur);
+        }
+        *rows += c;
+        // The optimal partition cuts after its k_left-th piece at the
+        // midpoint minimizing F + B.
+        let mut best = f64::INFINITY;
+        let mut mid = 0usize;
+        for i in (lo + k_left)..=(hi - k_right) {
+            let total = scratch.fwd_prev[i] + scratch.bwd_prev[i];
+            if total < best {
+                best = total;
+                mid = i;
+            }
+        }
+        debug_assert!(best.is_finite(), "feasible subproblem must yield a finite midpoint");
+        // The children overwrite the scratch rows; the parent only needs
+        // `mid` from here on, so peak memory stays at four rows.
+        self.dnc_rec(lo, mid, k_left, cuts, scratch, cells, rows);
+        cuts.push(mid);
+        self.dnc_rec(mid, hi, k_right, cuts, scratch, cells, rows);
+        best
+    }
 }
 
 #[cfg(test)]
@@ -282,7 +588,24 @@ pub(crate) mod tests {
         let mut rows = Vec::new();
         for k in 1..=kmax {
             let mut cur = vec![f64::INFINITY; n + 1];
-            engine.fill_row(k, &prev, &mut cur, None);
+            engine.fill_row_fwd(k, 0, n, &prev, &mut cur, None);
+            rows.push(cur.clone());
+            prev = cur;
+        }
+        rows
+    }
+
+    /// Fills the full *suffix* error matrix (rows 1..=kmax) for tests:
+    /// `rows[k − 1][i]` = optimal SSE of tuples `i..n` in `k` pieces.
+    fn full_matrix_bwd(input: &SequentialRelation, kmax: usize, prune: bool) -> Vec<Vec<f64>> {
+        let w = Weights::uniform(input.dims());
+        let engine = DpEngine::new(input, &w, prune).unwrap();
+        let n = input.len();
+        let mut prev = vec![f64::INFINITY; n + 1];
+        let mut rows = Vec::new();
+        for k in 1..=kmax {
+            let mut cur = vec![f64::INFINITY; n + 1];
+            engine.fill_row_bwd(k, 0, n, &prev, &mut cur);
             rows.push(cur.clone());
             prev = cur;
         }
@@ -340,6 +663,79 @@ pub(crate) mod tests {
         }
     }
 
+    /// The suffix DP is the exact mirror of the forward DP: the whole-input
+    /// cell agrees (`B[k][0] = E[k][n]`), and every interior cell matches
+    /// F-recomputation over the corresponding suffix.
+    #[test]
+    fn suffix_rows_mirror_forward_rows() {
+        let input = fig1c();
+        let n = input.len();
+        for prune in [false, true] {
+            let fwd = full_matrix(&input, n, prune);
+            let bwd = full_matrix_bwd(&input, n, prune);
+            for k in 1..=n {
+                let (x, y) = (fwd[k - 1][n], bwd[k - 1][0]);
+                assert!(
+                    (x.is_infinite() && y.is_infinite()) || (x - y).abs() < 1e-6,
+                    "k = {k}: forward {x} vs suffix {y} (prune={prune})"
+                );
+            }
+            // Interior: B[k][i] over fig1c computed on the sliced suffix.
+            for i in 0..n {
+                let suffix = input.slice(i..n);
+                let sub = full_matrix(&suffix, n - i, prune);
+                for k in 1..=(n - i) {
+                    let (x, y) = (sub[k - 1][n - i], bwd[k - 1][i]);
+                    assert!(
+                        (x.is_infinite() && y.is_infinite())
+                            || (x - y).abs() < 1e-6 * (1.0 + x.abs()),
+                        "B[{k}][{i}]: sliced {x} vs suffix-row {y} (prune={prune})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Divide-and-conquer backtracking reproduces the materialized-table
+    /// partition for every feasible size of the running example.
+    #[test]
+    fn dnc_matches_table_on_running_example() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        for prune in [false, true] {
+            let engine = DpEngine::new(&input, &w, prune).unwrap();
+            let n = input.len();
+            let width = n + 1;
+            for c in 3..=n {
+                let mut jm = vec![0usize; c * width];
+                let mut prev = vec![f64::INFINITY; width];
+                prev[0] = 0.0;
+                let mut cur = vec![f64::INFINITY; width];
+                for k in 1..=c {
+                    engine.fill_row_fwd(
+                        k,
+                        0,
+                        n,
+                        &prev,
+                        &mut cur,
+                        Some(&mut jm[(k - 1) * width..k * width]),
+                    );
+                    std::mem::swap(&mut prev, &mut cur);
+                    cur.fill(f64::INFINITY);
+                }
+                let table = engine.backtrack(&jm, c);
+                let dnc = engine.dnc_boundaries(c);
+                assert_eq!(table, dnc.boundaries, "c = {c} (prune={prune})");
+                assert!(
+                    (dnc.optimal_sse - prev[n]).abs() <= 1e-9 * (1.0 + prev[n]),
+                    "c = {c}: dnc optimum {} vs table optimum {}",
+                    dnc.optimal_sse,
+                    prev[n]
+                );
+            }
+        }
+    }
+
     /// Emax = 269 285.714 for the running example (Example 22).
     #[test]
     fn example_22_emax() {
@@ -350,8 +746,25 @@ pub(crate) mod tests {
     }
 
     #[test]
-    fn table_size_guard() {
-        assert!(check_table_size(1_000, 100).is_ok());
-        assert!(matches!(check_table_size(1 << 20, 1 << 12), Err(CoreError::TableTooLarge { .. })));
+    fn mode_selection() {
+        // Old-cap territory auto-selects divide and conquer instead of
+        // failing: (2²⁰ + 1) · 2¹² entries is far beyond the budget.
+        assert!(DpMode::Auto.materializes_table(1_000, 100));
+        assert!(!DpMode::Auto.materializes_table(1 << 20, 1 << 12));
+        assert!(DpMode::Table.materializes_table(1 << 20, 1 << 12));
+        assert!(!DpMode::DivideConquer.materializes_table(10, 2));
+        // (4 + 1) · 10 = 50 entries sit exactly on a budget of 50.
+        assert!(DpMode::Budget(50).materializes_table(4, 10));
+        assert!(!DpMode::Budget(49).materializes_table(4, 10));
+        // Budget overflow saturates instead of wrapping.
+        assert!(!DpMode::Auto.materializes_table(usize::MAX, usize::MAX));
+    }
+
+    #[test]
+    fn row_budgets() {
+        assert_eq!(DpMode::DivideConquer.row_budget(100), 0);
+        assert_eq!(DpMode::Table.row_budget(100), usize::MAX);
+        assert_eq!(DpMode::Budget(1_010).row_budget(100), 10);
+        assert_eq!(DpMode::Auto.row_budget(100), DEFAULT_TABLE_BUDGET / 101);
     }
 }

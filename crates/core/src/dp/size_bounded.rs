@@ -2,7 +2,7 @@
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::{check_table_size, DpEngine, DpOutcome, DpStats};
+use crate::dp::{DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats};
 use crate::error::CoreError;
 use crate::policy::GapPolicy;
 use crate::reduction::Reduction;
@@ -12,8 +12,10 @@ use crate::weights::Weights;
 /// tuples with minimal SSE (Def. 6), via the gap-pruned DP.
 ///
 /// Worst case `O(n² c p)` time on gap-free data; near-linear when gaps or
-/// groups bound the adjacent runs (§5.3). Space `O(n c)` for the
-/// split-point matrix plus two error rows.
+/// groups bound the adjacent runs (§5.3). Space is two error rows plus
+/// whatever the backtracking mode needs: `O(n c)` for the materialized
+/// split-point table, `O(n)` under divide and conquer — [`DpMode::Auto`]
+/// picks between them, so no input size is rejected.
 ///
 /// Fails with [`CoreError::SizeBelowMinimum`] when `c < cmin`.
 pub fn size_bounded(
@@ -21,7 +23,7 @@ pub fn size_bounded(
     weights: &Weights,
     c: usize,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, true, GapPolicy::Strict, true)
+    run(input, weights, c, true, DpOptions::default(), true)
 }
 
 /// `PTAc` under a mergeability policy — with [`GapPolicy::Tolerate`] this
@@ -34,7 +36,30 @@ pub fn size_bounded_with_policy(
     c: usize,
     policy: GapPolicy,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, true, policy, true)
+    run(input, weights, c, true, DpOptions { policy, mode: DpMode::Auto }, true)
+}
+
+/// `PTAc` with an explicit backtracking mode — pin [`DpMode::Table`] or
+/// [`DpMode::DivideConquer`] (the cross-mode tests do), or set a custom
+/// [`DpMode::Budget`].
+pub fn size_bounded_with_mode(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+    mode: DpMode,
+) -> Result<DpOutcome, CoreError> {
+    run(input, weights, c, true, DpOptions { policy: GapPolicy::Strict, mode }, true)
+}
+
+/// `PTAc` with both the mergeability policy and the backtracking mode
+/// chosen by the caller — the fully general entry point the facade uses.
+pub fn size_bounded_with_opts(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+    opts: DpOptions,
+) -> Result<DpOutcome, CoreError> {
+    run(input, weights, c, true, opts, true)
 }
 
 /// `PTAc` without the Jagadish early break — ablation target only; always
@@ -44,7 +69,7 @@ pub fn size_bounded_no_early_break(
     weights: &Weights,
     c: usize,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, true, GapPolicy::Strict, false)
+    run(input, weights, c, true, DpOptions::default(), false)
 }
 
 /// The unpruned "DP" baseline of Fig. 18: identical recurrence and
@@ -55,7 +80,7 @@ pub fn size_bounded_naive(
     weights: &Weights,
     c: usize,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, false, GapPolicy::Strict, true)
+    run(input, weights, c, false, DpOptions::default(), true)
 }
 
 fn run(
@@ -63,14 +88,14 @@ fn run(
     weights: &Weights,
     c: usize,
     prune: bool,
-    policy: GapPolicy,
+    opts: DpOptions,
     early_break: bool,
 ) -> Result<DpOutcome, CoreError> {
     let n = input.len();
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    let engine = DpEngine::new_full(input, weights, prune, policy, early_break)?;
+    let engine = DpEngine::new_full(input, weights, prune, opts.policy, early_break)?;
     let cmin = engine.gaps.cmin();
     if c < cmin {
         return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
@@ -78,31 +103,55 @@ fn run(
     if c >= n {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    check_table_size(n, c)?;
 
-    let width = n + 1;
-    let mut jm = vec![0u32; c * width];
-    let mut prev = vec![f64::INFINITY; width];
-    prev[0] = 0.0;
-    let mut cur = vec![f64::INFINITY; width];
-    let mut cells = 0u64;
-    for k in 1..=c {
-        cells += engine.fill_row(k, &prev, &mut cur, Some(&mut jm[(k - 1) * width..k * width]));
-        std::mem::swap(&mut prev, &mut cur);
-        cur.fill(f64::INFINITY);
-    }
-    debug_assert!(prev[n].is_finite(), "E[c][n] must be finite when c >= cmin");
+    let (boundaries, optimum, stats) = if opts.mode.materializes_table(n, c) {
+        let width = n + 1;
+        let mut jm = vec![0usize; c * width];
+        // Both row buffers start at ∞; each row fill resets only its own
+        // window (see `fill_row_fwd`), so sparse rows cost O(window).
+        let mut prev = vec![f64::INFINITY; width];
+        let mut cur = vec![f64::INFINITY; width];
+        let mut cells = 0u64;
+        for k in 1..=c {
+            cells += engine.fill_row_fwd(
+                k,
+                0,
+                n,
+                &prev,
+                &mut cur,
+                Some(&mut jm[(k - 1) * width..k * width]),
+            );
+            std::mem::swap(&mut prev, &mut cur);
+        }
+        let boundaries = engine.backtrack(&jm, c);
+        let stats = DpStats { rows: c, cells, peak_rows: c + 2, mode: DpExecMode::Table };
+        (boundaries, prev[n], stats)
+    } else {
+        let out = engine.dnc_boundaries(c);
+        let stats = DpStats {
+            rows: out.rows,
+            cells: out.cells,
+            peak_rows: 4,
+            mode: DpExecMode::DivideConquer,
+        };
+        (out.boundaries, out.optimal_sse, stats)
+    };
+    debug_assert!(optimum.is_finite(), "E[c][n] must be finite when c >= cmin");
 
-    let boundaries = engine.backtrack(&jm, c);
-    let reduction =
-        Reduction::from_boundaries_with_policy(input, weights, &engine.stats, &boundaries, policy)?;
+    let reduction = Reduction::from_boundaries_with_policy(
+        input,
+        weights,
+        &engine.stats,
+        &boundaries,
+        opts.policy,
+    )?;
     debug_assert!(
-        (reduction.sse() - prev[n]).abs() <= 1e-6 * (1.0 + prev[n]),
+        (reduction.sse() - optimum).abs() <= 1e-6 * (1.0 + optimum),
         "reconstructed SSE {} deviates from DP optimum {}",
         reduction.sse(),
-        prev[n]
+        optimum
     );
-    Ok(DpOutcome { reduction, stats: DpStats { rows: c, cells } })
+    Ok(DpOutcome { reduction, stats })
 }
 
 #[cfg(test)]
@@ -139,6 +188,37 @@ mod tests {
         let cuts: Vec<usize> =
             out.reduction.source_ranges().iter().map(|r| r.start).chain([7]).collect();
         assert_eq!(cuts, vec![0, 2, 5, 6, 7]);
+    }
+
+    /// Both backtracking modes produce the paper's partition, and the
+    /// stats faithfully report which one ran and its memory footprint.
+    #[test]
+    fn modes_agree_on_running_example() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        for c in 3..=6 {
+            let table = size_bounded_with_mode(&input, &w, c, DpMode::Table).unwrap();
+            let dnc = size_bounded_with_mode(&input, &w, c, DpMode::DivideConquer).unwrap();
+            assert_eq!(table.stats.mode, DpExecMode::Table);
+            assert_eq!(dnc.stats.mode, DpExecMode::DivideConquer);
+            assert_eq!(table.stats.peak_rows, c + 2);
+            assert_eq!(dnc.stats.peak_rows, 4);
+            assert_eq!(table.reduction.source_ranges(), dnc.reduction.source_ranges());
+            assert!((table.reduction.sse() - dnc.reduction.sse()).abs() < 1e-9);
+        }
+    }
+
+    /// A tiny explicit budget forces divide and conquer; a generous one
+    /// keeps the table.
+    #[test]
+    fn budget_knob_selects_the_mode() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let forced = size_bounded_with_mode(&input, &w, 4, DpMode::Budget(8)).unwrap();
+        assert_eq!(forced.stats.mode, DpExecMode::DivideConquer);
+        let roomy = size_bounded_with_mode(&input, &w, 4, DpMode::Budget(1 << 10)).unwrap();
+        assert_eq!(roomy.stats.mode, DpExecMode::Table);
+        assert_eq!(forced.reduction.source_ranges(), roomy.reduction.source_ranges());
     }
 
     #[test]

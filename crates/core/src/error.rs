@@ -22,14 +22,6 @@ pub enum CoreError {
         /// Relation dimensionality `p`.
         expected: usize,
     },
-    /// The DP tables for this (n, c) combination would exceed the memory
-    /// budget; use the greedy algorithms for inputs this large.
-    TableTooLarge {
-        /// Input size `n`.
-        n: usize,
-        /// Requested output size `c`.
-        c: usize,
-    },
     /// A failure mode shared across the workspace (invalid error bound,
     /// invalid weights, invalid estimate, ...).
     Common(CommonError),
@@ -57,6 +49,18 @@ impl CoreError {
         Self::Common(CommonError::invalid_parameter("estimate", reason.into()))
     }
 
+    /// Non-finite data corrupted an error computation. Input values are
+    /// validated at the [`pta_temporal::SequentialBuilder`] boundary, so
+    /// this is a defensive backstop: the error-bounded DP returns it
+    /// instead of panicking when no row ever satisfies the threshold
+    /// (possible only when a NaN poisoned the error table or the bound).
+    pub fn non_finite_data(context: impl Into<String>) -> Self {
+        Self::Common(CommonError::invalid_parameter(
+            "input values",
+            format!("non-finite value encountered: {}", context.into()),
+        ))
+    }
+
     /// The shared failure vocabulary, if this error carries one (looking
     /// through wrapped lower-layer errors).
     pub fn common(&self) -> Option<&CommonError> {
@@ -79,11 +83,6 @@ impl fmt::Display for CoreError {
             Self::WeightDimensionMismatch { got, expected } => {
                 write!(f, "{got} weights supplied for a {expected}-dimensional relation")
             }
-            Self::TableTooLarge { n, c } => write!(
-                f,
-                "DP split-point table of {n} x {c} entries exceeds the memory budget; \
-                 use gPTAc/gPTAe for inputs this large"
-            ),
             Self::Common(e) => write!(f, "{e}"),
             Self::Temporal(e) => write!(f, "{e}"),
         }
@@ -134,6 +133,9 @@ mod tests {
         assert!(CoreError::invalid_estimate("zero")
             .common()
             .is_some_and(CommonError::is_invalid_parameter));
+        let nan = CoreError::non_finite_data("threshold never satisfied");
+        assert!(nan.common().is_some_and(CommonError::is_invalid_parameter));
+        assert!(nan.to_string().contains("non-finite"));
         assert!(CoreError::SizeBelowMinimum { requested: 2, cmin: 3 }.common().is_none());
     }
 }

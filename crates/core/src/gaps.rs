@@ -96,6 +96,47 @@ impl GapVector {
         // crosses it iff lo < g < hi.
         self.breaks_below(hi) > self.breaks_below(lo + 1)
     }
+
+    /// Number of breaks strictly inside `(lo, hi)` — cuts a partition of
+    /// the tuple subrange `lo..hi` is forced to take.
+    pub fn breaks_in(&self, lo: usize, hi: usize) -> usize {
+        self.breaks_below(hi).saturating_sub(self.breaks_below(lo + 1))
+    }
+
+    /// The leftmost break strictly above prefix length `i`, if any —
+    /// the `jmin` bound mirrored for suffix (backward) DP rows.
+    pub fn leftmost_break_above(&self, i: usize) -> Option<usize> {
+        self.breaks.get(self.breaks.partition_point(|&g| g <= i)).copied()
+    }
+
+    /// Subrange version of [`GapVector::imax`]: the longest prefix of the
+    /// tuple subrange `lo..hi` reducible to `k ≥ 1` tuples, as an absolute
+    /// prefix length. Equals the `k`-th break above `lo` when at least `k`
+    /// breaks lie inside `(lo, hi)`, else `hi`.
+    pub fn imax_within(&self, k: usize, lo: usize, hi: usize) -> usize {
+        debug_assert!(k >= 1);
+        let first = self.breaks.partition_point(|&g| g <= lo);
+        match self.breaks.get(first + k - 1) {
+            Some(&g) if g < hi => g,
+            _ => hi,
+        }
+    }
+
+    /// Mirror of [`GapVector::imax_within`] for suffix DP rows: the
+    /// smallest `i ≥ lo` whose suffix `i..hi` is reducible to `k ≥ 1`
+    /// tuples. Equals the `k`-th break *below* `hi` when at least `k`
+    /// breaks lie inside `(lo, hi)`, else `lo`.
+    pub fn imin_within(&self, k: usize, lo: usize, hi: usize) -> usize {
+        debug_assert!(k >= 1);
+        let last = self.breaks.partition_point(|&g| g < hi);
+        if last < k {
+            return lo;
+        }
+        match self.breaks.get(last - k) {
+            Some(&g) if g > lo => g,
+            _ => lo,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -175,5 +216,38 @@ mod tests {
     fn empty_relation_has_cmin_zero() {
         let g = GapVector::build(&SequentialRelation::empty(1));
         assert_eq!(g.cmin(), 0);
+    }
+
+    #[test]
+    fn subrange_bounds_reduce_to_full_range_bounds() {
+        let g = GapVector::from_breaks(vec![5, 6], 7);
+        for k in 1..=4 {
+            assert_eq!(g.imax_within(k, 0, 7), g.imax(k));
+        }
+        assert_eq!(g.breaks_in(0, 7), 2);
+        assert_eq!(g.breaks_in(0, 6), 1);
+        assert_eq!(g.breaks_in(5, 7), 1);
+        assert_eq!(g.breaks_in(5, 6), 0);
+        assert_eq!(g.leftmost_break_above(0), Some(5));
+        assert_eq!(g.leftmost_break_above(5), Some(6));
+        assert_eq!(g.leftmost_break_above(6), None);
+    }
+
+    #[test]
+    fn subrange_bounds_respect_the_window() {
+        let g = GapVector::from_breaks(vec![2, 5, 8], 10);
+        // Window (3, 10): internal breaks are 5 and 8.
+        assert_eq!(g.breaks_in(3, 10), 2);
+        assert_eq!(g.imax_within(1, 3, 10), 5);
+        assert_eq!(g.imax_within(2, 3, 10), 8);
+        assert_eq!(g.imax_within(3, 3, 10), 10);
+        assert_eq!(g.imin_within(1, 3, 10), 8);
+        assert_eq!(g.imin_within(2, 3, 10), 5);
+        assert_eq!(g.imin_within(3, 3, 10), 3);
+        // A break sitting exactly on a window edge is not internal.
+        assert_eq!(g.breaks_in(2, 8), 1);
+        assert_eq!(g.imax_within(1, 2, 8), 5);
+        assert_eq!(g.imin_within(1, 2, 8), 5);
+        assert_eq!(g.imin_within(2, 2, 8), 2);
     }
 }

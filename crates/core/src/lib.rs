@@ -13,6 +13,9 @@
 //! * **Exact dynamic programming** ([`dp`]): `PTAc` and `PTAε`, `O(n²cp)`
 //!   worst case, near-linear on data with gaps/groups thanks to the §5
 //!   optimizations (constant-time range SSE, gap pruning, early break).
+//!   Split points come from a materialized `O(n·c)` table on small
+//!   inputs or `O(n)`-memory divide-and-conquer backtracking beyond it
+//!   ([`DpMode`]), so no input size is rejected.
 //! * **Greedy merging** ([`greedy`]): offline GMS plus the streaming
 //!   `gPTAc`/`gPTAε` that merge while ITA tuples arrive, in
 //!   `O(n log(c+β))` time and `O(c+β)` space, with an `O(log n)` bound on
@@ -37,14 +40,21 @@ pub mod weights;
 
 pub use dp::curve::optimal_error_curve;
 pub use dp::error_bounded::{
-    error_bounded as pta_error_bounded, error_bounded_with_policy as pta_error_bounded_with_policy,
+    error_bounded as pta_error_bounded, error_bounded_with_mode as pta_error_bounded_with_mode,
+    error_bounded_with_opts as pta_error_bounded_with_opts,
+    error_bounded_with_policy as pta_error_bounded_with_policy,
 };
 pub use dp::size_bounded::{
     size_bounded as pta_size_bounded, size_bounded_naive as pta_size_bounded_naive,
     size_bounded_no_early_break as pta_size_bounded_no_early_break,
+    size_bounded_with_mode as pta_size_bounded_with_mode,
+    size_bounded_with_opts as pta_size_bounded_with_opts,
     size_bounded_with_policy as pta_size_bounded_with_policy,
 };
-pub use dp::{max_error, max_error_with_policy, DpOutcome, DpStats};
+pub use dp::{
+    max_error, max_error_with_policy, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats,
+    DEFAULT_TABLE_BUDGET,
+};
 pub use error::CoreError;
 pub use gaps::GapVector;
 pub use greedy::estimate::Estimates;

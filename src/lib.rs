@@ -61,7 +61,7 @@ pub use query::{
 /// Aggregate-spec shorthand re-export: `Agg::avg("Sal")` etc.
 pub use pta_ita::AggregateSpec as Agg;
 
-pub use pta_core::{Delta, Estimates, GapPolicy, Reduction, Weights};
+pub use pta_core::{Delta, DpExecMode, DpMode, Estimates, GapPolicy, Reduction, Weights};
 pub use pta_ita::{AggregateFunction, ItaQuerySpec, SpanSpec, Window};
 pub use pta_temporal::{
     Chronon, CommonError, DataType, GroupKey, Schema, SequentialRelation, TemporalRelation,

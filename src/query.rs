@@ -1,8 +1,8 @@
 //! The high-level PTA query builder.
 
 use pta_core::{
-    pta_error_bounded_with_policy, pta_size_bounded_with_policy, Delta, Estimates, GPtaC, GPtaE,
-    GapPolicy, Reduction, Weights,
+    pta_error_bounded_with_opts, pta_size_bounded_with_opts, Delta, DpMode, DpOptions, Estimates,
+    GPtaC, GPtaE, GapPolicy, Reduction, Weights,
 };
 use pta_ita::{ItaQuerySpec, StreamingIta};
 use pta_temporal::{SequentialRelation, TemporalRelation};
@@ -78,6 +78,7 @@ pub struct PtaQuery {
     algorithm: Algorithm,
     estimates: Option<Estimates>,
     policy: GapPolicy,
+    dp_mode: DpMode,
 }
 
 impl Default for PtaQuery {
@@ -97,6 +98,7 @@ impl PtaQuery {
             algorithm: Algorithm::Exact,
             estimates: None,
             policy: GapPolicy::Strict,
+            dp_mode: DpMode::Auto,
         }
     }
 
@@ -138,6 +140,17 @@ impl PtaQuery {
         self
     }
 
+    /// Sets how exact DP execution recovers split points — the opt-in
+    /// memory knob. The default, [`DpMode::Auto`], materializes the
+    /// `O(n·c)` split-point table only while it fits the built-in budget
+    /// and switches to `O(n)`-memory divide-and-conquer backtracking
+    /// beyond it; [`DpMode::Budget`] substitutes an explicit entry budget.
+    /// No input size fails either way.
+    pub fn dp_mode(mut self, mode: DpMode) -> Self {
+        self.dp_mode = mode;
+        self
+    }
+
     /// Supplies `(n̂, Ê_max)` estimates for greedy error-bounded
     /// execution; without them the exact values are computed in a first
     /// pass.
@@ -172,11 +185,10 @@ impl PtaQuery {
             Algorithm::Exact => {
                 let seq = pta_ita::ita(relation, &spec)?;
                 let n = seq.len();
+                let opts = DpOptions { policy: self.policy, mode: self.dp_mode };
                 let out = match bound {
-                    Bound::Size(c) => pta_size_bounded_with_policy(&seq, &weights, c, self.policy)?,
-                    Bound::Error(e) => {
-                        pta_error_bounded_with_policy(&seq, &weights, e, self.policy)?
-                    }
+                    Bound::Size(c) => pta_size_bounded_with_opts(&seq, &weights, c, opts)?,
+                    Bound::Error(e) => pta_error_bounded_with_opts(&seq, &weights, e, opts)?,
                 };
                 (out.reduction, n, ExecutionStats::Exact(out.stats))
             }

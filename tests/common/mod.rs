@@ -60,6 +60,44 @@ pub fn random_sequential(
     b.build()
 }
 
+/// Like [`random_sequential`], but with continuous values drawn from
+/// `[0, 1)` — with probability 1 every candidate partition has a distinct
+/// SSE, so the optimal boundaries are unique and backtracking-mode
+/// comparisons can assert exact equality instead of tie-tolerant checks.
+pub fn random_sequential_continuous(
+    seed: u64,
+    n: usize,
+    p: usize,
+    group_prob: f64,
+    gap_prob: f64,
+) -> SequentialRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SequentialBuilder::new(p);
+    let mut group = 0i64;
+    let mut t = 0i64;
+    let mut vals = vec![0.0; p];
+    for _ in 0..n {
+        if rng.random_bool(group_prob) {
+            group += 1;
+            t = 0;
+        } else if rng.random_bool(gap_prob) {
+            t += rng.random_range(2i64..5);
+        }
+        let len = rng.random_range(1i64..4);
+        for v in &mut vals {
+            *v = rng.random::<f64>();
+        }
+        b.push(
+            GroupKey::new(vec![Value::Int(group)]),
+            TimeInterval::new(t, t + len - 1).unwrap(),
+            &vals,
+        )
+        .unwrap();
+        t += len;
+    }
+    b.build()
+}
+
 /// Exhaustive minimal SSE of partitioning `input` into exactly `k`
 /// contiguous parts that never cross a gap/group boundary — the brute
 /// force the DP must match. Exponential; keep `n` small.

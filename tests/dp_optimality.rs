@@ -4,11 +4,13 @@
 
 mod common;
 
-use common::{brute_force_optimal, random_sequential};
+use common::{brute_force_optimal, random_sequential, random_sequential_continuous};
 use pta_core::{
-    gms_size_bounded, optimal_error_curve, pta_error_bounded, pta_size_bounded,
-    pta_size_bounded_naive, Weights,
+    gms_size_bounded, optimal_error_curve, pta_error_bounded, pta_error_bounded_with_mode,
+    pta_size_bounded, pta_size_bounded_naive, pta_size_bounded_with_mode, DpExecMode, DpMode,
+    Weights,
 };
+use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval};
 
 #[test]
 fn dp_matches_brute_force_on_random_inputs() {
@@ -98,6 +100,187 @@ fn error_bounded_is_minimal_and_within_budget() {
             }
         }
     }
+}
+
+/// Cross-mode equivalence: on randomized gap-rich and gap-free inputs,
+/// the divide-and-conquer path, the materialized-table path, and the
+/// unpruned naive DP produce identical boundaries and SSE for every
+/// feasible size. Values are continuous, so the optimum is unique with
+/// probability 1 and exact boundary equality is the right assertion.
+#[test]
+fn size_bounded_modes_and_naive_agree_on_boundaries() {
+    for (seed, group_prob, gap_prob) in
+        [(500, 0.1, 0.25), (501, 0.0, 0.3), (502, 0.15, 0.0), (503, 0.0, 0.0), (504, 0.05, 0.1)]
+    {
+        let input =
+            random_sequential_continuous(seed, 48, 1 + seed as usize % 2, group_prob, gap_prob);
+        let w = Weights::uniform(input.dims());
+        for c in input.cmin()..input.len() {
+            let table = pta_size_bounded_with_mode(&input, &w, c, DpMode::Table).unwrap();
+            let dnc = pta_size_bounded_with_mode(&input, &w, c, DpMode::DivideConquer).unwrap();
+            let naive = pta_size_bounded_naive(&input, &w, c).unwrap();
+            assert_eq!(table.stats.mode, DpExecMode::Table);
+            assert_eq!(dnc.stats.mode, DpExecMode::DivideConquer);
+            assert_eq!(
+                table.reduction.source_ranges(),
+                dnc.reduction.source_ranges(),
+                "seed {seed} c {c}: table vs divide-and-conquer"
+            );
+            assert_eq!(
+                table.reduction.source_ranges(),
+                naive.reduction.source_ranges(),
+                "seed {seed} c {c}: table vs naive"
+            );
+            assert!(
+                (table.reduction.sse() - dnc.reduction.sse()).abs()
+                    < 1e-9 * (1.0 + table.reduction.sse()),
+                "seed {seed} c {c}"
+            );
+            // Divide and conquer re-derives rows: ~2× the raw cell area,
+            // though the early break prunes the two scan directions
+            // differently, so allow generous slack on the counter.
+            assert!(
+                dnc.stats.cells <= 6 * table.stats.cells + c as u64,
+                "seed {seed} c {c}: {} vs {}",
+                dnc.stats.cells,
+                table.stats.cells
+            );
+        }
+    }
+}
+
+/// Same cross-mode agreement for the error-bounded DP across an ε grid.
+#[test]
+fn error_bounded_modes_agree_on_boundaries() {
+    for seed in 510..516 {
+        let input = random_sequential_continuous(seed, 40, 1, 0.08, 0.15);
+        let w = Weights::uniform(1);
+        for eps in [0.0, 0.01, 0.1, 0.3, 0.7, 1.0] {
+            let table = pta_error_bounded_with_mode(&input, &w, eps, DpMode::Table).unwrap();
+            let dnc = pta_error_bounded_with_mode(&input, &w, eps, DpMode::DivideConquer).unwrap();
+            assert_eq!(
+                table.reduction.source_ranges(),
+                dnc.reduction.source_ranges(),
+                "seed {seed} eps {eps}"
+            );
+            assert_eq!(table.reduction.len(), dnc.reduction.len());
+            assert!(dnc.stats.peak_rows <= 4, "seed {seed} eps {eps}");
+        }
+    }
+}
+
+/// Regression for the PTAε memory blow-up: the old implementation grew the
+/// split-point matrix by one `(n + 1)`-wide row per DP iteration (O(n²)
+/// memory as ε → 0) and aborted mid-loop once the table cap was hit.
+/// Under divide-and-conquer backtracking, ε near 0 on a few-thousand-tuple
+/// input succeeds with a constant number of rows allocated.
+#[test]
+fn error_bounded_near_zero_epsilon_runs_in_bounded_memory() {
+    // 100 blocks of 30 equal values: merges inside a block are free, so
+    // PTAε with ε ≈ 0 needs exactly 100 rows — formerly 100 recorded
+    // split-point rows, now none at all.
+    let mut b = SequentialBuilder::new(1);
+    let mut t = 0i64;
+    for block in 0..100i64 {
+        for _ in 0..30 {
+            b.push(GroupKey::empty(), TimeInterval::instant(t).unwrap(), &[(block * 7) as f64])
+                .unwrap();
+            t += 1;
+        }
+    }
+    let input = b.build();
+    let w = Weights::uniform(1);
+    let dnc = pta_error_bounded_with_mode(&input, &w, 1e-12, DpMode::DivideConquer).unwrap();
+    assert_eq!(dnc.reduction.len(), 100);
+    assert!(dnc.reduction.sse() <= 1e-6);
+    assert_eq!(dnc.stats.mode, DpExecMode::DivideConquer);
+    assert!(dnc.stats.peak_rows <= 4, "peak rows {}", dnc.stats.peak_rows);
+    // A small explicit budget records a few rows, overruns it, and still
+    // finishes via divide-and-conquer recovery instead of aborting.
+    let budget =
+        pta_error_bounded_with_mode(&input, &w, 1e-12, DpMode::Budget(10 * (input.len() + 1)))
+            .unwrap();
+    assert_eq!(budget.reduction.len(), 100);
+    assert_eq!(budget.stats.mode, DpExecMode::DivideConquer);
+    assert!(budget.stats.peak_rows <= 12, "peak rows {}", budget.stats.peak_rows);
+    assert_eq!(budget.reduction.source_ranges(), dnc.reduction.source_ranges());
+    // The table path agrees (and records all 100 rows).
+    let table = pta_error_bounded_with_mode(&input, &w, 1e-12, DpMode::Table).unwrap();
+    assert_eq!(table.reduction.source_ranges(), dnc.reduction.source_ranges());
+    assert_eq!(table.stats.peak_rows, 102);
+}
+
+/// Large-n smoke test: exact PTA at n = 2·10⁶, far beyond the old
+/// `MAX_TABLE_ENTRIES = 2²⁸` cap (`c · (n + 1) ≈ 4 · 10¹²` split-point
+/// entries — the old implementation rejected this outright, and PTAε's
+/// mid-loop cap check aborted at row 134). Gap-rich data, as in the
+/// paper's large runs: 625 mergeable pairs spread over an otherwise
+/// fully gapped relation keep every DP row window narrow. Run with
+/// `cargo test --release -- --include-ignored` — too slow unoptimized.
+#[test]
+#[ignore = "large-n smoke test; run in release"]
+fn exact_pta_succeeds_beyond_the_old_table_cap() {
+    const OLD_CAP: usize = 1 << 28;
+    let n: usize = 2_000_000;
+    let pairs: usize = 625;
+    let stride = n / pairs;
+    // Every tuple is separated from its neighbours by a hole, except the
+    // first two tuples of each stride block, which meet. Pair p (1-based)
+    // merges two unit instants with values 0 and p — SSE p²/2 — so every
+    // merge subset has a distinct cost and the optimum is unique.
+    let mut b = SequentialBuilder::new(1);
+    let mut t = 0i64;
+    let mut pair_no = 0usize;
+    for i in 0..n {
+        let v = if i % stride == 1 {
+            pair_no += 1;
+            pair_no as f64
+        } else {
+            0.0
+        };
+        b.push(GroupKey::empty(), TimeInterval::instant(t).unwrap(), &[v]).unwrap();
+        t += if i % stride == 0 { 1 } else { 3 };
+    }
+    let input = b.build();
+    assert_eq!(input.cmin(), n - pairs);
+    let w = Weights::uniform(1);
+    let pair_cost = |p: usize| (p * p) as f64 / 2.0;
+
+    // PTAc: the optimum merges exactly the 500 cheapest pairs.
+    let c = n - 500;
+    assert!(c * (n + 1) > OLD_CAP, "must exceed the old hard cap");
+    let out = pta_size_bounded(&input, &w, c).unwrap();
+    assert_eq!(out.reduction.len(), c);
+    assert_eq!(out.stats.mode, DpExecMode::DivideConquer);
+    assert!(out.stats.peak_rows <= 4);
+    let expected: f64 = (1..=500).map(pair_cost).sum();
+    assert!(
+        (out.reduction.sse() - expected).abs() < 1e-6 * expected,
+        "sse {} vs expected {expected}",
+        out.reduction.sse()
+    );
+    // The exact optimum is never worse than greedy merging.
+    let greedy = gms_size_bounded(&input, &w, c).unwrap();
+    assert!(out.reduction.sse() <= greedy.stats.total_error + 1e-6);
+
+    // PTAε at ε = 0.5: the minimal satisfying size is n − m where m is
+    // the largest count of cheapest pairs whose summed cost fits half of
+    // SSE_max — a row index around n − 496, astronomically past the
+    // 134-row point where the old implementation's mid-loop table-cap
+    // check aborted after all the work was spent.
+    let emax: f64 = (1..=pairs).map(pair_cost).sum();
+    let threshold = 0.5 * emax + 1e-9 * (1.0 + emax);
+    let mut m = 0;
+    let mut acc = 0.0;
+    while acc + pair_cost(m + 1) <= threshold {
+        m += 1;
+        acc += pair_cost(m);
+    }
+    let eb = pta_error_bounded(&input, &w, 0.5).unwrap();
+    assert_eq!(eb.reduction.len(), n - m);
+    assert_eq!(eb.stats.mode, DpExecMode::DivideConquer);
+    assert!(eb.stats.peak_rows <= 32, "peak rows {}", eb.stats.peak_rows);
+    assert!((eb.reduction.sse() - acc).abs() < 1e-6 * (1.0 + acc));
 }
 
 #[test]

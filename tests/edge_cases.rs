@@ -69,6 +69,57 @@ fn identical_values_coalesce_to_zero_error_everywhere() {
     assert_eq!(g.reduction.len(), 1, "zero budget still merges zero-cost pairs");
 }
 
+/// Non-finite values are stopped at the `SequentialBuilder` boundary — the
+/// guarantee that keeps the DP error tables finite, so the error-bounded
+/// DP's threshold loop always terminates with a satisfying row instead of
+/// underflowing in backtrack (the release-mode panic this PR fixed; the
+/// in-crate `nan_threshold_yields_typed_error_not_panic` test covers the
+/// defensive backstop behind it).
+#[test]
+fn non_finite_values_are_rejected_at_the_builder_boundary() {
+    for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+        let mut b = SequentialBuilder::new(1);
+        let err = b.push(GroupKey::empty(), TimeInterval::instant(0).unwrap(), &[bad]).unwrap_err();
+        assert!(matches!(err, pta_temporal::TemporalError::NonFiniteValue { .. }), "{bad}");
+        // A NaN hidden among finite dimensions is caught too.
+        let mut b = SequentialBuilder::new(3);
+        assert!(b
+            .push(GroupKey::empty(), TimeInterval::instant(0).unwrap(), &[1.0, bad, 2.0])
+            .is_err());
+    }
+    // Weights are the other numeric input; NaN is rejected there as well.
+    assert!(Weights::new(&[f64::NAN]).is_err());
+    assert!(Weights::new(&[f64::INFINITY]).is_err());
+}
+
+/// The facade's DP-mode knob: divide-and-conquer and table backtracking
+/// produce identical query results end to end.
+#[test]
+fn facade_dp_mode_knob_is_equivalent() {
+    let rel = pta_datasets::proj_relation();
+    let run = |mode: pta::DpMode| {
+        PtaQuery::new()
+            .group_by(&["Proj"])
+            .aggregate(Agg::avg("Sal"))
+            .bound(Bound::Size(4))
+            .dp_mode(mode)
+            .execute(&rel)
+            .unwrap()
+    };
+    let auto = run(pta::DpMode::Auto);
+    let dnc = run(pta::DpMode::DivideConquer);
+    let table = run(pta::DpMode::Table);
+    assert_eq!(auto.reduction.source_ranges(), dnc.reduction.source_ranges());
+    assert_eq!(auto.reduction.source_ranges(), table.reduction.source_ranges());
+    match (auto.stats, dnc.stats) {
+        (pta::ExecutionStats::Exact(a), pta::ExecutionStats::Exact(d)) => {
+            assert_eq!(a.mode, pta::DpExecMode::Table, "small input auto-selects the table");
+            assert_eq!(d.mode, pta::DpExecMode::DivideConquer);
+        }
+        _ => panic!("exact algorithm must report DP stats"),
+    }
+}
+
 #[test]
 fn huge_weights_stay_finite() {
     let input = common::random_sequential(1, 20, 1, 0.1, 0.1);
