@@ -108,7 +108,7 @@ pub fn amnesic_size_bounded(
     bounds.reverse();
     let values =
         bounds.windows(2).map(|w| mu + (ps[w[1]] - ps[w[0]]) / (pw[w[1]] - pw[w[0]])).collect();
-    PiecewiseConstant::new(n, &bounds, values)
+    Ok(PiecewiseConstant::new(n, &bounds, values)?)
 }
 
 /// The paper-cited relative amnesic family `RA(age) = 1 + rate · age`:

@@ -52,7 +52,7 @@ pub fn apca(
         values.push(z.value(i, 0));
     }
     boundaries.push(n);
-    PiecewiseConstant::new(n, &boundaries, values)
+    Ok(PiecewiseConstant::new(n, &boundaries, values)?)
 }
 
 #[cfg(test)]

@@ -49,22 +49,33 @@ pub fn atc(
     Reduction::from_boundaries(input, weights, &stats, &boundaries).map_err(BaselineError::Core)
 }
 
+/// One entry of an [`atc_sweep`]: the best run observed at one exact
+/// output size.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AtcRun {
+    /// Total SSE of the run.
+    pub sse: f64,
+    /// The local threshold that produced it (re-run [`atc`] with it to
+    /// materialize the reduction).
+    pub threshold: f64,
+}
+
 /// Sweeps exponentially decaying thresholds from the relation's maximal
-/// error down and records, for every achieved output size, the smallest
-/// total error — the paper's protocol for plotting ATC on size-indexed
-/// axes. Returns `best[k − 1]` = best ATC error at exactly `k` output
-/// tuples (`∞` where no run produced that size), using `steps` thresholds
-/// per decade of decay.
-pub fn atc_size_targeted(
+/// error down and records, for every achieved output size, the best
+/// (smallest-SSE) run — the paper's protocol for plotting the
+/// threshold-driven ATC on size-indexed axes. Returns `best[k − 1]` =
+/// best run at exactly `k` output tuples (`None` where no run produced
+/// that size), using `steps_per_decade` thresholds per decade of decay.
+pub fn atc_sweep(
     input: &SequentialRelation,
     weights: &Weights,
     steps_per_decade: usize,
-) -> Result<Vec<f64>, BaselineError> {
+) -> Result<Vec<Option<AtcRun>>, BaselineError> {
     if steps_per_decade == 0 {
         return Err(BaselineError::invalid_parameter("steps_per_decade", "must be positive"));
     }
     let n = input.len();
-    let mut best = vec![f64::INFINITY; n];
+    let mut best: Vec<Option<AtcRun>> = vec![None; n];
     if n == 0 {
         return Ok(best);
     }
@@ -79,14 +90,35 @@ pub fn atc_size_targeted(
     for _ in 0..=total_steps {
         let r = atc(input, weights, threshold)?;
         let k = r.len();
-        if k >= 1 && r.sse() < best[k - 1] {
-            best[k - 1] = r.sse();
+        if k >= 1 && best[k - 1].is_none_or(|b| r.sse() < b.sse) {
+            best[k - 1] = Some(AtcRun { sse: r.sse(), threshold });
         }
         threshold *= factor;
     }
-    // The identity run covers k = n.
-    best[n - 1] = 0.0;
+    // The zero-threshold run anchors the lossless end of the sweep. Its
+    // size is n only when no adjacent tuples are exactly equal — ATC
+    // merges zero-error neighbors at *every* threshold, so on inputs with
+    // equal neighbors size n is unreachable and stays `None`; every
+    // recorded entry is reproducible by re-running [`atc`] at its
+    // threshold.
+    let r = atc(input, weights, 0.0)?;
+    let k = r.len();
+    if k >= 1 && best[k - 1].is_none_or(|b| r.sse() < b.sse) {
+        best[k - 1] = Some(AtcRun { sse: r.sse(), threshold: 0.0 });
+    }
     Ok(best)
+}
+
+/// [`atc_sweep`] reduced to its error curve: `best[k − 1]` = best ATC
+/// error at exactly `k` output tuples (`∞` where no run produced that
+/// size).
+pub fn atc_size_targeted(
+    input: &SequentialRelation,
+    weights: &Weights,
+    steps_per_decade: usize,
+) -> Result<Vec<f64>, BaselineError> {
+    let sweep = atc_sweep(input, weights, steps_per_decade)?;
+    Ok(sweep.into_iter().map(|r| r.map_or(f64::INFINITY, |r| r.sse)).collect())
 }
 
 #[cfg(test)]

@@ -39,6 +39,18 @@ impl BaselineError {
         ))
     }
 
+    /// Lowers this error into the `pta-core` vocabulary — the error type
+    /// of the [`pta_core::Summarizer`] trait the baseline adapters
+    /// implement. Lossless: `Common`/`Temporal` map onto the identical
+    /// `CoreError` variants, wrapped core errors unwrap.
+    pub fn into_core(self) -> CoreError {
+        match self {
+            Self::Common(e) => CoreError::Common(e),
+            Self::Core(e) => e,
+            Self::Temporal(e) => CoreError::Temporal(e),
+        }
+    }
+
     /// The shared failure vocabulary, if this error carries one (looking
     /// through wrapped lower-layer errors).
     pub fn common(&self) -> Option<&CommonError> {

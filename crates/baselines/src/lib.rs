@@ -40,10 +40,11 @@ pub mod pla;
 pub mod sax;
 pub mod segment;
 pub mod series;
+pub mod summarize;
 
 pub use amnesic::{amnesic_size_bounded, linear_amnesia};
 pub use apca::apca;
-pub use atc::{atc, atc_size_targeted};
+pub use atc::{atc, atc_size_targeted, atc_sweep, AtcRun};
 pub use chebyshev::chebyshev;
 pub use dft::dft;
 pub use dwt::{dwt_for_size, dwt_top_k, DwtTable, Padding};
@@ -53,6 +54,7 @@ pub use pla::{swing_filter, PiecewiseLinear};
 pub use sax::{sax, SaxOutput};
 pub use segment::PiecewiseConstant;
 pub use series::DenseSeries;
+pub use summarize::{registry, summarizer, summarizer_names};
 
 /// Crate-local result alias.
 pub type Result<T> = std::result::Result<T, BaselineError>;

@@ -24,7 +24,7 @@ pub fn paa(series: &DenseSeries, c: usize) -> Result<PiecewiseConstant, Baseline
     boundaries[c] = n;
     // The rounding rule keeps boundaries strictly increasing for c <= n.
     let values = boundaries.windows(2).map(|w| series.range_mean(w[0]..w[1])).collect();
-    PiecewiseConstant::new(n, &boundaries, values)
+    Ok(PiecewiseConstant::new(n, &boundaries, values)?)
 }
 
 #[cfg(test)]

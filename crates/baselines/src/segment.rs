@@ -1,167 +1,7 @@
-//! Piecewise-constant approximations of a dense series.
+//! Piecewise-constant approximations — re-exported from `pta-core`.
+//!
+//! [`PiecewiseConstant`] moved into `pta_core::series` so core
+//! `Summary` values can carry step-function outputs; this module keeps
+//! the historical `pta-baselines` path working.
 
-use crate::error::BaselineError;
-use crate::series::DenseSeries;
-
-/// A step function over `0..n`: `cuts` are the positions where new
-/// segments start (excluding 0), `values[k]` is the constant of segment
-/// `k`. This is the output form of PAA, APCA, DWT-as-steps and SAX.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PiecewiseConstant {
-    n: usize,
-    cuts: Vec<usize>,
-    values: Vec<f64>,
-}
-
-impl PiecewiseConstant {
-    /// Builds from segment boundaries `0 = b_0 < ... < b_k = n` and one
-    /// value per segment.
-    pub fn new(n: usize, boundaries: &[usize], values: Vec<f64>) -> Result<Self, BaselineError> {
-        if boundaries.len() != values.len() + 1
-            || boundaries.first() != Some(&0)
-            || boundaries.last() != Some(&n)
-            || boundaries.windows(2).any(|w| w[0] >= w[1])
-        {
-            return Err(BaselineError::invalid_parameter(
-                "boundaries",
-                format!(
-                    "inconsistent boundaries for n = {n}: {boundaries:?} with {} values",
-                    values.len()
-                ),
-            ));
-        }
-        Ok(Self { n, cuts: boundaries[1..boundaries.len() - 1].to_vec(), values })
-    }
-
-    /// Derives the step function of an arbitrary dense signal by scanning
-    /// for value changes (used to count the segments of a DWT
-    /// reconstruction).
-    pub fn from_step_signal(signal: &[f64]) -> Self {
-        let n = signal.len();
-        let mut cuts = Vec::new();
-        let mut values = Vec::new();
-        if n == 0 {
-            return Self { n, cuts, values };
-        }
-        values.push(signal[0]);
-        for i in 1..n {
-            if signal[i] != signal[i - 1] {
-                cuts.push(i);
-                values.push(signal[i]);
-            }
-        }
-        Self { n, cuts, values }
-    }
-
-    /// Number of segments.
-    pub fn segments(&self) -> usize {
-        self.values.len()
-    }
-
-    /// Series length covered.
-    pub fn len(&self) -> usize {
-        self.n
-    }
-
-    /// Whether the approximation covers nothing.
-    pub fn is_empty(&self) -> bool {
-        self.n == 0
-    }
-
-    /// The boundary list `0, cuts..., n`.
-    pub fn boundaries(&self) -> Vec<usize> {
-        let mut b = Vec::with_capacity(self.cuts.len() + 2);
-        b.push(0);
-        b.extend_from_slice(&self.cuts);
-        b.push(self.n);
-        b
-    }
-
-    /// The per-segment constants.
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-
-    /// Materialises the step function as a dense signal.
-    pub fn to_dense(&self) -> Vec<f64> {
-        let mut out = Vec::with_capacity(self.n);
-        let bounds = self.boundaries();
-        for (k, w) in bounds.windows(2).enumerate() {
-            for _ in w[0]..w[1] {
-                out.push(self.values[k]);
-            }
-        }
-        out
-    }
-
-    /// SSE against the original series, evaluated segment by segment
-    /// through the `pta-core` kernel's prefix sums — `O(segments)` rather
-    /// than `O(n)`, and the same code path PTA's own error uses.
-    pub fn sse_against(&self, series: &DenseSeries) -> f64 {
-        debug_assert_eq!(series.len(), self.n);
-        let bounds = self.boundaries();
-        bounds
-            .windows(2)
-            .zip(&self.values)
-            .map(|(w, &v)| series.range_sse_constant(w[0]..w[1], v))
-            .sum()
-    }
-
-    /// Replaces each segment's constant with the true mean of `series`
-    /// over the segment — APCA's "insert true average values" step, which
-    /// can only lower the SSE.
-    pub fn with_true_means(&self, series: &DenseSeries) -> Self {
-        let bounds = self.boundaries();
-        let values = bounds.windows(2).map(|w| series.range_mean(w[0]..w[1])).collect();
-        Self { n: self.n, cuts: self.cuts.clone(), values }
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn roundtrip_through_dense() {
-        let pc = PiecewiseConstant::new(5, &[0, 2, 5], vec![1.0, 3.0]).unwrap();
-        assert_eq!(pc.to_dense(), vec![1.0, 1.0, 3.0, 3.0, 3.0]);
-        let back = PiecewiseConstant::from_step_signal(&pc.to_dense());
-        assert_eq!(back, pc);
-        assert_eq!(back.segments(), 2);
-    }
-
-    #[test]
-    fn invalid_boundaries_rejected() {
-        assert!(PiecewiseConstant::new(5, &[0, 5], vec![1.0, 2.0]).is_err());
-        assert!(PiecewiseConstant::new(5, &[0, 0, 5], vec![1.0, 2.0]).is_err());
-        assert!(PiecewiseConstant::new(5, &[1, 3, 5], vec![1.0, 2.0]).is_err());
-    }
-
-    #[test]
-    fn sse_is_stable_for_large_means() {
-        // Regression for the centered kernel: values 1e8 ± 0.5 against the
-        // mean-constant fit must yield the true SSE (250 over 1000 points),
-        // not the 0.0 an uncentered SS − 2·rep·S + rep²·L cancels to.
-        let values: Vec<f64> =
-            (0..1000).map(|i| 1.0e8 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
-        let s = DenseSeries::new(values);
-        let pc = PiecewiseConstant::new(1000, &[0, 1000], vec![s.mean()]).unwrap();
-        assert!((pc.sse_against(&s) - 250.0).abs() < 1e-6, "got {}", pc.sse_against(&s));
-    }
-
-    #[test]
-    fn sse_matches_manual_computation() {
-        let s = DenseSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
-        let pc = PiecewiseConstant::new(4, &[0, 2, 4], vec![1.5, 3.5]).unwrap();
-        assert!((pc.sse_against(&s) - (0.25 * 4.0)).abs() < 1e-12);
-    }
-
-    #[test]
-    fn true_means_never_increase_error() {
-        let s = DenseSeries::new(vec![1.0, 5.0, 2.0, 8.0, 3.0, 1.0]);
-        let pc = PiecewiseConstant::new(6, &[0, 3, 6], vec![0.0, 0.0]).unwrap();
-        let improved = pc.with_true_means(&s);
-        assert!(improved.sse_against(&s) <= pc.sse_against(&s));
-        assert!((improved.values()[0] - (8.0 / 3.0)).abs() < 1e-12);
-    }
-}
+pub use pta_core::series::PiecewiseConstant;

@@ -1,210 +1,8 @@
-//! Dense per-chronon series: the input form of the time-series methods.
+//! Dense per-chronon series — re-exported from `pta-core`.
+//!
+//! [`DenseSeries`] moved into `pta_core::series` so the core
+//! `Summarizer`/`SeriesView` machinery can densify inputs without a
+//! dependency cycle; this module keeps the historical `pta-baselines`
+//! path working.
 
-use pta_core::{pointwise_sse, PrefixStats, Weights};
-use pta_temporal::SequentialRelation;
-
-use crate::error::BaselineError;
-
-/// A one-dimensional series with one value per chronon — the expansion an
-/// ITA result admits when it has a single group and no temporal gaps
-/// (§2.2: "An ITA result can be considered as a time series if no temporal
-/// gaps and aggregation groups are present").
-///
-/// Every series carries the `pta-core` prefix-sum statistics over its
-/// values, so all segment errors and segment means the comparator methods
-/// need evaluate through the same weighted-segment SSE kernel PTA itself
-/// uses — one error code path for every method in the paper's comparison.
-#[derive(Debug, Clone)]
-pub struct DenseSeries {
-    values: Vec<f64>,
-    stats: PrefixStats,
-    unit: Weights,
-}
-
-impl PartialEq for DenseSeries {
-    fn eq(&self, other: &Self) -> bool {
-        self.values == other.values
-    }
-}
-
-impl DenseSeries {
-    /// Wraps raw values.
-    pub fn new(values: Vec<f64>) -> Self {
-        let stats = PrefixStats::from_dense(&values);
-        Self { values, stats, unit: Weights::uniform(1) }
-    }
-
-    /// Expands a sequential relation: each tuple's value is repeated for
-    /// every chronon of its interval. Fails when the relation has more
-    /// than one aggregation group, temporal gaps, or `p ≠ 1` — the inputs
-    /// the paper marks the time-series methods "not applicable" for.
-    pub fn from_sequential(input: &SequentialRelation) -> Result<Self, BaselineError> {
-        if input.dims() != 1 {
-            return Err(BaselineError::not_applicable(format!(
-                "series methods are one-dimensional, relation has p = {}",
-                input.dims()
-            )));
-        }
-        if input.cmin() > 1 {
-            return Err(BaselineError::not_applicable(format!(
-                "relation has {} maximal runs (gaps or groups); time-series methods need 1",
-                input.cmin()
-            )));
-        }
-        let mut values = Vec::with_capacity(input.total_duration() as usize);
-        for i in 0..input.len() {
-            let v = input.value(i, 0);
-            for _ in 0..input.interval(i).len() {
-                values.push(v);
-            }
-        }
-        Ok(Self::new(values))
-    }
-
-    /// Number of chronons.
-    pub fn len(&self) -> usize {
-        self.values.len()
-    }
-
-    /// Whether the series is empty.
-    pub fn is_empty(&self) -> bool {
-        self.values.is_empty()
-    }
-
-    /// The raw values.
-    pub fn values(&self) -> &[f64] {
-        &self.values
-    }
-
-    /// Value at position `i`.
-    #[inline]
-    pub fn get(&self, i: usize) -> f64 {
-        self.values[i]
-    }
-
-    /// The `pta-core` prefix-sum statistics over this series.
-    pub fn stats(&self) -> &PrefixStats {
-        &self.stats
-    }
-
-    /// The SSE between this series and an approximation of the same
-    /// length: `Σ_t (x_t − y_t)²` — the per-chronon form of Def. 5 with
-    /// unit weights, evaluated by the `pta-core` kernel.
-    pub fn sse_against(&self, approx: &[f64]) -> f64 {
-        debug_assert_eq!(self.values.len(), approx.len());
-        pointwise_sse(&self.values, approx)
-    }
-
-    /// The SSE of representing chronons `range` by the constant `rep`,
-    /// in `O(1)` via the kernel's prefix sums.
-    #[inline]
-    pub fn range_sse_constant(&self, range: std::ops::Range<usize>, rep: f64) -> f64 {
-        self.stats.range_sse_against(&self.unit, range, &[rep])
-    }
-
-    /// The mean of chronons `range`, in `O(1)` via the kernel's prefix
-    /// sums — the error-optimal constant for that segment.
-    #[inline]
-    pub fn range_mean(&self, range: std::ops::Range<usize>) -> f64 {
-        debug_assert!(!range.is_empty());
-        self.stats.merged_value(range, 0)
-    }
-
-    /// Mean of all values.
-    pub fn mean(&self) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        self.range_mean(0..self.values.len())
-    }
-
-    /// Sample standard deviation (population form, as SAX uses).
-    ///
-    /// Computed two-pass rather than from the prefix sums: SAX branches
-    /// on `std_dev == 0`, so this quantity gets the most direct, exactly
-    /// non-negative evaluation available. (The kernel's mean-centered
-    /// sums would also be accurate — see `pta_core::prefix` — but have a
-    /// `max(0.0)` clamp this avoids.)
-    pub fn std_dev(&self) -> f64 {
-        if self.values.is_empty() {
-            return 0.0;
-        }
-        let m = self.range_mean(0..self.values.len());
-        let var =
-            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
-        var.sqrt()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval};
-
-    #[test]
-    fn expansion_repeats_interval_values() {
-        let mut b = SequentialBuilder::new(1);
-        b.push(GroupKey::empty(), TimeInterval::new(0, 2).unwrap(), &[5.0]).unwrap();
-        b.push(GroupKey::empty(), TimeInterval::new(3, 3).unwrap(), &[7.0]).unwrap();
-        let s = DenseSeries::from_sequential(&b.build()).unwrap();
-        assert_eq!(s.values(), &[5.0, 5.0, 5.0, 7.0]);
-    }
-
-    #[test]
-    fn gapped_input_is_rejected() {
-        let mut b = SequentialBuilder::new(1);
-        b.push(GroupKey::empty(), TimeInterval::new(0, 1).unwrap(), &[1.0]).unwrap();
-        b.push(GroupKey::empty(), TimeInterval::new(5, 6).unwrap(), &[2.0]).unwrap();
-        let err = DenseSeries::from_sequential(&b.build()).unwrap_err();
-        assert!(err.common().is_some_and(pta_temporal::CommonError::is_not_applicable));
-    }
-
-    #[test]
-    fn multidimensional_input_is_rejected() {
-        let mut b = SequentialBuilder::new(2);
-        b.push(GroupKey::empty(), TimeInterval::new(0, 1).unwrap(), &[1.0, 2.0]).unwrap();
-        assert!(DenseSeries::from_sequential(&b.build()).is_err());
-    }
-
-    #[test]
-    fn sse_and_moments() {
-        let s = DenseSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
-        assert_eq!(s.sse_against(&[1.0, 2.0, 3.0, 4.0]), 0.0);
-        assert_eq!(s.sse_against(&[0.0, 2.0, 3.0, 6.0]), 1.0 + 4.0);
-        assert_eq!(s.mean(), 2.5);
-        assert!((s.std_dev() - 1.118_033_988).abs() < 1e-6);
-    }
-
-    #[test]
-    fn std_dev_is_stable_for_large_means() {
-        // Regression: the E[x²] − E[x]² form returns 0 here; the stable
-        // two-pass form must recover the true spread.
-        let values: Vec<f64> =
-            (0..1000).map(|i| 1.0e8 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
-        let s = DenseSeries::new(values);
-        assert!((s.std_dev() - 0.5).abs() < 1e-6, "got {}", s.std_dev());
-    }
-
-    #[test]
-    fn range_helpers_match_naive_loops() {
-        let s = DenseSeries::new(vec![1.0, 5.0, 2.0, 8.0, 3.0, 1.0]);
-        for lo in 0..s.len() {
-            for hi in lo + 1..=s.len() {
-                let naive_mean: f64 = (lo..hi).map(|i| s.get(i)).sum::<f64>() / (hi - lo) as f64;
-                assert!((s.range_mean(lo..hi) - naive_mean).abs() < 1e-12);
-                for rep in [0.0, naive_mean, 4.25] {
-                    let naive: f64 = (lo..hi)
-                        .map(|i| {
-                            let d = s.get(i) - rep;
-                            d * d
-                        })
-                        .sum();
-                    assert!(
-                        (s.range_sse_constant(lo..hi, rep) - naive).abs() < 1e-9 * (1.0 + naive),
-                        "range {lo}..{hi} rep {rep}"
-                    );
-                }
-            }
-        }
-    }
-}
+pub use pta_core::series::DenseSeries;

@@ -1,0 +1,49 @@
+//! Criterion bench of `pta-temporal`'s CSV ingest — the heavy-traffic
+//! entry point (ROADMAP): every CLI/server workload starts by parsing a
+//! relation, so the per-row allocation budget matters. Pins the
+//! reuse-the-line-buffer reader against a generated corpus.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta_temporal::csv::{parse_schema, read_relation};
+
+/// Generates a `rows`-line CSV corpus in the ETDS shape
+/// (`Empl:str,Dept:str,Sal:int` + interval).
+fn corpus(rows: usize) -> String {
+    let mut out = String::with_capacity(rows * 32);
+    out.push_str("Empl,Dept,Sal,t_start,t_end\n");
+    for i in 0..rows {
+        let start = (i % 1000) as i64;
+        out.push_str(&format!(
+            "E{},D{},{},{},{}\n",
+            i % 997,
+            i % 13,
+            30_000 + (i * 37) % 45_000,
+            start,
+            start + 1 + (i % 7) as i64
+        ));
+    }
+    out
+}
+
+fn bench_csv_ingest(c: &mut Criterion) {
+    let mut g = c.benchmark_group("csv_ingest");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    for rows in [5_000usize, 50_000] {
+        let text = corpus(rows);
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        g.bench_with_input(BenchmarkId::new("read_relation", rows), &rows, |b, _| {
+            b.iter(|| {
+                let rel = read_relation(schema.clone(), black_box(text.as_bytes())).unwrap();
+                assert_eq!(rel.len(), rows);
+                rel
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_csv_ingest);
+criterion_main!(benches);

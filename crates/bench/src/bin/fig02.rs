@@ -4,11 +4,11 @@
 //! Paper values (their excerpt): DWT 2903, DFT 669, Chebyshev 17257,
 //! PAA 2516, APCA 2573, PTA 109, gPTAc 119. The expected *shape*: the two
 //! PTA variants are an order of magnitude below every competitor, greedy
-//! within a few percent of exact, and Chebyshev worst.
+//! within a few percent of exact, and Chebyshev worst. The whole figure
+//! is one `Comparator` call over the summarizer registry.
 
-use pta_baselines::{apca, chebyshev, dft, dwt_for_size, paa, DenseSeries, Padding};
+use pta::Comparator;
 use pta_bench::{fmt, print_table, row, HarnessArgs};
-use pta_core::{gms_size_bounded, pta_size_bounded, Weights};
 use pta_datasets::{prepare, QueryId};
 use pta_temporal::SequentialRelation;
 
@@ -29,26 +29,24 @@ fn main() {
 
     let q = prepare(QueryId::I1, args.scale);
     let ex = excerpt(&q.relation, 200);
-    let series = DenseSeries::from_sequential(&ex).expect("excerpt is a single run");
-    let w = Weights::uniform(1);
-    println!("excerpt: {} ITA tuples over {} chronons", ex.len(), series.len());
+    println!("excerpt: {} ITA tuples over {} chronons", ex.len(), ex.total_duration());
 
-    let pta = pta_size_bounded(&ex, &w, c).expect("c >= cmin on a single run");
-    let gpta = gms_size_bounded(&ex, &w, c).expect("c >= cmin on a single run");
-    let dwt = dwt_for_size(&series, c, Padding::Zero).expect("valid size");
-    let dft_a = dft(&series, c).expect("valid size");
-    let cheb = chebyshev(&series, c).expect("valid size");
-    let paa_a = paa(&series, c).expect("valid size");
-    let apca_a = apca(&series, c, Padding::Zero).expect("valid size");
+    let cmp = Comparator::new()
+        .methods(&["dwt", "dft", "chebyshev", "paa", "apca", "exact", "gms"])
+        .expect("registered methods")
+        .sizes([c])
+        .run_sequential(&ex)
+        .expect("excerpt is a single run");
+    let sse = |name: &str| cmp.method(name).expect("selected above").sse_at(0);
 
     let results: Vec<(&str, f64, f64)> = vec![
-        ("DWT", dwt.sse, 2_903.0),
-        ("DFT", dft_a.sse, 669.0),
-        ("Chebyshev", cheb.sse, 17_257.0),
-        ("PAA", paa_a.sse_against(&series), 2_516.0),
-        ("APCA", apca_a.sse_against(&series), 2_573.0),
-        ("PTA", pta.reduction.sse(), 109.0),
-        ("gPTAc", gpta.reduction.sse(), 119.0),
+        ("DWT", sse("dwt"), 2_903.0),
+        ("DFT", sse("dft"), 669.0),
+        ("Chebyshev", sse("chebyshev"), 17_257.0),
+        ("PAA", sse("paa"), 2_516.0),
+        ("APCA", sse("apca"), 2_573.0),
+        ("PTA", sse("exact"), 109.0),
+        ("gPTAc", sse("gms"), 119.0),
     ];
     let rows: Vec<Vec<String>> = results
         .iter()
@@ -62,8 +60,8 @@ fn main() {
     args.write_csv("fig02.csv", &["method", "our_error", "paper_error"], &rows);
 
     // Shape assertions from the paper's figure.
-    let pta_err = pta.reduction.sse();
-    let gpta_err = gpta.reduction.sse();
+    let pta_err = sse("exact");
+    let gpta_err = sse("gms");
     assert!(
         gpta_err >= pta_err - 1e-6 * (1.0 + pta_err),
         "greedy cannot beat exact ({gpta_err} < {pta_err})"

@@ -5,42 +5,12 @@
 //!     T3 rises much earlier.
 //! (b) Uniform 2 000-tuple subsets with 1..10 aggregate dimensions over
 //!     the full 0–100 % range: error grows with dimensionality.
+//!
+//! Both panels are one `Comparator` ratio-grid call per curve (the grid
+//! shares a single DP run via the exact summarizer's error curve).
 
-use pta_bench::{fmt, print_table, row, HarnessArgs, Scale};
-use pta_core::{max_error, optimal_error_curve, Weights};
+use pta_bench::{fmt, optimal_error_pct_at_ratios, print_table, row, HarnessArgs, Scale};
 use pta_datasets::{prepare, uniform, QueryId};
-use pta_temporal::SequentialRelation;
-
-/// Normalised error (%) at the reduction ratios (%) requested, from the
-/// optimal error curve. Reduction ratio r maps to size
-/// `k = n − r·(n − cmin)`; 100 % reduction is `cmin` (error = Emax).
-fn curve_at_ratios(relation: &SequentialRelation, ratios: &[f64]) -> Vec<(f64, f64)> {
-    let w = Weights::uniform(relation.dims());
-    let n = relation.len();
-    let cmin = relation.cmin();
-    let emax = max_error(relation, &w).expect("dims match");
-    // Only rows up to the largest size any requested ratio maps to are
-    // needed (ratio 90 % needs just cmin + 0.1·(n − cmin) rows).
-    let span = (n - cmin) as f64;
-    let min_ratio = ratios.iter().copied().fold(f64::INFINITY, f64::min);
-    let kmax = if min_ratio <= 0.0 {
-        n
-    } else {
-        ((n as f64 - min_ratio / 100.0 * span).round() as usize + 1).min(n)
-    };
-    let curve = optimal_error_curve(relation, &w, kmax).expect("dims match");
-    ratios
-        .iter()
-        .map(|&r| {
-            let span = (n - cmin) as f64;
-            let k = (n as f64 - r / 100.0 * span).round() as usize;
-            let k = k.clamp(cmin.max(1), n);
-            let err = curve[k - 1];
-            let pct = if emax > 0.0 { 100.0 * err / emax } else { 0.0 };
-            (r, pct)
-        })
-        .collect()
-}
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -64,7 +34,7 @@ fn main() {
     let mut one_dim_at_95_max: f64 = 0.0;
     for id in queries {
         let q = prepare(id, args.scale);
-        let pts = curve_at_ratios(&q.relation, &ratios_a);
+        let pts = optimal_error_pct_at_ratios(&q.relation, &ratios_a);
         for &(r, e) in &pts {
             rows_a.push(row([id.name().to_string(), fmt(r), fmt(e)]));
         }
@@ -89,7 +59,7 @@ fn main() {
     let mut table_rows = Vec::new();
     for p in [1usize, 2, 4, 6, 8, 10] {
         let rel = uniform::ungrouped(n, p, 1234);
-        let pts = curve_at_ratios(&rel, &ratios_b);
+        let pts = optimal_error_pct_at_ratios(&rel, &ratios_b);
         for &(r, e) in &pts {
             rows_b.push(row([p.to_string(), fmt(r), fmt(e)]));
         }

@@ -5,11 +5,12 @@
 //! (b) error *ratio* to the PTAc optimum for gPTAc, ATC, APCA.
 //!
 //! Expected shape: gPTAc hugs the optimum (ratio → ~1.25 max, Thm. 1),
-//! ATC and APCA trail, DWT and PAA are far worse.
+//! ATC and APCA trail, DWT and PAA are far worse. One `Comparator` call
+//! produces every curve; the exact/greedy grids share single DP/GMS runs
+//! and ATC shares one threshold sweep.
 
-use pta_baselines::{apca, atc_size_targeted, dwt_for_size, paa, DenseSeries, Padding};
+use pta::Comparator;
 use pta_bench::{fmt, linspace_usize, print_table, row, HarnessArgs};
-use pta_core::{greedy_error_curve, max_error, optimal_error_curve, Weights};
 use pta_datasets::{prepare, QueryId};
 
 fn main() {
@@ -17,53 +18,52 @@ fn main() {
     let q = prepare(QueryId::T1, args.scale);
     let rel = &q.relation;
     let n = rel.len();
-    let w = Weights::uniform(1);
     println!("Fig. 15 — reduction error on T1 (n = {n}, {:?} scale)", args.scale);
 
-    let emax = max_error(rel, &w).expect("dims match");
-    let optimal = optimal_error_curve(rel, &w, n).expect("dims match");
-    let greedy = greedy_error_curve(rel, &w).expect("dims match");
-    let atc_best = atc_size_targeted(rel, &w, 8).expect("valid sweep");
-    let series = DenseSeries::from_sequential(rel).expect("T1 is a single run");
-
     // Sample c over the full range (the paper evaluates every c; sampled
-    // points trace the same curves).
+    // points trace the same curves). gPTAc is the offline greedy (δ = ∞,
+    // GMS-identical by Thm. 2), as in the paper's size-indexed curves.
     let cs = linspace_usize(2, n, 51);
+    let cmp = Comparator::new()
+        .methods(&["exact", "gms", "atc", "apca", "dwt", "paa"])
+        .expect("registered methods")
+        .sizes(cs.iter().copied())
+        .run_sequential(rel)
+        .expect("T1 is a valid series");
+    let curve = |name: &str| cmp.method(name).expect("selected above");
+    let (pta, gpta, atc) = (curve("exact"), curve("gms"), curve("atc"));
+    let (apca, dwt, paa) = (curve("apca"), curve("dwt"), curve("paa"));
+
     let mut rows = Vec::new();
     let mut ratio_rows = Vec::new();
     let mut max_greedy_ratio: f64 = 0.0;
     let mut sum_err = [0.0f64; 6]; // pta, gpta, atc, apca, dwt, paa
-    for &c in &cs {
+    for (i, &c) in cs.iter().enumerate() {
         let reduction_pct = 100.0 * (n - c) as f64 / (n - 1) as f64;
-        let e_pta = optimal[c - 1];
-        let e_gpta = greedy[c - 1];
-        let e_atc = atc_best[c - 1];
-        let e_apca = apca(&series, c, Padding::Zero).expect("valid c").sse_against(&series);
-        let e_dwt = dwt_for_size(&series, c, Padding::Zero).expect("valid c").sse;
-        let e_paa = paa(&series, c).expect("valid c").sse_against(&series);
-        let pct = |e: f64| if emax > 0.0 { 100.0 * e / emax } else { 0.0 };
-        rows.push(row([
-            c.to_string(),
-            fmt(reduction_pct),
-            fmt(pct(e_pta)),
-            fmt(pct(e_gpta)),
-            fmt(pct(e_atc)),
-            fmt(pct(e_apca)),
-            fmt(pct(e_dwt)),
-            fmt(pct(e_paa)),
-        ]));
+        let errs = [
+            pta.sse_at(i),
+            gpta.sse_at(i),
+            atc.sse_at(i),
+            apca.sse_at(i),
+            dwt.sse_at(i),
+            paa.sse_at(i),
+        ];
+        rows.push(row(std::iter::once(c.to_string())
+            .chain(std::iter::once(fmt(reduction_pct)))
+            .chain(errs.iter().map(|&e| fmt(cmp.error_pct(e))))));
+        let e_pta = errs[0];
         if e_pta > 0.0 {
-            let r_g = e_gpta / e_pta;
+            let r_g = errs[1] / e_pta;
             max_greedy_ratio = max_greedy_ratio.max(r_g);
             ratio_rows.push(row([
                 c.to_string(),
                 fmt(reduction_pct),
                 fmt(r_g),
-                fmt(e_atc / e_pta),
-                fmt(e_apca / e_pta),
+                fmt(errs[2] / e_pta),
+                fmt(errs[3] / e_pta),
             ]));
         }
-        for (acc, e) in sum_err.iter_mut().zip([e_pta, e_gpta, e_atc, e_apca, e_dwt, e_paa]) {
+        for (acc, e) in sum_err.iter_mut().zip(errs) {
             *acc += e;
         }
     }

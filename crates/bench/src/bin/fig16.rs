@@ -3,12 +3,13 @@
 //!
 //! gPTAc is consistently closest to optimal; ATC is second but erratic;
 //! APCA/DWT/PAA/Chebyshev apply only to the one-dimensional, gap-free
-//! queries (E1–E3, T1, T2) and trail badly. For E4 (too large for the DP)
-//! the paper uses gPTAc as the baseline and compares ATC against it.
+//! queries (E1–E3, T1, T2) and trail badly — the `Comparator` reports
+//! them as n/a points (∞) everywhere else, mirroring the paper's empty
+//! cells. For E4 (too large for the DP) the paper uses gPTAc as the
+//! baseline and compares ATC against it.
 
-use pta_baselines::{apca, atc_size_targeted, chebyshev, dwt_for_size, paa, DenseSeries, Padding};
+use pta::Comparator;
 use pta_bench::{fmt, linspace_usize, mean_stderr, print_table, row, HarnessArgs, Scale};
-use pta_core::{greedy_error_curve, optimal_error_curve, Weights};
 use pta_datasets::{prepare, QueryId};
 
 fn main() {
@@ -39,38 +40,37 @@ fn main() {
         let rel = &q.relation;
         let n = rel.len();
         let cmin = rel.cmin();
-        let w = Weights::uniform(rel.dims());
         // E4 is too large for the exact DP (the paper hits the same wall
         // and falls back to gPTAc as baseline).
         let use_dp = id != QueryId::E4;
-        let baseline: Vec<f64> = if use_dp {
-            optimal_error_curve(rel, &w, n).expect("dims match")
+        let methods: &[&str] = if use_dp {
+            &["exact", "gms", "atc", "apca", "dwt", "paa", "chebyshev"]
         } else {
-            greedy_error_curve(rel, &w).expect("dims match")
+            &["gms", "atc", "apca", "dwt", "paa", "chebyshev"]
         };
-        let greedy = greedy_error_curve(rel, &w).expect("dims match");
-        let atc_best = atc_size_targeted(rel, &w, 8).expect("valid sweep");
-        let series = DenseSeries::from_sequential(rel).ok();
-
         let cs = linspace_usize(cmin.max(2), n - 1, samples);
+        let cmp = Comparator::new()
+            .methods(methods)
+            .expect("registered methods")
+            .sizes(cs.iter().copied())
+            .run_sequential(rel)
+            .expect("prepared query is valid");
+        let baseline = cmp.method(if use_dp { "exact" } else { "gms" }).expect("selected");
+
         let mut ratios: [Vec<f64>; 6] = Default::default(); // gpta, atc, apca, dwt, paa, cheb
-        for &c in &cs {
-            let base = baseline[c - 1];
-            let usable = base > 0.0; // false for 0, inf-denominator and NaN
+        let curves = ["gms", "atc", "apca", "dwt", "paa", "chebyshev"]
+            .map(|name| cmp.method(name).expect("selected above"));
+        for i in 0..cs.len() {
+            let base = baseline.sse_at(i);
+            let usable = base > 0.0 && base.is_finite();
             if !usable {
                 continue;
             }
-            ratios[0].push(greedy[c - 1] / base);
-            if atc_best[c - 1].is_finite() {
-                ratios[1].push(atc_best[c - 1] / base);
-            }
-            if let Some(series) = &series {
-                ratios[2].push(
-                    apca(series, c, Padding::Zero).expect("valid c").sse_against(series) / base,
-                );
-                ratios[3].push(dwt_for_size(series, c, Padding::Zero).expect("valid c").sse / base);
-                ratios[4].push(paa(series, c).expect("valid c").sse_against(series) / base);
-                ratios[5].push(chebyshev(series, c).expect("valid c").sse / base);
+            for (acc, curve) in ratios.iter_mut().zip(&curves) {
+                let e = curve.sse_at(i);
+                if e.is_finite() {
+                    acc.push(e / base);
+                }
             }
         }
         let names = ["gPTAc", "ATC", "APCA", "DWT", "PAA", "Cheb"];

@@ -5,19 +5,11 @@
 //! δ ≥ 1 is practically indistinguishable from δ = ∞ — "reading ahead by
 //! just one tuple is sufficient".
 
-use pta_bench::{fmt, linspace_usize, mean_stderr, print_table, row, HarnessArgs, Scale};
+use pta_bench::{
+    delta_name, fmt, linspace_usize, mean_stderr, print_table, row, HarnessArgs, Scale,
+};
 use pta_core::{max_error, optimal_error_curve, Delta, GPtaC, GPtaE, Weights};
 use pta_datasets::{prepare, QueryId};
-
-fn delta_name(d: Delta) -> &'static str {
-    match d {
-        Delta::Finite(0) => "0",
-        Delta::Finite(1) => "1",
-        Delta::Finite(2) => "2",
-        Delta::Unbounded => "inf",
-        _ => "?",
-    }
-}
 
 fn main() {
     let args = HarnessArgs::parse();

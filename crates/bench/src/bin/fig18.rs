@@ -4,10 +4,30 @@
 //!     and gap-pruned PTAc coincide — there is nothing to prune.
 //! (b) Grouped uniform data (S2 shape, 200 groups): PTAc is dramatically
 //!     faster and scales almost linearly, the naive DP stays quadratic.
+//!
+//! Each data point is one `Comparator` call over the `dp-naive` and
+//! `exact` summarizers: the summaries carry the wall times and the DP
+//! cell counters.
 
-use pta_bench::{fmt, print_table, row, time, HarnessArgs, Scale};
-use pta_core::{pta_size_bounded, pta_size_bounded_naive, Weights};
+use pta::Comparator;
+use pta_bench::{dp_cells, fmt, print_table, row, HarnessArgs, Scale};
 use pta_datasets::uniform;
+use pta_temporal::SequentialRelation;
+
+/// Runs naive DP and PTAc at one size bound; returns (naive, pta)
+/// summaries after checking both reached the same optimum.
+fn race(rel: &SequentialRelation, c: usize) -> (pta::Summary, pta::Summary) {
+    let cmp = Comparator::new()
+        .methods(&["dp-naive", "exact"])
+        .expect("registered methods")
+        .sizes([c])
+        .run_sequential(rel)
+        .expect("valid c");
+    let naive = cmp.method("dp-naive").unwrap().summary_at(0).expect("valid c").clone();
+    let pta = cmp.method("exact").unwrap().summary_at(0).expect("valid c").clone();
+    assert!((naive.sse - pta.sse).abs() < 1e-6 * (1.0 + naive.sse));
+    (naive, pta)
+}
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -18,28 +38,25 @@ fn main() {
         Scale::Paper => ((1..=13).map(|i| i * 500).collect(), 500),
     };
     let p = 10;
-    let w = Weights::uniform(p);
 
     // (a) No gaps.
     let base_a = uniform::ungrouped(*sizes.last().unwrap(), p, 77);
     let mut rows_a = Vec::new();
     for &n in &sizes {
         let sub = base_a.slice(0..n);
-        let c_eff = c.min(n);
-        let (naive, t_naive) = time(|| pta_size_bounded_naive(&sub, &w, c_eff).expect("valid c"));
-        let (pruned, t_pta) = time(|| pta_size_bounded(&sub, &w, c_eff).expect("valid c"));
-        assert!(
-            (naive.reduction.sse() - pruned.reduction.sse()).abs()
-                < 1e-6 * (1.0 + naive.reduction.sse())
-        );
+        let (naive, pta) = race(&sub, c.min(n));
         rows_a.push(row([
             n.to_string(),
-            fmt(t_naive.as_secs_f64()),
-            fmt(t_pta.as_secs_f64()),
-            naive.stats.cells.to_string(),
-            pruned.stats.cells.to_string(),
+            fmt(naive.wall.as_secs_f64()),
+            fmt(pta.wall.as_secs_f64()),
+            dp_cells(&naive).to_string(),
+            dp_cells(&pta).to_string(),
         ]));
-        println!("(a) n = {n}: DP {:.3}s, PTAc {:.3}s", t_naive.as_secs_f64(), t_pta.as_secs_f64());
+        println!(
+            "(a) n = {n}: DP {:.3}s, PTAc {:.3}s",
+            naive.wall.as_secs_f64(),
+            pta.wall.as_secs_f64()
+        );
     }
     print_table(
         "Fig. 18(a): no gaps (S1 subsets)",
@@ -56,25 +73,20 @@ fn main() {
         let per_group = (n / groups).max(1);
         let sub = uniform::grouped(groups, per_group, p, 78);
         let c_eff = c.max(sub.cmin()).min(sub.len());
-        let (naive, t_naive) = time(|| pta_size_bounded_naive(&sub, &w, c_eff).expect("valid c"));
-        let (pruned, t_pta) = time(|| pta_size_bounded(&sub, &w, c_eff).expect("valid c"));
-        assert!(
-            (naive.reduction.sse() - pruned.reduction.sse()).abs()
-                < 1e-6 * (1.0 + naive.reduction.sse())
-        );
-        last_speedup = t_naive.as_secs_f64() / t_pta.as_secs_f64().max(1e-9);
+        let (naive, pta) = race(&sub, c_eff);
+        last_speedup = naive.wall.as_secs_f64() / pta.wall.as_secs_f64().max(1e-9);
         rows_b.push(row([
             sub.len().to_string(),
-            fmt(t_naive.as_secs_f64()),
-            fmt(t_pta.as_secs_f64()),
-            naive.stats.cells.to_string(),
-            pruned.stats.cells.to_string(),
+            fmt(naive.wall.as_secs_f64()),
+            fmt(pta.wall.as_secs_f64()),
+            dp_cells(&naive).to_string(),
+            dp_cells(&pta).to_string(),
         ]));
         println!(
             "(b) n = {}: DP {:.3}s, PTAc {:.3}s ({}x)",
             sub.len(),
-            t_naive.as_secs_f64(),
-            t_pta.as_secs_f64(),
+            naive.wall.as_secs_f64(),
+            pta.wall.as_secs_f64(),
             fmt(last_speedup)
         );
     }

@@ -3,10 +3,13 @@
 //!
 //! Runtime grows roughly linearly with `c` for both variants; PTAc is
 //! much faster throughout and "not overly sensitive to the size bound, as
-//! the presence of gaps is the most important speed factor".
+//! the presence of gaps is the most important speed factor". Each point
+//! is a single-bound `Comparator` call racing `dp-naive` against `exact`
+//! (single-bound, deliberately: a size *grid* would share one DP via the
+//! exact summarizer's curve fast path and hide the per-c runtime).
 
-use pta_bench::{fmt, linspace_usize, print_table, row, time, HarnessArgs, Scale};
-use pta_core::{pta_size_bounded, pta_size_bounded_naive, Weights};
+use pta::Comparator;
+use pta_bench::{fmt, linspace_usize, print_table, row, HarnessArgs, Scale};
 use pta_datasets::uniform;
 
 fn main() {
@@ -18,22 +21,25 @@ fn main() {
     let p = 10;
     let rel = uniform::grouped(groups, per_group, p, 79);
     let n = rel.len();
-    let w = Weights::uniform(p);
     println!("Fig. 19 — DP runtime vs. output size (n = {n}, {groups} groups)");
 
     let cs = linspace_usize(rel.cmin(), n, 9);
     let mut rows = Vec::new();
     let mut speedups = Vec::new();
     for &c in &cs {
-        let (naive, t_naive) = time(|| pta_size_bounded_naive(&rel, &w, c).expect("valid c"));
-        let (pruned, t_pta) = time(|| pta_size_bounded(&rel, &w, c).expect("valid c"));
-        assert!(
-            (naive.reduction.sse() - pruned.reduction.sse()).abs()
-                < 1e-6 * (1.0 + naive.reduction.sse())
-        );
-        speedups.push(t_naive.as_secs_f64() / t_pta.as_secs_f64().max(1e-9));
-        rows.push(row([c.to_string(), fmt(t_naive.as_secs_f64()), fmt(t_pta.as_secs_f64())]));
-        println!("c = {c}: DP {:.3}s, PTAc {:.3}s", t_naive.as_secs_f64(), t_pta.as_secs_f64());
+        let cmp = Comparator::new()
+            .methods(&["dp-naive", "exact"])
+            .expect("registered methods")
+            .sizes([c])
+            .run_sequential(&rel)
+            .expect("valid c");
+        let naive = cmp.method("dp-naive").unwrap().summary_at(0).expect("valid c");
+        let pta = cmp.method("exact").unwrap().summary_at(0).expect("valid c");
+        assert!((naive.sse - pta.sse).abs() < 1e-6 * (1.0 + naive.sse));
+        let (t_naive, t_pta) = (naive.wall.as_secs_f64(), pta.wall.as_secs_f64());
+        speedups.push(t_naive / t_pta.max(1e-9));
+        rows.push(row([c.to_string(), fmt(t_naive), fmt(t_pta)]));
+        println!("c = {c}: DP {t_naive:.3}s, PTAc {t_pta:.3}s");
     }
     print_table("Fig. 19: runtime vs. output size", &["c", "DP_s", "PTAc_s"], &rows);
     args.write_csv("fig19.csv", &["c", "dp_s", "ptac_s"], &rows);

@@ -5,16 +5,9 @@
 //! δ = 0 caps it at ~c; finite δ sits at c + β with small β. gPTAε's
 //! heap is substantially larger regardless of δ.
 
-use pta_bench::{print_table, row, HarnessArgs, Scale};
+use pta_bench::{delta_name, print_table, row, HarnessArgs, Scale};
 use pta_core::{Delta, GPtaC, GPtaE, Weights};
 use pta_datasets::uniform;
-
-fn delta_name(d: Delta) -> String {
-    match d {
-        Delta::Finite(k) => k.to_string(),
-        Delta::Unbounded => "inf".into(),
-    }
-}
 
 fn main() {
     let args = HarnessArgs::parse();

@@ -15,6 +15,10 @@ use std::io::Write as _;
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
+use pta::{Comparator, Summary, SummaryStats};
+use pta_core::Delta;
+use pta_temporal::SequentialRelation;
+
 pub use pta_datasets::Scale;
 
 /// Command-line arguments shared by all harness binaries.
@@ -129,6 +133,43 @@ pub fn fmt(v: f64) -> String {
 /// A row of strings (helper for the table printers).
 pub fn row<D: Display>(cells: impl IntoIterator<Item = D>) -> Vec<String> {
     cells.into_iter().map(|c| c.to_string()).collect()
+}
+
+/// The printable name of a read-ahead δ (shared by the δ-study harnesses
+/// fig17 and fig20).
+pub fn delta_name(d: Delta) -> String {
+    match d {
+        Delta::Finite(k) => k.to_string(),
+        Delta::Unbounded => "inf".into(),
+    }
+}
+
+/// Normalised optimal-PTA error (%) at the reduction ratios (%) requested
+/// — Fig. 14's curves, one `Comparator` call: reduction ratio `r` maps to
+/// size `n − r/100 · (n − cmin)`, the whole grid shares a single DP run,
+/// and errors are scaled to `E_max`. (Before the comparator existed every
+/// fig binary carried its own copy of this mapping.)
+pub fn optimal_error_pct_at_ratios(
+    relation: &SequentialRelation,
+    ratios: &[f64],
+) -> Vec<(f64, f64)> {
+    let cmp = Comparator::new()
+        .method("exact")
+        .expect("exact is registered")
+        .reduction_ratios(ratios.iter().copied())
+        .run_sequential(relation)
+        .expect("dims match");
+    let exact = cmp.method("exact").expect("selected above");
+    ratios.iter().enumerate().map(|(i, &r)| (r, cmp.error_pct(exact.sse_at(i)))).collect()
+}
+
+/// The DP cell counter of a summary produced by `exact`/`dp-naive`
+/// (panics on other summarizers — harness-internal helper).
+pub fn dp_cells(summary: &Summary) -> u64 {
+    match &summary.stats {
+        SummaryStats::Dp(stats) => stats.cells,
+        other => panic!("summary of {} carries no DP stats: {other:?}", summary.algorithm),
+    }
 }
 
 /// `count` sample points spread evenly over `lo..=hi` (inclusive,

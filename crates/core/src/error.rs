@@ -49,6 +49,22 @@ impl CoreError {
         Self::Common(CommonError::invalid_parameter("estimate", reason.into()))
     }
 
+    /// The operation does not apply to this input — the paper's "n/a"
+    /// cells (§7.2.2): e.g. a per-chronon series view of a relation with
+    /// gaps, groups, or `p ≠ 1`.
+    pub fn not_applicable(reason: impl Into<String>) -> Self {
+        Self::Common(CommonError::not_applicable(reason))
+    }
+
+    /// A segment/coefficient count that is zero or exceeds the series
+    /// length — an invalid-parameter failure in the shared vocabulary.
+    pub fn invalid_size(requested: usize, len: usize) -> Self {
+        Self::Common(CommonError::invalid_parameter(
+            "size",
+            format!("requested size {requested} invalid for series of length {len}"),
+        ))
+    }
+
     /// Non-finite data corrupted an error computation. Input values are
     /// validated at the [`pta_temporal::SequentialBuilder`] boundary, so
     /// this is a defensive backstop: the error-bounded DP returns it

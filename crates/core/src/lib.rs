@@ -35,7 +35,9 @@ pub mod merge;
 pub mod policy;
 pub mod prefix;
 pub mod reduction;
+pub mod series;
 pub mod sse;
+pub mod summarize;
 pub mod weights;
 
 pub use dp::curve::optimal_error_curve;
@@ -68,7 +70,12 @@ pub use greedy::{Delta, GreedyOutcome, GreedyStats};
 pub use policy::GapPolicy;
 pub use prefix::PrefixStats;
 pub use reduction::Reduction;
+pub use series::{DenseSeries, PiecewiseConstant};
 pub use sse::{dsim, pointwise_sse};
+pub use summarize::{
+    size_for_error_budget, Bound, Capabilities, ExactPta, GreedyPta, NaiveDp, SeriesView,
+    Summarizer, Summary, SummaryDetail, SummaryStats,
+};
 pub use weights::Weights;
 
 /// Crate-local result alias.

@@ -1,0 +1,376 @@
+//! Dense per-chronon series and piecewise-constant approximations.
+//!
+//! These are the input and output forms of the time-series comparator
+//! methods (PAA, APCA, DWT, SAX, amnesic, ...). They live in `pta-core` —
+//! rather than `pta-baselines`, which re-exports them — so the
+//! [`Summarizer`](crate::summarize::Summarizer) machinery can hand every
+//! algorithm the same lazily-densified view of a sequential relation.
+
+use pta_temporal::SequentialRelation;
+
+use crate::error::CoreError;
+use crate::prefix::PrefixStats;
+use crate::sse::pointwise_sse;
+use crate::weights::Weights;
+
+/// A one-dimensional series with one value per chronon — the expansion an
+/// ITA result admits when it has a single group and no temporal gaps
+/// (§2.2: "An ITA result can be considered as a time series if no temporal
+/// gaps and aggregation groups are present").
+///
+/// Every series carries the `pta-core` prefix-sum statistics over its
+/// values, so all segment errors and segment means the comparator methods
+/// need evaluate through the same weighted-segment SSE kernel PTA itself
+/// uses — one error code path for every method in the paper's comparison.
+#[derive(Debug, Clone)]
+pub struct DenseSeries {
+    values: Vec<f64>,
+    stats: PrefixStats,
+    unit: Weights,
+}
+
+impl PartialEq for DenseSeries {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+impl DenseSeries {
+    /// Wraps raw values.
+    pub fn new(values: Vec<f64>) -> Self {
+        let stats = PrefixStats::from_dense(&values);
+        Self { values, stats, unit: Weights::uniform(1) }
+    }
+
+    /// Expands a sequential relation: each tuple's value is repeated for
+    /// every chronon of its interval. Fails when the relation has more
+    /// than one aggregation group, temporal gaps, or `p ≠ 1` — the inputs
+    /// the paper marks the time-series methods "not applicable" for.
+    pub fn from_sequential(input: &SequentialRelation) -> Result<Self, CoreError> {
+        if input.dims() != 1 {
+            return Err(CoreError::not_applicable(format!(
+                "series methods are one-dimensional, relation has p = {}",
+                input.dims()
+            )));
+        }
+        if input.cmin() > 1 {
+            return Err(CoreError::not_applicable(format!(
+                "relation has {} maximal runs (gaps or groups); time-series methods need 1",
+                input.cmin()
+            )));
+        }
+        let mut values = Vec::with_capacity(input.total_duration() as usize);
+        for i in 0..input.len() {
+            let v = input.value(i, 0);
+            for _ in 0..input.interval(i).len() {
+                values.push(v);
+            }
+        }
+        Ok(Self::new(values))
+    }
+
+    /// Number of chronons.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the series is empty.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// The raw values.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Value at position `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> f64 {
+        self.values[i]
+    }
+
+    /// The `pta-core` prefix-sum statistics over this series.
+    pub fn stats(&self) -> &PrefixStats {
+        &self.stats
+    }
+
+    /// The SSE between this series and an approximation of the same
+    /// length: `Σ_t (x_t − y_t)²` — the per-chronon form of Def. 5 with
+    /// unit weights, evaluated by the `pta-core` kernel.
+    pub fn sse_against(&self, approx: &[f64]) -> f64 {
+        debug_assert_eq!(self.values.len(), approx.len());
+        pointwise_sse(&self.values, approx)
+    }
+
+    /// The SSE of representing chronons `range` by the constant `rep`,
+    /// in `O(1)` via the kernel's prefix sums.
+    #[inline]
+    pub fn range_sse_constant(&self, range: std::ops::Range<usize>, rep: f64) -> f64 {
+        self.stats.range_sse_against(&self.unit, range, &[rep])
+    }
+
+    /// The mean of chronons `range`, in `O(1)` via the kernel's prefix
+    /// sums — the error-optimal constant for that segment.
+    #[inline]
+    pub fn range_mean(&self, range: std::ops::Range<usize>) -> f64 {
+        debug_assert!(!range.is_empty());
+        self.stats.merged_value(range, 0)
+    }
+
+    /// Mean of all values.
+    pub fn mean(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        self.range_mean(0..self.values.len())
+    }
+
+    /// Sample standard deviation (population form, as SAX uses).
+    ///
+    /// Computed two-pass rather than from the prefix sums: SAX branches
+    /// on `std_dev == 0`, so this quantity gets the most direct, exactly
+    /// non-negative evaluation available. (The kernel's mean-centered
+    /// sums would also be accurate — see `pta_core::prefix` — but have a
+    /// `max(0.0)` clamp this avoids.)
+    pub fn std_dev(&self) -> f64 {
+        if self.values.is_empty() {
+            return 0.0;
+        }
+        let m = self.range_mean(0..self.values.len());
+        let var =
+            self.values.iter().map(|v| (v - m) * (v - m)).sum::<f64>() / self.values.len() as f64;
+        var.sqrt()
+    }
+}
+
+/// A step function over `0..n`: `cuts` are the positions where new
+/// segments start (excluding 0), `values[k]` is the constant of segment
+/// `k`. This is the output form of PAA, APCA, DWT-as-steps and SAX.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseConstant {
+    n: usize,
+    cuts: Vec<usize>,
+    values: Vec<f64>,
+}
+
+impl PiecewiseConstant {
+    /// Builds from segment boundaries `0 = b_0 < ... < b_k = n` and one
+    /// value per segment.
+    pub fn new(n: usize, boundaries: &[usize], values: Vec<f64>) -> Result<Self, CoreError> {
+        if boundaries.len() != values.len() + 1
+            || boundaries.first() != Some(&0)
+            || boundaries.last() != Some(&n)
+            || boundaries.windows(2).any(|w| w[0] >= w[1])
+        {
+            return Err(CoreError::Common(pta_temporal::CommonError::invalid_parameter(
+                "boundaries",
+                format!(
+                    "inconsistent boundaries for n = {n}: {boundaries:?} with {} values",
+                    values.len()
+                ),
+            )));
+        }
+        Ok(Self { n, cuts: boundaries[1..boundaries.len() - 1].to_vec(), values })
+    }
+
+    /// Derives the step function of an arbitrary dense signal by scanning
+    /// for value changes (used to count the segments of a DWT
+    /// reconstruction).
+    pub fn from_step_signal(signal: &[f64]) -> Self {
+        let n = signal.len();
+        let mut cuts = Vec::new();
+        let mut values = Vec::new();
+        if n == 0 {
+            return Self { n, cuts, values };
+        }
+        values.push(signal[0]);
+        for i in 1..n {
+            if signal[i] != signal[i - 1] {
+                cuts.push(i);
+                values.push(signal[i]);
+            }
+        }
+        Self { n, cuts, values }
+    }
+
+    /// Number of segments.
+    pub fn segments(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Series length covered.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the approximation covers nothing.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// The boundary list `0, cuts..., n`.
+    pub fn boundaries(&self) -> Vec<usize> {
+        let mut b = Vec::with_capacity(self.cuts.len() + 2);
+        b.push(0);
+        b.extend_from_slice(&self.cuts);
+        b.push(self.n);
+        b
+    }
+
+    /// The per-segment constants.
+    pub fn values(&self) -> &[f64] {
+        &self.values
+    }
+
+    /// Materialises the step function as a dense signal.
+    pub fn to_dense(&self) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.n);
+        let bounds = self.boundaries();
+        for (k, w) in bounds.windows(2).enumerate() {
+            for _ in w[0]..w[1] {
+                out.push(self.values[k]);
+            }
+        }
+        out
+    }
+
+    /// SSE against the original series, evaluated segment by segment
+    /// through the `pta-core` kernel's prefix sums — `O(segments)` rather
+    /// than `O(n)`, and the same code path PTA's own error uses.
+    pub fn sse_against(&self, series: &DenseSeries) -> f64 {
+        debug_assert_eq!(series.len(), self.n);
+        let bounds = self.boundaries();
+        bounds
+            .windows(2)
+            .zip(&self.values)
+            .map(|(w, &v)| series.range_sse_constant(w[0]..w[1], v))
+            .sum()
+    }
+
+    /// Replaces each segment's constant with the true mean of `series`
+    /// over the segment — APCA's "insert true average values" step, which
+    /// can only lower the SSE.
+    pub fn with_true_means(&self, series: &DenseSeries) -> Self {
+        let bounds = self.boundaries();
+        let values = bounds.windows(2).map(|w| series.range_mean(w[0]..w[1])).collect();
+        Self { n: self.n, cuts: self.cuts.clone(), values }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pta_temporal::{CommonError, GroupKey, SequentialBuilder, TimeInterval};
+
+    #[test]
+    fn expansion_repeats_interval_values() {
+        let mut b = SequentialBuilder::new(1);
+        b.push(GroupKey::empty(), TimeInterval::new(0, 2).unwrap(), &[5.0]).unwrap();
+        b.push(GroupKey::empty(), TimeInterval::new(3, 3).unwrap(), &[7.0]).unwrap();
+        let s = DenseSeries::from_sequential(&b.build()).unwrap();
+        assert_eq!(s.values(), &[5.0, 5.0, 5.0, 7.0]);
+    }
+
+    #[test]
+    fn gapped_input_is_rejected() {
+        let mut b = SequentialBuilder::new(1);
+        b.push(GroupKey::empty(), TimeInterval::new(0, 1).unwrap(), &[1.0]).unwrap();
+        b.push(GroupKey::empty(), TimeInterval::new(5, 6).unwrap(), &[2.0]).unwrap();
+        let err = DenseSeries::from_sequential(&b.build()).unwrap_err();
+        assert!(err.common().is_some_and(CommonError::is_not_applicable));
+    }
+
+    #[test]
+    fn multidimensional_input_is_rejected() {
+        let mut b = SequentialBuilder::new(2);
+        b.push(GroupKey::empty(), TimeInterval::new(0, 1).unwrap(), &[1.0, 2.0]).unwrap();
+        assert!(DenseSeries::from_sequential(&b.build()).is_err());
+    }
+
+    #[test]
+    fn sse_and_moments() {
+        let s = DenseSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.sse_against(&[1.0, 2.0, 3.0, 4.0]), 0.0);
+        assert_eq!(s.sse_against(&[0.0, 2.0, 3.0, 6.0]), 1.0 + 4.0);
+        assert_eq!(s.mean(), 2.5);
+        assert!((s.std_dev() - 1.118_033_988).abs() < 1e-6);
+    }
+
+    #[test]
+    fn std_dev_is_stable_for_large_means() {
+        // Regression: the E[x²] − E[x]² form returns 0 here; the stable
+        // two-pass form must recover the true spread.
+        let values: Vec<f64> =
+            (0..1000).map(|i| 1.0e8 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let s = DenseSeries::new(values);
+        assert!((s.std_dev() - 0.5).abs() < 1e-6, "got {}", s.std_dev());
+    }
+
+    #[test]
+    fn range_helpers_match_naive_loops() {
+        let s = DenseSeries::new(vec![1.0, 5.0, 2.0, 8.0, 3.0, 1.0]);
+        for lo in 0..s.len() {
+            for hi in lo + 1..=s.len() {
+                let naive_mean: f64 = (lo..hi).map(|i| s.get(i)).sum::<f64>() / (hi - lo) as f64;
+                assert!((s.range_mean(lo..hi) - naive_mean).abs() < 1e-12);
+                for rep in [0.0, naive_mean, 4.25] {
+                    let naive: f64 = (lo..hi)
+                        .map(|i| {
+                            let d = s.get(i) - rep;
+                            d * d
+                        })
+                        .sum();
+                    assert!(
+                        (s.range_sse_constant(lo..hi, rep) - naive).abs() < 1e-9 * (1.0 + naive),
+                        "range {lo}..{hi} rep {rep}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn piecewise_roundtrip_through_dense() {
+        let pc = PiecewiseConstant::new(5, &[0, 2, 5], vec![1.0, 3.0]).unwrap();
+        assert_eq!(pc.to_dense(), vec![1.0, 1.0, 3.0, 3.0, 3.0]);
+        let back = PiecewiseConstant::from_step_signal(&pc.to_dense());
+        assert_eq!(back, pc);
+        assert_eq!(back.segments(), 2);
+    }
+
+    #[test]
+    fn invalid_boundaries_rejected() {
+        assert!(PiecewiseConstant::new(5, &[0, 5], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseConstant::new(5, &[0, 0, 5], vec![1.0, 2.0]).is_err());
+        assert!(PiecewiseConstant::new(5, &[1, 3, 5], vec![1.0, 2.0]).is_err());
+    }
+
+    #[test]
+    fn piecewise_sse_is_stable_for_large_means() {
+        // Regression for the centered kernel: values 1e8 ± 0.5 against the
+        // mean-constant fit must yield the true SSE (250 over 1000 points),
+        // not the 0.0 an uncentered SS − 2·rep·S + rep²·L cancels to.
+        let values: Vec<f64> =
+            (0..1000).map(|i| 1.0e8 + if i % 2 == 0 { 0.5 } else { -0.5 }).collect();
+        let s = DenseSeries::new(values);
+        let pc = PiecewiseConstant::new(1000, &[0, 1000], vec![s.mean()]).unwrap();
+        assert!((pc.sse_against(&s) - 250.0).abs() < 1e-6, "got {}", pc.sse_against(&s));
+    }
+
+    #[test]
+    fn piecewise_sse_matches_manual_computation() {
+        let s = DenseSeries::new(vec![1.0, 2.0, 3.0, 4.0]);
+        let pc = PiecewiseConstant::new(4, &[0, 2, 4], vec![1.5, 3.5]).unwrap();
+        assert!((pc.sse_against(&s) - (0.25 * 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn true_means_never_increase_error() {
+        let s = DenseSeries::new(vec![1.0, 5.0, 2.0, 8.0, 3.0, 1.0]);
+        let pc = PiecewiseConstant::new(6, &[0, 3, 6], vec![0.0, 0.0]).unwrap();
+        let improved = pc.with_true_means(&s);
+        assert!(improved.sse_against(&s) <= pc.sse_against(&s));
+        assert!((improved.values()[0] - (8.0 / 3.0)).abs() < 1e-12);
+    }
+}

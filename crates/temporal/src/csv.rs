@@ -66,40 +66,62 @@ fn parse_value(raw: &str, dtype: DataType, line: usize) -> Result<Value, Tempora
 /// Reads a temporal relation from CSV. The first line must be a header;
 /// every following line carries the attribute values in schema order plus
 /// `t_start` and `t_end`. Empty lines and `#` comments are skipped.
+///
+/// The reader is allocation-light on the hot path: one line buffer is
+/// reused across rows (`read_line` instead of the per-line `String`s of
+/// `lines()`), and fields are consumed straight off the split iterator
+/// without collecting them — only the parsed `Value`s themselves
+/// allocate. `crates/bench/benches/csv_ingest.rs` pins the throughput.
 pub fn read_relation(
     schema: Schema,
-    reader: impl BufRead,
+    mut reader: impl BufRead,
 ) -> Result<TemporalRelation, TemporalError> {
     let arity = schema.arity();
     let mut rel = TemporalRelation::new(schema);
-    let mut lines = reader.lines().enumerate();
-    // Header.
-    let _ = lines.next();
-    for (lineno, line) in lines {
-        let line = line.map_err(|e| TemporalError::NonSequential {
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).map_err(|e| TemporalError::NonSequential {
             index: lineno,
             reason: format!("I/O error: {e}"),
         })?;
+        if read == 0 {
+            break;
+        }
+        let row_index = lineno;
+        lineno += 1;
+        if row_index == 0 {
+            // Header.
+            continue;
+        }
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split(',').collect();
-        if fields.len() != arity + 2 {
-            return Err(TemporalError::ArityMismatch { got: fields.len(), expected: arity + 2 });
+        // Check the column count before parsing any field, so a row with
+        // the wrong shape reports ArityMismatch rather than a misleading
+        // parse error on whichever value landed in the wrong column. The
+        // extra `count()` pass allocates nothing.
+        let got = trimmed.split(',').count();
+        if got != arity + 2 {
+            return Err(TemporalError::ArityMismatch { got, expected: arity + 2 });
         }
+        let mut fields = trimmed.split(',');
         let mut values = Vec::with_capacity(arity);
-        for (i, raw) in fields[..arity].iter().enumerate() {
-            values.push(parse_value(raw, rel.schema().attribute(i).data_type(), lineno)?);
+        for i in 0..arity {
+            let raw = fields.next().expect("count checked above");
+            values.push(parse_value(raw, rel.schema().attribute(i).data_type(), row_index)?);
         }
         let parse_t = |raw: &str| -> Result<i64, TemporalError> {
             raw.trim().parse::<i64>().map_err(|_| TemporalError::NonSequential {
-                index: lineno,
+                index: row_index,
                 reason: format!("cannot parse chronon {raw:?}"),
             })
         };
-        let interval = TimeInterval::new(parse_t(fields[arity])?, parse_t(fields[arity + 1])?)?;
-        rel.push(values, interval)?;
+        let start = parse_t(fields.next().expect("count checked above"))?;
+        let end = parse_t(fields.next().expect("count checked above"))?;
+        rel.push(values, TimeInterval::new(start, end)?)?;
     }
     Ok(rel)
 }
@@ -215,6 +237,24 @@ mod tests {
             assert!(
                 read_relation(schema.clone(), BufReader::new(text.as_bytes())).is_err(),
                 "{text:?} should fail"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_column_counts_report_arity_not_parse_errors() {
+        // A row with too many fields must say ArityMismatch even though
+        // the misplaced field ("extra") would also fail to parse as a
+        // chronon — the column count is the real problem.
+        let schema = parse_schema("Empl:str,Proj:str,Sal:int").unwrap();
+        for (text, got) in [
+            ("Empl,Proj,Sal,t_start,t_end\ne1,p1,100,extra,0,5\n", 6),
+            ("Empl,Proj,Sal,t_start,t_end\ne1,p1,100,0\n", 4),
+        ] {
+            let err = read_relation(schema.clone(), BufReader::new(text.as_bytes())).unwrap_err();
+            assert!(
+                matches!(err, TemporalError::ArityMismatch { got: g, expected: 5 } if g == got),
+                "{text:?}: {err}"
             );
         }
     }

@@ -1,19 +1,17 @@
 //! Side-by-side comparison of PTA with classic time-series approximation
-//! methods on one signal — a runnable miniature of the paper's Fig. 2.
+//! methods on one signal — a runnable miniature of the paper's Fig. 2,
+//! driven end to end by the one-call [`pta::Comparator`].
 //!
 //! All methods get the same budget of 12 segments/coefficients on a
 //! Mackey–Glass chaotic series; errors use the same SSE measure, and a
-//! terminal plot shows what each approximation looks like.
+//! terminal plot (reconstructed from each summary's detail) shows what
+//! each approximation looks like.
 //!
 //! ```text
 //! cargo run --release --example compare_approximations
 //! ```
 
-use pta_baselines::{
-    amnesic_size_bounded, apca, chebyshev, dft, dwt_for_size, linear_amnesia, paa, sax,
-    swing_filter, DenseSeries, Padding,
-};
-use pta_core::{gms_size_bounded, pta_size_bounded, Weights};
+use pta::{Comparator, DenseSeries, SummaryDetail};
 use pta_datasets::timeseries::chaotic;
 
 /// Crude terminal plot: one column per bucket of the series.
@@ -29,71 +27,61 @@ fn plot(label: &str, values: &[f64], lo: f64, hi: f64) {
     println!("{label:>10} {line}");
 }
 
+/// Expands a summary's detail into a dense signal for plotting (the
+/// per-chronon expansion is `DenseSeries::from_sequential` — the same
+/// one the summarizers evaluate their SSE against).
+fn to_signal(detail: &SummaryDetail) -> Option<Vec<f64>> {
+    match detail {
+        SummaryDetail::Signal(values) => Some(values.clone()),
+        SummaryDetail::Steps(pc) => Some(pc.to_dense()),
+        SummaryDetail::Reduction(r) => {
+            DenseSeries::from_sequential(r.relation()).ok().map(|s| s.values().to_vec())
+        }
+        SummaryDetail::None => None,
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let c = 12usize;
     let rel = chaotic(360, 7);
-    let series = DenseSeries::from_sequential(&rel)?;
-    let w = Weights::uniform(1);
+    let raw = DenseSeries::from_sequential(&rel)?;
     let (lo, hi) =
-        series.values().iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
-    println!("Mackey–Glass series, n = {}, budget c = {c}\n", series.len());
-    plot("original", series.values(), lo, hi);
+        raw.values().iter().fold((f64::MAX, f64::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+    println!("Mackey–Glass series, n = {}, budget c = {c}\n", raw.len());
+    plot("original", raw.values(), lo, hi);
 
-    let pta = pta_size_bounded(&rel, &w, c)?;
-    let gpta = gms_size_bounded(&rel, &w, c)?;
-    let expand = |z: &pta_temporal::SequentialRelation| -> Vec<f64> {
-        let mut out = Vec::with_capacity(series.len());
-        for i in 0..z.len() {
-            for _ in 0..z.interval(i).len() {
-                out.push(z.value(i, 0));
-            }
+    // One call: every method of the §7 comparison at the same budget.
+    let methods =
+        ["exact", "gms", "paa", "apca", "dwt", "dft", "chebyshev", "sax", "amnesic", "pla"];
+    let labels =
+        ["PTA", "gPTAc", "PAA", "APCA", "DWT", "DFT", "Chebyshev", "SAX", "amnesic", "PLA"];
+    let cmp = Comparator::new().methods(&methods)?.sizes([c]).run_sequential(&rel)?;
+
+    for (name, label) in methods.iter().zip(labels) {
+        let summary = cmp.method(name).expect("selected").summary_at(0).expect("applicable");
+        if let Some(signal) = to_signal(&summary.detail) {
+            plot(label, &signal, lo, hi);
         }
-        out
-    };
-    let paa_a = paa(&series, c)?;
-    let apca_a = apca(&series, c, Padding::Zero)?;
-    let dwt_a = dwt_for_size(&series, c, Padding::Zero)?;
-    let dft_a = dft(&series, c)?;
-    let cheb_a = chebyshev(&series, c)?;
-    let sax_a = sax(&series, c, 8)?;
-    let amnesic_a = amnesic_size_bounded(&series, c, linear_amnesia(0.02))?;
-    let pla_a = swing_filter(&series, 4.0)?;
-
-    plot("PTA", &expand(pta.reduction.relation()), lo, hi);
-    plot("gPTAc", &expand(gpta.reduction.relation()), lo, hi);
-    plot("PAA", &paa_a.to_dense(), lo, hi);
-    plot("APCA", &apca_a.to_dense(), lo, hi);
-    plot("DWT", &dwt_a.approx, lo, hi);
-    plot("DFT", &dft_a.approx, lo, hi);
-    plot("Chebyshev", &cheb_a.approx, lo, hi);
-    plot("SAX", &sax_a.approx.to_dense(), lo, hi);
-    plot("amnesic", &amnesic_a.to_dense(), lo, hi);
-    plot("PLA", &pla_a.to_dense(), lo, hi);
+    }
 
     println!("\nSSE with the same budget (lower is better):");
-    let rows = [
-        ("PTA (optimal)", pta.reduction.sse()),
-        ("gPTAc (greedy)", gpta.reduction.sse()),
-        ("APCA", apca_a.sse_against(&series)),
-        ("PAA", paa_a.sse_against(&series)),
-        ("DWT", dwt_a.sse),
-        ("DFT", dft_a.sse),
-        ("Chebyshev", cheb_a.sse),
-        ("SAX (w=8)", sax_a.sse),
-        ("amnesic r=.02", amnesic_a.sse_against(&series)),
-    ];
-    for (name, sse) in rows {
-        println!("  {name:<16} {sse:>12.1}");
+    for (name, label) in methods.iter().zip(labels) {
+        let summary = cmp.method(name).expect("selected").summary_at(0).expect("applicable");
+        println!(
+            "  {label:<12} {:>12.1}   ({} {}, {:.2} ms)",
+            summary.sse,
+            summary.size,
+            if matches!(summary.detail, SummaryDetail::Signal(_)) {
+                "coefficients/knots"
+            } else {
+                "segments/tuples"
+            },
+            summary.wall.as_secs_f64() * 1e3
+        );
     }
     println!(
-        "\nSAX symbols: {:?}",
-        sax_a.symbols.iter().map(|s| (b'a' + s) as char).collect::<String>()
-    );
-    println!(
-        "swing-filter PLA (L-inf <= 4.0): {} linear segments, SSE {:.1}, max |err| {:.2}",
-        pla_a.segments(),
-        pla_a.sse_against(&series),
-        pla_a.max_abs_error(&series)
+        "\n(PTA is the optimum; gPTAc trails it by Thm. 1. Every row came from the same \
+         Comparator run — implement pta::Summarizer to add your own method.)"
     );
     Ok(())
 }

@@ -33,10 +33,31 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: pta-cli <reduce|ita|sta> --input FILE --schema \"name:type,...\" \
+    "usage: pta-cli <reduce|ita|sta|compare> --input FILE --schema \"name:type,...\" \
      [--group-by A,B] --agg fn:attr[,fn:attr...] \
      [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
-     [--max-gap G] [--span-origin T --span-width W] [--output FILE]"
+     [--max-gap G] [--span-origin T --span-width W] [--output FILE]\n\
+     compare: [--methods a,b,c|all] (--sizes N,N,... | --errors E,E,... | \
+     --ratios R,R,...) — one-call §7 comparison; every method of the \
+     summarizer registry over one bound grid, as CSV"
+}
+
+/// Flags shared by every subcommand.
+const COMMON_FLAGS: &[&str] = &["input", "schema", "output", "group-by", "agg"];
+
+/// The flags each subcommand reads beyond [`COMMON_FLAGS`]. Flags outside
+/// the invoked subcommand's set are rejected up front: several flags gate
+/// optional behavior (e.g. `compare --methods` has a default), so a typo
+/// or misplaced flag that landed silently in the options map would
+/// produce plausible-looking output for a run the user never asked for.
+fn command_flags(command: &str) -> Option<&'static [&'static str]> {
+    match command {
+        "reduce" => Some(&["size", "error", "algorithm", "delta", "max-gap"]),
+        "ita" => Some(&[]),
+        "sta" => Some(&["span-origin", "span-width"]),
+        "compare" => Some(&["methods", "sizes", "errors", "ratios", "max-gap"]),
+        _ => None,
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -46,12 +67,20 @@ fn parse_args() -> Result<Args, String> {
         println!("{}", usage());
         std::process::exit(0);
     }
+    // Unknown commands fall through to the dispatcher's error; their
+    // flags are irrelevant.
+    let allowed = command_flags(&command);
     let mut options = std::collections::HashMap::new();
     while let Some(flag) = argv.next() {
         let key = flag
             .strip_prefix("--")
             .ok_or_else(|| format!("expected --flag, got {flag:?}"))?
             .to_string();
+        if let Some(allowed) = allowed {
+            if !COMMON_FLAGS.contains(&key.as_str()) && !allowed.contains(&key.as_str()) {
+                return Err(format!("unknown flag --{key} for {command}\n{}", usage()));
+            }
+        }
         let value = argv.next().ok_or_else(|| format!("--{key} needs a value"))?;
         options.insert(key, value);
     }
@@ -184,10 +213,103 @@ fn run() -> Result<(), String> {
                 result.reduction.sse()
             );
         }
+        "compare" => {
+            let mut cmp = pta::Comparator::new().group_by(&group_refs);
+            for a in aggs {
+                cmp = cmp.aggregate(a);
+            }
+            if let Some(g) = args.options.get("max-gap") {
+                let max_gap = g.parse().map_err(|e| format!("bad --max-gap: {e}"))?;
+                cmp = cmp.gap_policy(GapPolicy::Tolerate { max_gap });
+            }
+            match args.options.get("methods").map(String::as_str).unwrap_or("exact,greedy,atc") {
+                "all" => cmp = cmp.all_methods(),
+                list => {
+                    for name in list.split(',').map(str::trim).filter(|s| !s.is_empty()) {
+                        cmp = cmp.method(name).map_err(|e| e.to_string())?;
+                    }
+                }
+            }
+            cmp = match (
+                args.options.get("sizes"),
+                args.options.get("errors"),
+                args.options.get("ratios"),
+            ) {
+                (Some(s), None, None) => cmp.sizes(parse_list::<usize>(s, "--sizes")?),
+                (None, Some(e), None) => cmp.errors(parse_list::<f64>(e, "--errors")?),
+                (None, None, Some(r)) => cmp.reduction_ratios(parse_list::<f64>(r, "--ratios")?),
+                _ => {
+                    return Err("compare needs exactly one of --sizes, --errors or --ratios".into())
+                }
+            };
+            let result = cmp.run(&relation).map_err(|e| e.to_string())?;
+            writeln!(
+                out,
+                "method,bound,requested,ratio_pct,size,sse,error_pct,wall_ms,timing,status"
+            )
+            .map_err(|e| e.to_string())?;
+            for curve in &result.methods {
+                for (i, bound) in result.bounds.iter().enumerate() {
+                    let (kind, requested) = match bound {
+                        Bound::Size(c) => ("size", c.to_string()),
+                        Bound::Error(eps) => ("error", eps.to_string()),
+                    };
+                    // The requested reduction ratio the bound was derived
+                    // from (--ratios grids only): several ratios can
+                    // resolve to the same size, so the column is what
+                    // maps rows back onto the fig14-style axis.
+                    let ratio = result.ratios.as_ref().map_or(String::new(), |r| r[i].to_string());
+                    match curve.summary_at(i) {
+                        // `timing` labels wall_ms: `shared` rows repeat
+                        // one grid-wide computation's time (don't sum
+                        // them); `per-bound` rows timed their own run.
+                        Some(s) => writeln!(
+                            out,
+                            "{},{kind},{requested},{ratio},{},{},{},{:.3},{},ok",
+                            curve.name,
+                            s.size,
+                            s.sse,
+                            result.error_pct(s.sse),
+                            s.wall.as_secs_f64() * 1e3,
+                            if s.shared_wall { "shared" } else { "per-bound" }
+                        ),
+                        None => {
+                            writeln!(out, "{},{kind},{requested},{ratio},,,,,,n/a", curve.name)
+                        }
+                    }
+                    .map_err(|e| e.to_string())?;
+                }
+            }
+            eprintln!(
+                "compared {} methods over {} bounds (n = {}, cmin = {}, Emax = {:.4})",
+                result.methods.len(),
+                result.bounds.len(),
+                result.n,
+                result.cmin,
+                result.emax
+            );
+        }
         other => return Err(format!("unknown command {other:?}\n{}", usage())),
     }
     out.flush().map_err(|e| e.to_string())?;
     Ok(())
+}
+
+fn parse_list<T: std::str::FromStr>(spec: &str, flag: &str) -> Result<Vec<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    let items: Result<Vec<T>, String> = spec
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .map(|s| s.parse().map_err(|e| format!("bad {flag} entry {s:?}: {e}")))
+        .collect();
+    let items = items?;
+    if items.is_empty() {
+        return Err(format!("{flag} lists no values"));
+    }
+    Ok(items)
 }
 
 fn main() -> ExitCode {

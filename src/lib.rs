@@ -48,10 +48,12 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod compare;
 mod convert;
 mod error;
 mod query;
 
+pub use compare::{Comparator, Comparison, MethodCurve};
 pub use convert::to_temporal_relation;
 pub use error::Error;
 pub use query::{
@@ -61,7 +63,15 @@ pub use query::{
 /// Aggregate-spec shorthand re-export: `Agg::avg("Sal")` etc.
 pub use pta_ita::AggregateSpec as Agg;
 
-pub use pta_core::{Delta, DpExecMode, DpMode, Estimates, GapPolicy, Reduction, Weights};
+/// The summarizer registry (re-exported from `pta-baselines`): every §7
+/// algorithm by name, for [`Comparator::method`] and CLI enumeration.
+pub use pta_baselines::summarize::{registry, summarizer, summarizer_names};
+
+pub use pta_core::{
+    Capabilities, Delta, DenseSeries, DpExecMode, DpMode, Estimates, ExactPta, GapPolicy,
+    GreedyPta, NaiveDp, PiecewiseConstant, Reduction, SeriesView, Summarizer, Summary,
+    SummaryDetail, SummaryStats, Weights,
+};
 pub use pta_ita::{AggregateFunction, ItaQuerySpec, SpanSpec, Window};
 pub use pta_temporal::{
     Chronon, CommonError, DataType, GroupKey, Schema, SequentialRelation, TemporalRelation,

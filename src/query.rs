@@ -10,15 +10,11 @@ use pta_temporal::{SequentialRelation, TemporalRelation};
 use crate::convert::to_temporal_relation;
 use crate::error::Error;
 
-/// The reduction bound of a PTA query: either a maximal result size
-/// (Def. 6) or a maximal relative error (Def. 7).
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub enum Bound {
-    /// At most this many result tuples; the error is minimized.
-    Size(usize),
-    /// At most this fraction of the maximal error; the size is minimized.
-    Error(f64),
-}
+/// The reduction bound of a PTA query (re-exported from `pta-core`, where
+/// it doubles as the bound of the unified [`pta_core::Summarizer`]
+/// interface): either a maximal result size (Def. 6) or a maximal
+/// relative error (Def. 7).
+pub use pta_core::Bound;
 
 /// Which evaluation algorithm executes the reduction.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -71,14 +67,14 @@ pub struct PtaOutput {
 /// ```
 #[derive(Debug, Clone)]
 pub struct PtaQuery {
-    grouping: Vec<String>,
-    aggregates: Vec<pta_ita::AggregateSpec>,
-    weights: Option<Vec<f64>>,
-    bound: Option<Bound>,
-    algorithm: Algorithm,
-    estimates: Option<Estimates>,
-    policy: GapPolicy,
-    dp_mode: DpMode,
+    pub(crate) grouping: Vec<String>,
+    pub(crate) aggregates: Vec<pta_ita::AggregateSpec>,
+    pub(crate) weights: Option<Vec<f64>>,
+    pub(crate) bound: Option<Bound>,
+    pub(crate) algorithm: Algorithm,
+    pub(crate) estimates: Option<Estimates>,
+    pub(crate) policy: GapPolicy,
+    pub(crate) dp_mode: DpMode,
 }
 
 impl Default for PtaQuery {
@@ -159,27 +155,38 @@ impl PtaQuery {
         self
     }
 
-    /// Executes the query: ITA over `relation`, then the bounded
-    /// reduction.
-    pub fn execute(&self, relation: &TemporalRelation) -> Result<PtaOutput, Error> {
-        let bound =
-            self.bound.ok_or_else(|| Error::InvalidQuery("no size or error bound set".into()))?;
+    /// The ITA query specification — the "front half" every execution
+    /// path (PTA itself and the [`crate::Comparator`]) shares.
+    pub(crate) fn ita_spec(&self) -> Result<ItaQuerySpec, Error> {
         if self.aggregates.is_empty() {
             return Err(Error::InvalidQuery("no aggregate functions listed".into()));
         }
-        let p = self.aggregates.len();
+        Ok(ItaQuerySpec { grouping: self.grouping.clone(), aggregates: self.aggregates.clone() })
+    }
+
+    /// Resolves the SSE weights against a `p`-dimensional input
+    /// (defaulting to uniform weights) — shared with the comparator.
+    pub(crate) fn resolved_weights(&self, p: usize) -> Result<Weights, Error> {
         let weights = match &self.weights {
             Some(w) => Weights::new(w)?,
             None => Weights::uniform(p),
         };
         if weights.dims() != p {
             return Err(Error::InvalidQuery(format!(
-                "{} weights for {p} aggregates",
+                "{} weights for {p} aggregate dimensions",
                 weights.dims()
             )));
         }
-        let spec =
-            ItaQuerySpec { grouping: self.grouping.clone(), aggregates: self.aggregates.clone() };
+        Ok(weights)
+    }
+
+    /// Executes the query: ITA over `relation`, then the bounded
+    /// reduction.
+    pub fn execute(&self, relation: &TemporalRelation) -> Result<PtaOutput, Error> {
+        let bound =
+            self.bound.ok_or_else(|| Error::InvalidQuery("no size or error bound set".into()))?;
+        let spec = self.ita_spec()?;
+        let weights = self.resolved_weights(self.aggregates.len())?;
 
         let (reduction, ita_size, stats) = match self.algorithm {
             Algorithm::Exact => {

@@ -146,4 +146,108 @@ fn helpful_errors() {
     );
     assert!(!ok);
     assert!(stderr.contains("cmin"), "reports the reachable minimum: {stderr}");
+
+    // A misspelled flag must fail loudly, not fall back to defaults
+    // (e.g. `--method` instead of `--methods` would otherwise silently
+    // compare the default method set).
+    let (_, stderr, ok) = run_cli(
+        &[
+            "compare",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--method",
+            "paa",
+            "--sizes",
+            "4",
+        ],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --method"), "stderr: {stderr}");
+}
+
+#[test]
+fn compare_runs_the_section7_comparison() {
+    let (stdout, stderr, ok) = run_cli(
+        &[
+            "compare",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--methods",
+            "exact,greedy,atc",
+            "--sizes",
+            "4,5",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok, "stderr: {stderr}");
+    assert!(stdout
+        .starts_with("method,bound,requested,ratio_pct,size,sse,error_pct,wall_ms,timing,status"));
+    // Fig. 1(d): the optimal 4-tuple reduction has SSE 49 166.67.
+    assert!(stdout.contains("exact,size,4,,4,49166.66666666"), "stdout: {stdout}");
+    assert_eq!(stdout.lines().count(), 1 + 3 * 2, "header + methods x bounds");
+    // Size grids: exact/atc share one computation (flagged), the
+    // streaming greedy times each bound itself.
+    assert!(stdout.contains(",shared,ok") && stdout.contains(",per-bound,ok"), "{stdout}");
+    assert!(stderr.contains("compared 3 methods over 2 bounds"), "stderr: {stderr}");
+
+    // The series methods report n/a on the grouped input instead of
+    // failing the run.
+    let (stdout, _, ok) = run_cli(
+        &[
+            "compare",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--methods",
+            "all",
+            "--ratios",
+            "50,100",
+        ],
+        PROJ_CSV,
+    );
+    assert!(ok);
+    assert!(stdout.contains("paa,size,") && stdout.contains(",n/a"));
+    // Ratio grids carry the requested ratio so rows map back onto the
+    // fig14-style axis even when two ratios resolve to the same size.
+    assert!(stdout.contains(",50,") && stdout.contains(",100,"), "stdout: {stdout}");
+
+    // Exactly one grid flavor is required.
+    let (_, stderr, ok) = run_cli(
+        &["compare", "--schema", SCHEMA, "--group-by", "Proj", "--agg", "avg:Sal"],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("--sizes"), "stderr: {stderr}");
+
+    // Unknown methods name the registry.
+    let (_, stderr, ok) = run_cli(
+        &[
+            "compare",
+            "--schema",
+            SCHEMA,
+            "--group-by",
+            "Proj",
+            "--agg",
+            "avg:Sal",
+            "--methods",
+            "nope",
+            "--sizes",
+            "4",
+        ],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown summarizer") && stderr.contains("exact"));
 }

@@ -1,0 +1,170 @@
+//! Golden tests: the `Comparator` must reproduce the pre-refactor
+//! fig14/fig18 harness numbers — same datasets, same bound grids — to
+//! within f64 round-off, and the whole §7 method set must be runnable
+//! through the registry by name.
+//!
+//! The "direct" sides below are verbatim ports of the pipelines the fig
+//! binaries hand-wired before the comparator existed (ITA result →
+//! `optimal_error_curve` → ratio mapping; naive-vs-pruned DP race).
+
+use pta::{Agg, Bound, Comparator};
+use pta_core::{max_error, optimal_error_curve, pta_size_bounded, pta_size_bounded_naive, Weights};
+use pta_datasets::{prepare, proj_relation, uniform, QueryId, Scale};
+use pta_temporal::SequentialRelation;
+
+/// The pre-refactor fig14 pipeline (copied from the old
+/// `fig14::curve_at_ratios`): normalised error (%) at the requested
+/// reduction ratios (%), from one optimal error curve.
+fn direct_curve_at_ratios(relation: &SequentialRelation, ratios: &[f64]) -> Vec<(f64, f64)> {
+    let w = Weights::uniform(relation.dims());
+    let n = relation.len();
+    let cmin = relation.cmin();
+    let emax = max_error(relation, &w).expect("dims match");
+    let span = (n - cmin) as f64;
+    let min_ratio = ratios.iter().copied().fold(f64::INFINITY, f64::min);
+    let kmax = if min_ratio <= 0.0 {
+        n
+    } else {
+        ((n as f64 - min_ratio / 100.0 * span).round() as usize + 1).min(n)
+    };
+    let curve = optimal_error_curve(relation, &w, kmax).expect("dims match");
+    ratios
+        .iter()
+        .map(|&r| {
+            let k = (n as f64 - r / 100.0 * span).round() as usize;
+            let k = k.clamp(cmin.max(1), n);
+            let err = curve[k - 1];
+            let pct = if emax > 0.0 { 100.0 * err / emax } else { 0.0 };
+            (r, pct)
+        })
+        .collect()
+}
+
+/// The comparator-based replacement, as the rewritten fig14 runs it.
+fn comparator_curve_at_ratios(relation: &SequentialRelation, ratios: &[f64]) -> Vec<(f64, f64)> {
+    let cmp = Comparator::new()
+        .method("exact")
+        .unwrap()
+        .reduction_ratios(ratios.iter().copied())
+        .run_sequential(relation)
+        .expect("valid input");
+    let exact = cmp.method("exact").unwrap();
+    ratios.iter().enumerate().map(|(i, &r)| (r, cmp.error_pct(exact.sse_at(i)))).collect()
+}
+
+#[test]
+fn comparator_reproduces_fig14a_numbers() {
+    // Fig. 14(a)'s grid: reduction 90..100 % on the real-world queries.
+    let ratios: Vec<f64> = (0..=10).map(|i| 90.0 + i as f64).collect();
+    for id in [QueryId::E1, QueryId::I1, QueryId::T1, QueryId::T3] {
+        let q = prepare(id, Scale::Small);
+        let direct = direct_curve_at_ratios(&q.relation, &ratios);
+        let via_comparator = comparator_curve_at_ratios(&q.relation, &ratios);
+        for ((r1, e1), (r2, e2)) in direct.iter().zip(&via_comparator) {
+            assert_eq!(r1, r2);
+            assert!(
+                (e1 - e2).abs() <= 1e-12 * (1.0 + e1.abs()),
+                "{} at {r1}%: direct {e1} vs comparator {e2}",
+                id.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn comparator_reproduces_fig14b_numbers() {
+    // Fig. 14(b)'s grid: the full 0..100 % range on uniform subsets of
+    // growing dimensionality.
+    let ratios: Vec<f64> = (0..=10).map(|i| 10.0 * i as f64).collect();
+    for p in [1usize, 4, 10] {
+        let rel = uniform::ungrouped(300, p, 1234);
+        let direct = direct_curve_at_ratios(&rel, &ratios);
+        let via_comparator = comparator_curve_at_ratios(&rel, &ratios);
+        for ((r1, e1), (r2, e2)) in direct.iter().zip(&via_comparator) {
+            assert_eq!(r1, r2);
+            assert!(
+                (e1 - e2).abs() <= 1e-12 * (1.0 + e1.abs()),
+                "{p}D at {r1}%: direct {e1} vs comparator {e2}"
+            );
+        }
+    }
+}
+
+#[test]
+fn comparator_reproduces_fig18_numbers() {
+    // Fig. 18's race on both dataset shapes (small scale): the comparator
+    // summaries must carry the same optima and the same DP work counters
+    // as the direct free-function calls.
+    let w = Weights::uniform(10);
+    let gap_free = uniform::ungrouped(500, 10, 77);
+    let grouped = uniform::grouped(100, 5, 10, 78);
+    for (rel, c) in [(&gap_free, 100usize), (&grouped, 120)] {
+        let c = c.max(rel.cmin()).min(rel.len());
+        let cmp = Comparator::new()
+            .methods(&["dp-naive", "exact"])
+            .unwrap()
+            .sizes([c])
+            .run_sequential(rel)
+            .unwrap();
+        let naive = cmp.method("dp-naive").unwrap().summary_at(0).unwrap();
+        let pta = cmp.method("exact").unwrap().summary_at(0).unwrap();
+
+        let direct_naive = pta_size_bounded_naive(rel, &w, c).unwrap();
+        let direct_pta = pta_size_bounded(rel, &w, c).unwrap();
+        assert_eq!(naive.sse, direct_naive.reduction.sse());
+        assert_eq!(pta.sse, direct_pta.reduction.sse());
+        assert_eq!(naive.size, direct_naive.reduction.len());
+        assert_eq!(pta.size, direct_pta.reduction.len());
+        // The work counters drive fig18's cell columns.
+        match (&naive.stats, &pta.stats) {
+            (pta::SummaryStats::Dp(a), pta::SummaryStats::Dp(b)) => {
+                assert_eq!(a.cells, direct_naive.stats.cells);
+                assert_eq!(b.cells, direct_pta.stats.cells);
+            }
+            other => panic!("expected DP stats, got {other:?}"),
+        }
+        // And the figure's own invariant: identical optima.
+        assert!((naive.sse - pta.sse).abs() < 1e-6 * (1.0 + naive.sse));
+    }
+}
+
+#[test]
+fn at_least_eleven_summarizers_run_by_name_through_the_registry() {
+    let names = pta::summarizer_names();
+    assert!(names.len() >= 11, "registry lists only {} summarizers", names.len());
+    // On a plain series, every registered summarizer must run end to end
+    // through the comparator by name.
+    let values: Vec<f64> = (0..40).map(|i| ((i * 31) % 19) as f64).collect();
+    let rel = SequentialRelation::from_time_series(1, 0, &values).unwrap();
+    let mut cmp = Comparator::new();
+    for name in &names {
+        cmp = cmp.method(name).unwrap();
+    }
+    let out = cmp.sizes([5usize]).run_sequential(&rel).unwrap();
+    assert_eq!(out.methods.len(), names.len());
+    for curve in &out.methods {
+        let s = curve.summary_at(0).unwrap_or_else(|| {
+            panic!("{} failed on a plain series: {:?}", curve.name, curve.points[0])
+        });
+        assert!(s.sse.is_finite(), "{}", curve.name);
+    }
+}
+
+#[test]
+fn comparator_full_pipeline_reproduces_the_running_example() {
+    // End to end through ITA (the front half PtaQuery shares): Fig. 1's
+    // Proj query, reduced to 4 tuples, optimal SSE 49 166.67.
+    let cmp = Comparator::new()
+        .group_by(&["Proj"])
+        .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+        .method("exact")
+        .unwrap()
+        .bounds([Bound::Size(4), Bound::Error(0.2)])
+        .run(&proj_relation())
+        .unwrap();
+    let exact = cmp.method("exact").unwrap();
+    assert!((exact.sse_at(0) - 49_166.67).abs() < 1.0);
+    // ε = 0.2: the smallest size within 20 % of Emax (matches PTAε).
+    let s = exact.summary_at(1).unwrap();
+    assert!(s.sse <= 0.2 * cmp.emax + 1e-6);
+}
