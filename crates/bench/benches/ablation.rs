@@ -10,7 +10,8 @@ use std::time::Duration;
 
 use pta_core::{
     pta_size_bounded, pta_size_bounded_naive, pta_size_bounded_no_early_break,
-    pta_size_bounded_with_policy, GapPolicy, Weights,
+    pta_size_bounded_with_opts, pta_size_bounded_with_policy, DpOptions, DpStrategy, GapPolicy,
+    Weights,
 };
 use pta_datasets::{timeseries, uniform};
 
@@ -22,10 +23,13 @@ fn bench_early_break(c: &mut Criterion) {
     let smooth = timeseries::chaotic(1_200, 11);
     // Uniform noise: the break fires later; the gap shrinks.
     let noisy = uniform::ungrouped(1_200, 1, 12);
+    // Both sides pin DpStrategy::Scan: the early break is a scan-path
+    // acceleration, so the ablation must hold the row minimizer fixed.
+    let scan = DpOptions { strategy: DpStrategy::Scan, ..DpOptions::default() };
     for (name, rel) in [("smooth", &smooth), ("noisy", &noisy)] {
         let cc = rel.len() / 10;
         g.bench_with_input(BenchmarkId::new("with_break", name), name, |b, _| {
-            b.iter(|| pta_size_bounded(black_box(rel), &w, cc).unwrap())
+            b.iter(|| pta_size_bounded_with_opts(black_box(rel), &w, cc, scan).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("no_break", name), name, |b, _| {
             b.iter(|| pta_size_bounded_no_early_break(black_box(rel), &w, cc).unwrap())

@@ -7,23 +7,37 @@
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::DpEngine;
+use crate::dp::{DpEngine, DpStrategy};
 use crate::error::CoreError;
+use crate::policy::GapPolicy;
 use crate::weights::Weights;
 
 /// Optimal reduction errors for sizes `1..=kmax` (clamped to `n`):
 /// `result[k − 1] = E[k][n]`, with `∞` for unreachable sizes `k < cmin`.
+/// Runs [`DpStrategy::Auto`], so gap-free inputs get the `O(kmax · n)`
+/// Monge bound — and with them every grid fast path built on this curve.
 pub fn optimal_error_curve(
     input: &SequentialRelation,
     weights: &Weights,
     kmax: usize,
+) -> Result<Vec<f64>, CoreError> {
+    optimal_error_curve_with_strategy(input, weights, kmax, DpStrategy::Auto)
+}
+
+/// [`optimal_error_curve`] with an explicit row minimization strategy —
+/// the cross-strategy tests and the strategy benchmarks pin it.
+pub fn optimal_error_curve_with_strategy(
+    input: &SequentialRelation,
+    weights: &Weights,
+    kmax: usize,
+    strategy: DpStrategy,
 ) -> Result<Vec<f64>, CoreError> {
     let n = input.len();
     let kmax = kmax.min(n);
     if n == 0 || kmax == 0 {
         return Ok(Vec::new());
     }
-    let engine = DpEngine::new(input, weights, true)?;
+    let engine = DpEngine::new_full(input, weights, true, GapPolicy::Strict, true, strategy)?;
     let width = n + 1;
     // Both row buffers start at ∞; each row fill resets only its window.
     let mut prev = vec![f64::INFINITY; width];
@@ -82,6 +96,29 @@ mod tests {
         let curve = optimal_error_curve(&input, &w, 7).unwrap();
         for win in curve.windows(2) {
             assert!(win[0] >= win[1] - 1e-9);
+        }
+    }
+
+    /// Both row minimization strategies produce the identical curve on a
+    /// gap-free input wide enough that Auto runs SMAWK.
+    #[test]
+    fn strategies_agree_on_flat_curve() {
+        use pta_temporal::{GroupKey, SequentialBuilder, TimeInterval};
+        let mut state = 99u64;
+        let mut b = SequentialBuilder::new(1);
+        for t in 0..120i64 {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let v = ((state >> 11) as f64) / ((1u64 << 53) as f64);
+            b.push(GroupKey::empty(), TimeInterval::instant(t).unwrap(), &[v]).unwrap();
+        }
+        let input = b.build();
+        let w = Weights::uniform(1);
+        let scan = optimal_error_curve_with_strategy(&input, &w, 40, DpStrategy::Scan).unwrap();
+        let monge = optimal_error_curve_with_strategy(&input, &w, 40, DpStrategy::Monge).unwrap();
+        let auto = optimal_error_curve(&input, &w, 40).unwrap();
+        for k in 0..40 {
+            assert_eq!(scan[k].to_bits(), monge[k].to_bits(), "size {}", k + 1);
+            assert_eq!(scan[k].to_bits(), auto[k].to_bits(), "size {}", k + 1);
         }
     }
 

@@ -2,7 +2,9 @@
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::{max_error_over_runs, DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats};
+use crate::dp::{
+    max_error_over_runs, Cells, DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats,
+};
 use crate::error::CoreError;
 use crate::policy::GapPolicy;
 use crate::reduction::Reduction;
@@ -35,7 +37,7 @@ pub fn error_bounded_with_policy(
     epsilon: f64,
     policy: GapPolicy,
 ) -> Result<DpOutcome, CoreError> {
-    error_bounded_with_opts(input, weights, epsilon, DpOptions { policy, mode: DpMode::Auto })
+    error_bounded_with_opts(input, weights, epsilon, DpOptions { policy, ..DpOptions::default() })
 }
 
 /// `PTAε` with an explicit backtracking mode — pin [`DpMode::Table`] or
@@ -46,7 +48,7 @@ pub fn error_bounded_with_mode(
     epsilon: f64,
     mode: DpMode,
 ) -> Result<DpOutcome, CoreError> {
-    error_bounded_with_opts(input, weights, epsilon, DpOptions { policy: GapPolicy::Strict, mode })
+    error_bounded_with_opts(input, weights, epsilon, DpOptions { mode, ..DpOptions::default() })
 }
 
 /// `PTAε` with both the mergeability policy and the backtracking mode
@@ -64,7 +66,7 @@ pub fn error_bounded_with_opts(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    let engine = DpEngine::new_full(input, weights, true, opts.policy, true)?;
+    let engine = DpEngine::new_full(input, weights, true, opts.policy, true, opts.strategy)?;
     let emax = max_error_over_runs(weights, &engine.stats, &engine.gaps, n);
     if !emax.is_finite() {
         return Err(CoreError::non_finite_data("maximal reduction error is not finite"));
@@ -83,7 +85,7 @@ pub fn error_bounded_with_opts(
 fn run_with_threshold(
     input: &SequentialRelation,
     weights: &Weights,
-    engine: &DpEngine<'_>,
+    engine: &DpEngine,
     opts: DpOptions,
     threshold: f64,
 ) -> Result<DpOutcome, CoreError> {
@@ -98,7 +100,7 @@ fn run_with_threshold(
     // window (see `fill_row_fwd`), so sparse rows cost O(window).
     let mut prev = vec![f64::INFINITY; width];
     let mut cur = vec![f64::INFINITY; width];
-    let mut cells = 0u64;
+    let mut cells = Cells::default();
     let mut found = 0usize;
     let mut recorded = 0usize;
     for k in 1..=n {
@@ -124,8 +126,15 @@ fn run_with_threshold(
 
     let (boundaries, stats) = if found <= recorded {
         let boundaries = engine.backtrack(&jm, found);
-        let stats =
-            DpStats { rows: found, cells, peak_rows: recorded + 2, mode: DpExecMode::Table };
+        let stats = DpStats {
+            rows: found,
+            cells: cells.total(),
+            scan_cells: cells.scan,
+            monge_cells: cells.monge,
+            peak_rows: recorded + 2,
+            mode: DpExecMode::Table,
+            strategy: engine.strategy,
+        };
         (boundaries, stats)
     } else {
         // Free the search-phase rows before the divide-and-conquer scratch
@@ -134,11 +143,16 @@ fn run_with_threshold(
         drop(prev);
         drop(cur);
         let out = engine.dnc_boundaries(found);
+        let mut total = cells;
+        total += out.cells;
         let stats = DpStats {
             rows: found + out.rows,
-            cells: cells + out.cells,
+            cells: total.total(),
+            scan_cells: total.scan,
+            monge_cells: total.monge,
             peak_rows: (recorded + 2).max(4),
             mode: DpExecMode::DivideConquer,
+            strategy: engine.strategy,
         };
         (out.boundaries, stats)
     };
@@ -229,7 +243,15 @@ mod tests {
     fn nan_threshold_yields_typed_error_not_panic() {
         let input = fig1c();
         let w = Weights::uniform(1);
-        let engine = DpEngine::new(&input, &w, true).unwrap();
+        let engine = DpEngine::new_full(
+            &input,
+            &w,
+            true,
+            GapPolicy::Strict,
+            true,
+            crate::dp::DpStrategy::Auto,
+        )
+        .unwrap();
         let err =
             run_with_threshold(&input, &w, &engine, DpOptions::default(), f64::NAN).unwrap_err();
         assert!(err.common().is_some_and(pta_temporal::CommonError::is_invalid_parameter));

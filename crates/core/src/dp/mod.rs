@@ -12,6 +12,34 @@
 //! `imax`/`jmin` bounds derived from the gap vector, and Jagadish et al.'s
 //! early break when the range SSE alone exceeds the best cell value.
 //!
+//! # Row minimization strategies
+//!
+//! Each row fill decomposes its cells into *inter-break windows* (maximal
+//! runs of cells sharing the same rightmost break below them), hoisting
+//! every gap lookup out of the cell loop. Within a window the candidate
+//! split range is break-free; when the window's tuple values are
+//! additionally **monotone in every dimension** — an exact, precomputed
+//! certificate — its cost matrix `prev[j] + SSE(j..i)` is provably Monge
+//! (the 1-D k-means structure; see [`monge`] for why monotonicity is
+//! required and what breaks without it) and two interchangeable linear
+//! minimizers apply, selected by [`DpStrategy`]:
+//!
+//! * **Scan** ([`DpStrategy::Scan`]): the Fig. 7 decreasing-`j` scan with
+//!   the early break — `O(window²)` per row window in the worst case.
+//!   This is what the paper runs; on gap-rich data windows are tiny and
+//!   the scan is near-linear.
+//! * **Monge** ([`DpStrategy::Monge`]): SMAWK/divide-and-conquer row
+//!   minimization on every certified window — `O(window)` per monotone
+//!   row window, making the whole DP `O(c · n)` on gap-free monotone-run
+//!   data (trends, ramps, plateaus) where §5.3 pruning has nothing to
+//!   cut and the scan is `O(c · n²)`. Uncertified windows scan.
+//! * **Auto** ([`DpStrategy::Auto`], the default everywhere): SMAWK on
+//!   certified windows at least [`MONGE_AUTO_MIN_WINDOW`] cells wide in
+//!   both dimensions, the scan below. Every strategy returns identical
+//!   row values and split points (tie-breaking follows the scan; see the
+//!   [`monge`] module docs), pinned by the cross-strategy equivalence
+//!   suite.
+//!
 //! # Backtracking modes and their memory model
 //!
 //! Error values only ever need two `(n + 1)`-entry rows, so the memory
@@ -37,16 +65,21 @@
 //! to divide and conquer beyond it; nothing fails on large inputs anymore
 //! (the pre-existing hard `TableTooLarge` cap is gone). Both modes return
 //! identical reductions and are pinned against each other by the
-//! cross-mode equivalence tests.
+//! cross-mode equivalence tests. The strategy knob is orthogonal: any
+//! [`DpStrategy`] combines with any [`DpMode`] — in particular
+//! `Monge × DivideConquer` runs exact PTA over gap-free monotone runs in
+//! `O(c · n)` time *and* `O(n)` memory.
 //!
 //! [`size_bounded`] implements `PTAc` (Fig. 7), [`error_bounded`]
 //! implements `PTAε` (Fig. 8), and [`curve`] produces whole error-vs-size
 //! curves for the evaluation. The *naive DP* baseline of the paper's
 //! Fig. 18 (recurrence + constant-time SSE, no gap pruning) is available by
-//! disabling pruning.
+//! disabling pruning; it always runs the scan — it exists to measure the
+//! unaccelerated recurrence.
 
 pub mod curve;
 pub mod error_bounded;
+pub mod monge;
 pub mod size_bounded;
 
 use pta_temporal::SequentialRelation;
@@ -56,6 +89,10 @@ use crate::gaps::GapVector;
 use crate::policy::GapPolicy;
 use crate::prefix::PrefixStats;
 use crate::weights::Weights;
+
+pub use monge::{DpStrategy, MONGE_AUTO_MIN_WINDOW};
+
+use monge::RowMinEngine;
 
 /// Default split-point table budget of [`DpMode::Auto`], in table entries
 /// (one `usize` each): 2²⁵ entries, i.e. 256 MiB on 64-bit targets.
@@ -129,24 +166,37 @@ pub struct DpOptions {
     pub policy: GapPolicy,
     /// Split-point backtracking mode.
     pub mode: DpMode,
+    /// Row minimization strategy.
+    pub strategy: DpStrategy,
 }
 
 /// Work counters reported by the DP algorithms; the evaluation uses them to
-/// show how gap pruning shrinks the search space, and the `dp_memory`
-/// bench tracks `peak_rows` as the memory yardstick of the two modes.
+/// show how gap pruning shrinks the search space, the `dp_memory` bench
+/// tracks `peak_rows` as the memory yardstick of the two backtracking
+/// modes, and the scan/Monge split of `cells` is the yardstick of the row
+/// minimization strategies.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct DpStats {
     /// Number of matrix rows filled (`k` values), counting divide-and-
     /// conquer re-fills.
     pub rows: usize,
-    /// Number of inner-loop split-point evaluations.
+    /// Number of inner-loop split-point evaluations
+    /// (`scan_cells + monge_cells`).
     pub cells: u64,
+    /// Split-point evaluations performed by the quadratic scan (including
+    /// linear `k = 1` rows and forced-split cells).
+    pub scan_cells: u64,
+    /// Cost-oracle evaluations performed by the Monge row-minima engine.
+    pub monge_cells: u64,
     /// Peak number of `(n + 1)`-entry rows simultaneously allocated
     /// (error rows plus recorded split-point rows). `c + 2` for the
     /// materialized table; a small constant for divide and conquer.
     pub peak_rows: usize,
     /// Which backtracking mode actually ran.
     pub mode: DpExecMode,
+    /// The row minimization strategy the run was asked for (the naive DP
+    /// baseline always records [`DpStrategy::Scan`]).
+    pub strategy: DpStrategy,
 }
 
 /// A finished DP run: the optimal reduction plus work counters.
@@ -156,6 +206,29 @@ pub struct DpOutcome {
     pub reduction: crate::reduction::Reduction,
     /// Work counters.
     pub stats: DpStats,
+}
+
+/// Per-strategy split-point evaluation counters of one or more row fills.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct Cells {
+    /// Evaluations by the quadratic scan (and linear `k = 1` rows).
+    pub(crate) scan: u64,
+    /// Cost-oracle evaluations by the Monge engines.
+    pub(crate) monge: u64,
+}
+
+impl Cells {
+    /// Total split-point evaluations.
+    pub(crate) fn total(self) -> u64 {
+        self.scan + self.monge
+    }
+}
+
+impl std::ops::AddAssign for Cells {
+    fn add_assign(&mut self, rhs: Self) {
+        self.scan += rhs.scan;
+        self.monge += rhs.monge;
+    }
 }
 
 /// The largest possible reduction error `SSE_max = SSE(s, ρ(s, cmin))`:
@@ -203,25 +276,63 @@ pub(crate) fn max_error_over_runs(
 }
 
 /// Shared DP machinery over one input relation.
-pub(crate) struct DpEngine<'a> {
+pub(crate) struct DpEngine {
     pub(crate) stats: PrefixStats,
     pub(crate) gaps: GapVector,
-    pub(crate) weights: &'a Weights,
+    pub(crate) weights: Weights,
     pub(crate) n: usize,
     /// Apply the §5.3 `imax`/`jmin` gap pruning (PTAc/PTAε) or not (the
     /// Fig. 18 "DP" baseline).
     pub(crate) prune: bool,
     /// Jagadish et al.'s decreasing-`j` early break (toggleable for the
-    /// ablation benchmark).
+    /// ablation benchmark; scan path only).
     pub(crate) early_break: bool,
+    /// Row minimization strategy (pruned rows only — the naive baseline
+    /// always scans).
+    pub(crate) strategy: DpStrategy,
+    /// `mono_end[t]` = one past the end of the longest tuple run starting
+    /// at `t` whose values are monotone in *every* dimension — the exact
+    /// certificate that a window's cost matrix is Monge (see [`monge`]).
+    /// Built only when the strategy can use it.
+    mono_end: Option<Vec<usize>>,
+}
+
+/// One backward pass per dimension: the exclusive end of the maximal
+/// per-dimension-monotone run starting at each tuple (a run may be
+/// nondecreasing in one dimension and nonincreasing in another —
+/// directions are independent, plateaus belong to both).
+fn monotone_run_ends(input: &SequentialRelation) -> Vec<usize> {
+    let n = input.len();
+    let mut mono = vec![n; n];
+    if n == 0 {
+        return mono;
+    }
+    for d in 0..input.dims() {
+        let mut asc_end = n;
+        let mut desc_end = n;
+        for t in (0..n - 1).rev() {
+            let (a, b) = (input.value(t, d), input.value(t + 1, d));
+            if b < a {
+                asc_end = t + 1;
+            }
+            if b > a {
+                desc_end = t + 1;
+            }
+            let run = asc_end.max(desc_end);
+            if run < mono[t] {
+                mono[t] = run;
+            }
+        }
+    }
+    mono
 }
 
 /// Result of one divide-and-conquer backtracking run.
 pub(crate) struct DncOutcome {
     /// Partition boundaries including `lo` and `hi` (prefix lengths).
     pub(crate) boundaries: Vec<usize>,
-    /// Split-point evaluations performed.
-    pub(crate) cells: u64,
+    /// Split-point evaluations performed, per strategy.
+    pub(crate) cells: Cells,
     /// Rows filled across the recursion.
     pub(crate) rows: usize,
     /// The optimal SSE `E[c][n]` observed at the top split (0 for `c = 1`
@@ -238,30 +349,29 @@ struct DncScratch {
     bwd_cur: Vec<f64>,
 }
 
-impl<'a> DpEngine<'a> {
-    pub(crate) fn new(
-        input: &SequentialRelation,
-        weights: &'a Weights,
-        prune: bool,
-    ) -> Result<Self, CoreError> {
-        Self::new_full(input, weights, prune, GapPolicy::Strict, true)
-    }
-
+impl DpEngine {
     pub(crate) fn new_full(
         input: &SequentialRelation,
-        weights: &'a Weights,
+        weights: &Weights,
         prune: bool,
         policy: GapPolicy,
         early_break: bool,
+        strategy: DpStrategy,
     ) -> Result<Self, CoreError> {
         weights.check_dims(input.dims())?;
+        // The unpruned Fig. 18 baseline measures the plain recurrence;
+        // Monge minimization would change what it benchmarks.
+        let strategy = if prune { strategy } else { DpStrategy::Scan };
+        let mono_end = (strategy != DpStrategy::Scan).then(|| monotone_run_ends(input));
         Ok(Self {
             stats: PrefixStats::build(input),
             gaps: GapVector::build_with_policy(input, policy),
-            weights,
+            weights: weights.clone(),
             n: input.len(),
             prune,
             early_break,
+            strategy,
+            mono_end,
         })
     }
 
@@ -272,7 +382,40 @@ impl<'a> DpEngine<'a> {
         if self.gaps.range_crosses_break(j, i) {
             f64::INFINITY
         } else {
-            self.stats.range_sse(self.weights, j..i)
+            self.stats.range_sse(&self.weights, j..i)
+        }
+    }
+
+    /// Whether the tuple range `[lo, hi)` carries the Monge certificate:
+    /// values monotone in every dimension, so the window's cost matrix
+    /// provably satisfies the quadrangle inequality (see [`monge`]).
+    #[inline]
+    fn monotone_span(&self, lo: usize, hi: usize) -> bool {
+        match &self.mono_end {
+            Some(mono) => hi <= mono[lo],
+            None => false,
+        }
+    }
+
+    /// Whether a non-forced window of the given extent runs a Monge
+    /// engine under this engine's strategy — and which one: SMAWK for
+    /// wide windows, the allocation-free divide-and-conquer fallback for
+    /// windows below [`MONGE_AUTO_MIN_WINDOW`] (only reachable when
+    /// [`DpStrategy::Monge`] is pinned — [`DpStrategy::Auto`] hands tiny
+    /// windows to the scan instead). `mono` is the window's Monge
+    /// certificate; without it every strategy scans — exactness first.
+    #[inline]
+    fn window_engine(&self, mono: bool, rows: usize, cols: usize) -> Option<RowMinEngine> {
+        if !mono {
+            return None;
+        }
+        let wide = rows >= MONGE_AUTO_MIN_WINDOW && cols >= MONGE_AUTO_MIN_WINDOW;
+        match self.strategy {
+            DpStrategy::Scan => None,
+            DpStrategy::Monge => {
+                Some(if wide { RowMinEngine::Smawk } else { RowMinEngine::DivideConquer })
+            }
+            DpStrategy::Auto => wide.then_some(RowMinEngine::Smawk),
         }
     }
 
@@ -288,7 +431,13 @@ impl<'a> DpEngine<'a> {
     /// consecutive rows; positions outside every window then stay `∞`
     /// (windows only move right as `k` grows), which is exactly their
     /// semantic value. When `jrow` is given, records the best split point
-    /// per cell. Returns the number of split-point evaluations.
+    /// per cell. Returns the per-strategy split-point evaluation counts.
+    ///
+    /// Cells decompose into inter-break windows (all cells between two
+    /// consecutive breaks share their `jmin` bound, their forced-split
+    /// status, and a break-free candidate range), so the gap lookups are
+    /// hoisted out of the cell loop and each window is minimized either
+    /// by the Fig. 7 scan or by SMAWK per [`DpStrategy`].
     ///
     /// `lo = 0, hi = n` is the classic whole-input DP row (Fig. 7);
     /// arbitrary subranges serve the divide-and-conquer recursion.
@@ -300,74 +449,194 @@ impl<'a> DpEngine<'a> {
         prev: &[f64],
         cur: &mut [f64],
         mut jrow: Option<&mut [usize]>,
-    ) -> u64 {
+    ) -> Cells {
         debug_assert!(k >= 1 && lo <= hi && hi <= self.n);
         let imax = if self.prune { self.gaps.imax_within(k, lo, hi) } else { hi };
         if lo + k > imax {
-            return 0;
+            return Cells::default();
         }
         cur[lo + k..=imax].fill(f64::INFINITY);
-        let mut cells = 0u64;
-        for i in (lo + k)..=imax {
-            if k == 1 {
-                // First row: the whole (sub)prefix merges into one tuple.
+        let mut cells = Cells::default();
+        if k == 1 {
+            // First row: the whole (sub)prefix merges into one tuple.
+            for i in (lo + 1)..=imax {
                 cur[i] = self.cost(lo, i);
                 if let Some(jr) = jrow.as_deref_mut() {
                     jr[i] = lo;
                 }
-                cells += 1;
+            }
+            cells.scan += (imax - lo) as u64;
+            return cells;
+        }
+        let floor = lo + k - 1;
+        if !self.prune {
+            // Fig. 18 naive baseline: every candidate of every cell, with
+            // the per-pair crossing check folded into the cost.
+            for i in (lo + k)..=imax {
+                let mut best = f64::INFINITY;
+                let mut best_j = floor;
+                for j in (floor..i).rev() {
+                    cells.scan += 1;
+                    let err2 = self.cost(j, i);
+                    let total = prev[j] + err2;
+                    if total < best {
+                        best = total;
+                        best_j = j;
+                    }
+                    if self.early_break && err2 > best {
+                        break;
+                    }
+                }
+                cur[i] = best;
+                if let Some(jr) = jrow.as_deref_mut() {
+                    jr[i] = best_j;
+                }
+            }
+            return cells;
+        }
+
+        // Pruned: walk the inter-break windows covering [lo + k, imax].
+        // All cells i in (g, g'] (consecutive breaks) share the same
+        // rightmost break below, the same internal-break count, and a
+        // break-free candidate range.
+        let breaks = self.gaps.breaks();
+        let base = breaks.partition_point(|&g| g <= lo);
+        let mut ws = lo + k;
+        while ws <= imax {
+            let bidx = breaks.partition_point(|&g| g < ws);
+            let g_below = (bidx > base).then(|| breaks[bidx - 1]);
+            let we = match breaks.get(bidx) {
+                Some(&g) if g < imax => g,
+                _ => imax,
+            };
+            let nb = bidx - base;
+            // Forced split: the prefix has exactly k − 1 internal breaks,
+            // so every cut is pinned to the rightmost break (Fig. 7 lines
+            // 13–16).
+            if let Some(g) = g_below.filter(|_| nb == k - 1) {
+                cells.scan += (we - ws + 1) as u64;
+                // g < floor means the forced prefix cannot hold k − 1
+                // tuples: the cells are infeasible and must stay ∞
+                // (prev[g] may hold a stale older row outside row k − 1's
+                // window).
+                if g >= floor {
+                    for i in ws..=we {
+                        cur[i] = prev[g] + self.stats.range_sse(&self.weights, g..i);
+                        if let Some(jr) = jrow.as_deref_mut() {
+                            jr[i] = g;
+                        }
+                    }
+                }
+                ws = we + 1;
                 continue;
             }
-            let break_below = self.gaps.rightmost_break_below(i).filter(|&g| g > lo);
-            let floor = lo + k - 1;
-            let jmin = if self.prune { break_below.map_or(floor, |g| g.max(floor)) } else { floor };
-            // Forced split: the prefix has exactly k − 1 internal breaks,
-            // so every cut is pinned to a break (Fig. 7 lines 13–16).
-            if self.prune {
-                if let Some(g) = break_below {
-                    if self.gaps.breaks_in(lo, i) == k - 1 {
-                        cells += 1;
-                        // g < floor means the forced prefix cannot hold
-                        // k − 1 tuples: the cell is infeasible and must
-                        // stay ∞ (prev[g] may hold a stale older row
-                        // outside row k − 1's window).
-                        if g >= floor {
-                            cur[i] = prev[g] + self.stats.range_sse(self.weights, g..i);
-                            if let Some(jr) = jrow.as_deref_mut() {
-                                jr[i] = g;
-                            }
+            let jmin = g_below.map_or(floor, |g| g.max(floor));
+            debug_assert!(jmin < ws, "every window cell has at least one candidate");
+            let mono = self.monotone_span(jmin, we);
+            let mut solved = false;
+            if let Some(engine) = self.window_engine(mono, we - ws + 1, we - jmin) {
+                let (evals, ok) =
+                    self.monge_window_fwd(engine, prev, cur, jrow.as_deref_mut(), ws, we, jmin);
+                cells.monge += evals;
+                solved = ok;
+            }
+            if !solved {
+                for i in ws..=we {
+                    let mut best = f64::INFINITY;
+                    let mut best_j = jmin;
+                    // Decreasing j: the range SSE err2 grows monotonically,
+                    // so once it alone exceeds the best total the loop can
+                    // stop (Fig. 7 line 24).
+                    for j in (jmin..i).rev() {
+                        cells.scan += 1;
+                        // j ≥ jmin guarantees the range crosses no break.
+                        let err2 = self.stats.range_sse(&self.weights, j..i);
+                        let total = prev[j] + err2;
+                        if total < best {
+                            best = total;
+                            best_j = j;
                         }
-                        continue;
+                        if self.early_break && err2 > best {
+                            break;
+                        }
+                    }
+                    cur[i] = best;
+                    if let Some(jr) = jrow.as_deref_mut() {
+                        jr[i] = best_j;
                     }
                 }
             }
-            let mut best = f64::INFINITY;
-            let mut best_j = jmin;
-            // Decreasing j: the range SSE err2 grows monotonically, so once
-            // it alone exceeds the best total the loop can stop (line 24).
-            for j in (jmin..i).rev() {
-                cells += 1;
-                let err2 = if self.prune {
-                    // j ≥ jmin guarantees the range crosses no break.
-                    self.stats.range_sse(self.weights, j..i)
-                } else {
-                    self.cost(j, i)
-                };
-                let total = prev[j] + err2;
-                if total < best {
-                    best = total;
-                    best_j = j;
-                }
-                if self.early_break && err2 > best {
-                    break;
-                }
-            }
-            cur[i] = best;
-            if let Some(jr) = jrow.as_deref_mut() {
-                jr[i] = best_j;
-            }
+            ws = we + 1;
         }
         cells
+    }
+
+    /// Solves one forward inter-break window `[ws, we]` with candidate
+    /// columns `[jmin, we − 1]` by Monge row minimization. All candidates
+    /// are break-free and `prev` is finite on the whole column range (a
+    /// non-forced window has at most `k − 2` internal breaks below it, so
+    /// every candidate prefix was feasible in row `k − 1`); invalid
+    /// `j ≥ i` cells get the exact graded pad. Ties prefer the largest
+    /// `j`, matching the decreasing-`j` scan. Returns the evaluation
+    /// count and whether the window was solved — `false` (nothing
+    /// written, caller must scan) when a pad won a row, which only
+    /// happens if a real cost reached the pad range (astronomical data
+    /// magnitudes or a non-finite `prev`).
+    #[allow(clippy::too_many_arguments)]
+    fn monge_window_fwd(
+        &self,
+        engine: RowMinEngine,
+        prev: &[f64],
+        cur: &mut [f64],
+        mut jrow: Option<&mut [usize]>,
+        ws: usize,
+        we: usize,
+        jmin: usize,
+    ) -> (u64, bool) {
+        let stats = &self.stats;
+        let weights = &self.weights;
+        // Magnitude certificate: every oracle entry is bounded by the
+        // window-spanning segment's SSE plus the largest `prev` on the
+        // column range (`E[k−1][·]` is nondecreasing, so sampling both
+        // ends suffices up to fp noise — hence the 2³⁰ margin). If that
+        // bound approaches the pad range, real costs could outgrow pads
+        // and catastrophic cancellation dwarfs the QI tolerance — scan
+        // instead.
+        let bound = prev[jmin].max(prev[we - 1]) + stats.range_sse(weights, jmin..we);
+        if !monge::pads_dominate(bound) {
+            return (0, false);
+        }
+        let oracle = |i: usize, j: usize| {
+            if j < i {
+                prev[j] + stats.range_sse(weights, j..i)
+            } else {
+                monge::pad(j - i)
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            // Data-dependent, not a bug: mixed magnitudes can break the
+            // computed QI by more than rounding ulps even below the
+            // magnitude certificate. Fall back to the scan.
+            if monge::validate_qi(oracle, ws..=we, jmin..=(we - 1), 4, 1e-9).is_some() {
+                return (0, false);
+            }
+        }
+        let minima = monge::window_minima(engine, oracle, ws..=we, jmin..=(we - 1), true);
+        if !minima.values.iter().all(|v| *v < monge::pad_floor()) {
+            debug_assert!(
+                false,
+                "pad won a forward cell in [{ws}, {we}] despite the magnitude certificate"
+            );
+            return (minima.evals, false);
+        }
+        for (r, i) in (ws..=we).enumerate() {
+            cur[i] = minima.values[r];
+            if let Some(jr) = jrow.as_deref_mut() {
+                jr[i] = minima.argmins[r];
+            }
+        }
+        (minima.evals, true)
     }
 
     /// Mirror image of [`DpEngine::fill_row_fwd`]: fills *suffix*-DP row
@@ -377,12 +646,12 @@ impl<'a> DpEngine<'a> {
     /// mirrored form: `imin`/`jmax` gap bounds, the pinned cut when the
     /// suffix holds exactly `k − 1` internal breaks, and the increasing-`j`
     /// early break (the head-range SSE grows monotonically with `j`).
+    /// Inter-break windows and the [`DpStrategy`] dispatch mirror the
+    /// forward fill too; ties prefer the *smallest* `j`, matching the
+    /// increasing-`j` scan.
     ///
     /// The divide-and-conquer backtracking pairs this with the forward
     /// fill to locate optimal midpoints without a split-point table.
-    // Index loops mirror `fill_row_fwd` cell-for-cell; iterator chains
-    // over `cur`/`prev` would obscure the shared structure.
-    #[allow(clippy::needless_range_loop)]
     pub(crate) fn fill_row_bwd(
         &self,
         k: usize,
@@ -390,59 +659,154 @@ impl<'a> DpEngine<'a> {
         hi: usize,
         prev: &[f64],
         cur: &mut [f64],
-    ) -> u64 {
+    ) -> Cells {
         debug_assert!(k >= 1 && lo <= hi && hi <= self.n && hi - lo >= k);
         let imin = if self.prune { self.gaps.imin_within(k, lo, hi) } else { lo };
         if imin > hi - k {
-            return 0;
+            return Cells::default();
         }
         cur[imin..=(hi - k)].fill(f64::INFINITY);
-        let mut cells = 0u64;
-        for i in imin..=(hi - k) {
-            if k == 1 {
+        let mut cells = Cells::default();
+        if k == 1 {
+            // Index loop mirrors the forward fill cell-for-cell.
+            #[allow(clippy::needless_range_loop)]
+            for i in imin..=(hi - 1) {
                 cur[i] = self.cost(i, hi);
-                cells += 1;
-                continue;
             }
-            let break_above = self.gaps.leftmost_break_above(i).filter(|&g| g < hi);
-            let ceil = hi - (k - 1);
-            let jmax = if self.prune { break_above.map_or(ceil, |g| g.min(ceil)) } else { ceil };
-            // Forced split, mirrored: exactly k − 1 internal breaks in the
-            // suffix pin the first cut to the leftmost break.
-            if self.prune {
-                if let Some(g) = break_above {
-                    if self.gaps.breaks_in(i, hi) == k - 1 {
-                        cells += 1;
-                        // g > ceil: the forced suffix cannot hold k − 1
-                        // tuples — infeasible, keep ∞ (prev[g] may be a
-                        // stale older row outside row k − 1's window).
-                        if g <= ceil {
-                            cur[i] = self.stats.range_sse(self.weights, i..g) + prev[g];
-                        }
-                        continue;
+            cells.scan += (hi - imin) as u64;
+            return cells;
+        }
+        let ceil = hi - (k - 1);
+        if !self.prune {
+            // Index loops mirror the forward fill cell-for-cell.
+            #[allow(clippy::needless_range_loop)]
+            for i in imin..=(hi - k) {
+                let mut best = f64::INFINITY;
+                for j in (i + 1)..=ceil {
+                    cells.scan += 1;
+                    let err2 = self.cost(i, j);
+                    let total = err2 + prev[j];
+                    if total < best {
+                        best = total;
+                    }
+                    if self.early_break && err2 > best {
+                        break;
                     }
                 }
+                cur[i] = best;
             }
-            let mut best = f64::INFINITY;
-            for j in (i + 1)..=jmax {
-                cells += 1;
-                let err2 = if self.prune {
-                    // j ≤ jmax guarantees the range crosses no break.
-                    self.stats.range_sse(self.weights, i..j)
-                } else {
-                    self.cost(i, j)
-                };
-                let total = err2 + prev[j];
-                if total < best {
-                    best = total;
+            return cells;
+        }
+
+        // Pruned: walk the mirrored inter-break windows — all cells i in
+        // [g, g') share the same leftmost break above, internal-break
+        // count, and break-free candidate range.
+        let breaks = self.gaps.breaks();
+        let limit = breaks.partition_point(|&g| g < hi);
+        let mut ws = imin;
+        while ws <= hi - k {
+            let bidx = breaks.partition_point(|&g| g <= ws);
+            let g_above = (bidx < limit).then(|| breaks[bidx]);
+            let we = match g_above {
+                Some(g) => (g - 1).min(hi - k),
+                None => hi - k,
+            };
+            let nb = limit - bidx;
+            // Forced split, mirrored: exactly k − 1 internal breaks in the
+            // suffix pin the first cut to the leftmost break.
+            if let Some(g) = g_above.filter(|_| nb == k - 1) {
+                cells.scan += (we - ws + 1) as u64;
+                // g > ceil: the forced suffix cannot hold k − 1 tuples —
+                // infeasible, keep ∞ (prev[g] may be a stale older row
+                // outside row k − 1's window).
+                if g <= ceil {
+                    #[allow(clippy::needless_range_loop)]
+                    for i in ws..=we {
+                        cur[i] = self.stats.range_sse(&self.weights, i..g) + prev[g];
+                    }
                 }
-                if self.early_break && err2 > best {
-                    break;
+                ws = we + 1;
+                continue;
+            }
+            let jmax = g_above.map_or(ceil, |g| g.min(ceil));
+            debug_assert!(jmax > ws, "every window cell has at least one candidate");
+            let mono = self.monotone_span(ws, jmax);
+            let mut solved = false;
+            if let Some(engine) = self.window_engine(mono, we - ws + 1, jmax - ws) {
+                let (evals, ok) = self.monge_window_bwd(engine, prev, cur, ws, we, jmax);
+                cells.monge += evals;
+                solved = ok;
+            }
+            if !solved {
+                #[allow(clippy::needless_range_loop)]
+                for i in ws..=we {
+                    let mut best = f64::INFINITY;
+                    for j in (i + 1)..=jmax {
+                        cells.scan += 1;
+                        // j ≤ jmax guarantees the range crosses no break.
+                        let err2 = self.stats.range_sse(&self.weights, i..j);
+                        let total = err2 + prev[j];
+                        if total < best {
+                            best = total;
+                        }
+                        if self.early_break && err2 > best {
+                            break;
+                        }
+                    }
+                    cur[i] = best;
                 }
             }
-            cur[i] = best;
+            ws = we + 1;
         }
         cells
+    }
+
+    /// Backward counterpart of [`DpEngine::monge_window_fwd`]: cells
+    /// `[ws, we]`, candidate columns `[ws + 1, jmax]`, invalid `j ≤ i`
+    /// cells padded; ties prefer the smallest `j`. Same pad-won-a-row
+    /// fallback contract.
+    fn monge_window_bwd(
+        &self,
+        engine: RowMinEngine,
+        prev: &[f64],
+        cur: &mut [f64],
+        ws: usize,
+        we: usize,
+        jmax: usize,
+    ) -> (u64, bool) {
+        let stats = &self.stats;
+        let weights = &self.weights;
+        // Mirrored magnitude certificate (the suffix row `prev` is
+        // nonincreasing in `j`; sample both ends, same 2³⁰ margin).
+        let bound = prev[ws + 1].max(prev[jmax]) + stats.range_sse(weights, ws..jmax);
+        if !monge::pads_dominate(bound) {
+            return (0, false);
+        }
+        let oracle = |i: usize, j: usize| {
+            if j > i {
+                stats.range_sse(weights, i..j) + prev[j]
+            } else {
+                monge::pad(i - j)
+            }
+        };
+        #[cfg(debug_assertions)]
+        {
+            if monge::validate_qi(oracle, ws..=we, (ws + 1)..=jmax, 4, 1e-9).is_some() {
+                return (0, false);
+            }
+        }
+        let minima = monge::window_minima(engine, oracle, ws..=we, (ws + 1)..=jmax, false);
+        if !minima.values.iter().all(|v| *v < monge::pad_floor()) {
+            debug_assert!(
+                false,
+                "pad won a backward cell in [{ws}, {we}] despite the magnitude certificate"
+            );
+            return (minima.evals, false);
+        }
+        for (r, i) in (ws..=we).enumerate() {
+            cur[i] = minima.values[r];
+        }
+        (minima.evals, true)
     }
 
     /// Reconstructs the partition boundaries from the split-point matrix:
@@ -480,7 +844,7 @@ impl<'a> DpEngine<'a> {
         };
         let mut boundaries = Vec::with_capacity(c + 1);
         boundaries.push(0);
-        let mut cells = 0u64;
+        let mut cells = Cells::default();
         let mut rows = 0usize;
         let optimal_sse =
             self.dnc_rec(0, self.n, c, &mut boundaries, &mut scratch, &mut cells, &mut rows);
@@ -500,7 +864,7 @@ impl<'a> DpEngine<'a> {
         c: usize,
         cuts: &mut Vec<usize>,
         scratch: &mut DncScratch,
-        cells: &mut u64,
+        cells: &mut Cells,
         rows: &mut usize,
     ) -> f64 {
         debug_assert!(c >= 1 && hi - lo >= c);
@@ -555,6 +919,62 @@ impl<'a> DpEngine<'a> {
     }
 }
 
+/// Support for the `dp_row` microbenchmark: a single forward row fill
+/// over a prebuilt engine. Hidden — not a public API and exempt from
+/// semver hygiene.
+#[doc(hidden)]
+pub mod bench_support {
+    use super::*;
+
+    /// One-row-fill harness over a prebuilt DP engine.
+    pub struct RowFill {
+        engine: DpEngine,
+    }
+
+    impl RowFill {
+        /// Builds the engine (prefix stats + gap vector) once.
+        pub fn new(
+            input: &SequentialRelation,
+            weights: &Weights,
+            strategy: DpStrategy,
+        ) -> Result<Self, CoreError> {
+            Ok(Self {
+                engine: DpEngine::new_full(
+                    input,
+                    weights,
+                    true,
+                    GapPolicy::Strict,
+                    true,
+                    strategy,
+                )?,
+            })
+        }
+
+        /// Row-buffer width (`n + 1`).
+        pub fn width(&self) -> usize {
+            self.engine.n + 1
+        }
+
+        /// Forward DP row `k ≥ 1`, computed from scratch — use as the
+        /// `prev` input of [`RowFill::fill`].
+        pub fn row(&self, k: usize) -> Vec<f64> {
+            let mut prev = vec![f64::INFINITY; self.width()];
+            let mut cur = vec![f64::INFINITY; self.width()];
+            for kk in 1..=k {
+                self.engine.fill_row_fwd(kk, 0, self.engine.n, &prev, &mut cur, None);
+                std::mem::swap(&mut prev, &mut cur);
+            }
+            prev
+        }
+
+        /// Fills row `k` reading row `k − 1` from `prev`; returns the
+        /// split-point evaluation count.
+        pub fn fill(&self, k: usize, prev: &[f64], cur: &mut [f64]) -> u64 {
+            self.engine.fill_row_fwd(k, 0, self.engine.n, prev, cur, None).total()
+        }
+    }
+}
+
 #[cfg(test)]
 pub(crate) mod tests {
     use super::*;
@@ -578,10 +998,50 @@ pub(crate) mod tests {
         b.build()
     }
 
-    /// Fills the full error matrix (rows 1..=kmax) for tests.
-    fn full_matrix(input: &SequentialRelation, kmax: usize, prune: bool) -> Vec<Vec<f64>> {
+    fn lcg(state: &mut u64) -> f64 {
+        *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        ((*state >> 11) as f64) / ((1u64 << 53) as f64)
+    }
+
+    /// A gap-free *monotone* continuous-valued series (a noisy ascending
+    /// trend — one Monge-certified run) long enough that
+    /// [`DpStrategy::Auto`] takes the SMAWK path.
+    fn trend_series(n: usize, seed: u64) -> SequentialRelation {
+        let mut state = seed;
+        let mut b = SequentialBuilder::new(1);
+        let mut v = 0.0;
+        for t in 0..n {
+            v += lcg(&mut state);
+            b.push(GroupKey::empty(), TimeInterval::instant(t as i64).unwrap(), &[v]).unwrap();
+        }
+        b.build()
+    }
+
+    /// A gap-free *unsorted* series — no Monge certificate anywhere, so
+    /// every strategy must take the scan path.
+    fn wiggly_series(n: usize, seed: u64) -> SequentialRelation {
+        let mut state = seed;
+        let mut b = SequentialBuilder::new(1);
+        for t in 0..n {
+            let v = lcg(&mut state);
+            b.push(GroupKey::empty(), TimeInterval::instant(t as i64).unwrap(), &[v]).unwrap();
+        }
+        b.build()
+    }
+
+    fn engine_with(input: &SequentialRelation, prune: bool, strategy: DpStrategy) -> DpEngine {
         let w = Weights::uniform(input.dims());
-        let engine = DpEngine::new(input, &w, prune).unwrap();
+        DpEngine::new_full(input, &w, prune, GapPolicy::Strict, true, strategy).unwrap()
+    }
+
+    /// Fills the full error matrix (rows 1..=kmax) for tests.
+    fn full_matrix_strategy(
+        input: &SequentialRelation,
+        kmax: usize,
+        prune: bool,
+        strategy: DpStrategy,
+    ) -> Vec<Vec<f64>> {
+        let engine = engine_with(input, prune, strategy);
         let n = input.len();
         let mut prev = vec![f64::INFINITY; n + 1];
         prev[0] = 0.0;
@@ -595,11 +1055,19 @@ pub(crate) mod tests {
         rows
     }
 
+    fn full_matrix(input: &SequentialRelation, kmax: usize, prune: bool) -> Vec<Vec<f64>> {
+        full_matrix_strategy(input, kmax, prune, DpStrategy::Auto)
+    }
+
     /// Fills the full *suffix* error matrix (rows 1..=kmax) for tests:
     /// `rows[k − 1][i]` = optimal SSE of tuples `i..n` in `k` pieces.
-    fn full_matrix_bwd(input: &SequentialRelation, kmax: usize, prune: bool) -> Vec<Vec<f64>> {
-        let w = Weights::uniform(input.dims());
-        let engine = DpEngine::new(input, &w, prune).unwrap();
+    fn full_matrix_bwd_strategy(
+        input: &SequentialRelation,
+        kmax: usize,
+        prune: bool,
+        strategy: DpStrategy,
+    ) -> Vec<Vec<f64>> {
+        let engine = engine_with(input, prune, strategy);
         let n = input.len();
         let mut prev = vec![f64::INFINITY; n + 1];
         let mut rows = Vec::new();
@@ -610,6 +1078,10 @@ pub(crate) mod tests {
             prev = cur;
         }
         rows
+    }
+
+    fn full_matrix_bwd(input: &SequentialRelation, kmax: usize, prune: bool) -> Vec<Vec<f64>> {
+        full_matrix_bwd_strategy(input, kmax, prune, DpStrategy::Auto)
     }
 
     /// Fig. 4: the error matrix of the running example (values printed
@@ -625,19 +1097,21 @@ pub(crate) mod tests {
             vec![inf, inf, inf, 0.0, 1_666.67, 6_666.67, 49_166.67],
         ];
         for prune in [false, true] {
-            let m = full_matrix(&input, 4, prune);
-            for (k, row) in expected.iter().enumerate() {
-                for (i, &want) in row.iter().enumerate() {
-                    let got = m[k][i + 1];
-                    if want.is_infinite() {
-                        assert!(got.is_infinite(), "E[{}][{}] = {got}, want inf", k + 1, i + 1);
-                    } else {
-                        assert!(
-                            (got - want).abs() < 1.0,
-                            "E[{}][{}] = {got}, want {want} (prune={prune})",
-                            k + 1,
-                            i + 1
-                        );
+            for strategy in [DpStrategy::Scan, DpStrategy::Monge, DpStrategy::Auto] {
+                let m = full_matrix_strategy(&input, 4, prune, strategy);
+                for (k, row) in expected.iter().enumerate() {
+                    for (i, &want) in row.iter().enumerate() {
+                        let got = m[k][i + 1];
+                        if want.is_infinite() {
+                            assert!(got.is_infinite(), "E[{}][{}] = {got}, want inf", k + 1, i + 1);
+                        } else {
+                            assert!(
+                                (got - want).abs() < 1.0,
+                                "E[{}][{}] = {got}, want {want} (prune={prune}, {strategy:?})",
+                                k + 1,
+                                i + 1
+                            );
+                        }
                     }
                 }
             }
@@ -659,6 +1133,153 @@ pub(crate) mod tests {
                     k + 1,
                     i
                 );
+            }
+        }
+    }
+
+    /// Monge-minimized rows equal scanned rows bit for bit, forward and
+    /// backward, on a certified gap-free window wide enough to exercise
+    /// SMAWK.
+    #[test]
+    fn monge_rows_are_bit_identical_to_scan_rows() {
+        let input = trend_series(96, 17);
+        let n = input.len();
+        let kmax = 24;
+        let scan_f = full_matrix_strategy(&input, kmax, true, DpStrategy::Scan);
+        let monge_f = full_matrix_strategy(&input, kmax, true, DpStrategy::Monge);
+        let auto_f = full_matrix_strategy(&input, kmax, true, DpStrategy::Auto);
+        let scan_b = full_matrix_bwd_strategy(&input, kmax, true, DpStrategy::Scan);
+        let monge_b = full_matrix_bwd_strategy(&input, kmax, true, DpStrategy::Monge);
+        for k in 0..kmax {
+            for i in 0..=n {
+                assert_eq!(
+                    scan_f[k][i].to_bits(),
+                    monge_f[k][i].to_bits(),
+                    "forward E[{}][{i}]",
+                    k + 1
+                );
+                assert_eq!(scan_f[k][i].to_bits(), auto_f[k][i].to_bits());
+                assert_eq!(
+                    scan_b[k][i].to_bits(),
+                    monge_b[k][i].to_bits(),
+                    "backward B[{}][{i}]",
+                    k + 1
+                );
+            }
+        }
+    }
+
+    /// On uncertified (wiggly) data every strategy falls back to the
+    /// scan: zero Monge evaluations, identical rows — exactness is never
+    /// traded for speed.
+    #[test]
+    fn wiggly_data_falls_back_to_scan() {
+        let input = wiggly_series(96, 29);
+        let n = input.len();
+        let scan = engine_with(&input, true, DpStrategy::Scan);
+        let monge = engine_with(&input, true, DpStrategy::Monge);
+        let width = n + 1;
+        let mut prev_s = vec![f64::INFINITY; width];
+        let mut prev_m = vec![f64::INFINITY; width];
+        let mut cur_s = vec![f64::INFINITY; width];
+        let mut cur_m = vec![f64::INFINITY; width];
+        for k in 1..=12 {
+            let s = scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, None);
+            let m = monge.fill_row_fwd(k, 0, n, &prev_m, &mut cur_m, None);
+            assert_eq!(m.monge, 0, "row {k}: no certificate, no Monge evals");
+            assert_eq!(m, s, "row {k}: identical work");
+            for i in 0..=n {
+                assert_eq!(cur_s[i].to_bits(), cur_m[i].to_bits(), "row {k} cell {i}");
+            }
+            std::mem::swap(&mut prev_s, &mut cur_s);
+            std::mem::swap(&mut prev_m, &mut cur_m);
+        }
+    }
+
+    /// A certified (monotone) window with catastrophic dynamic range:
+    /// segment SSEs reach ~1e282, where pads no longer dominate and
+    /// cancellation dwarfs the QI tolerance. The magnitude certificate
+    /// must route the window to the scan — identical rows, zero Monge
+    /// evaluations, no panic in any profile.
+    #[test]
+    fn extreme_dynamic_range_falls_back_to_scan() {
+        let mut b = SequentialBuilder::new(1);
+        for t in 0..64i64 {
+            let v = if t < 48 { t as f64 } else { t as f64 * 1e140 };
+            b.push(GroupKey::empty(), TimeInterval::instant(t).unwrap(), &[v]).unwrap();
+        }
+        let input = b.build();
+        let n = input.len();
+        let scan = engine_with(&input, true, DpStrategy::Scan);
+        let monge = engine_with(&input, true, DpStrategy::Monge);
+        let width = n + 1;
+        let mut prev_s = vec![f64::INFINITY; width];
+        let mut prev_m = vec![f64::INFINITY; width];
+        let mut cur_s = vec![f64::INFINITY; width];
+        let mut cur_m = vec![f64::INFINITY; width];
+        for k in 1..=10 {
+            let s = scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, None);
+            let m = monge.fill_row_fwd(k, 0, n, &prev_m, &mut cur_m, None);
+            assert_eq!(m.monge, 0, "row {k}: magnitude certificate must reject the window");
+            assert_eq!(m.scan, s.scan, "row {k}");
+            for i in 0..=n {
+                assert_eq!(cur_s[i].to_bits(), cur_m[i].to_bits(), "row {k} cell {i}");
+            }
+            std::mem::swap(&mut prev_s, &mut cur_s);
+            std::mem::swap(&mut prev_m, &mut cur_m);
+        }
+    }
+
+    /// The monotone-run certificate is exact: per-dimension, direction-
+    /// independent, plateau-tolerant.
+    #[test]
+    fn monotone_run_certificate() {
+        // Values 1, 2, 2, 3 (asc) | 1 (reset) | 5, 4, 4 (desc).
+        let vals = [1.0, 2.0, 2.0, 3.0, 1.0, 5.0, 4.0, 4.0];
+        let mut b = SequentialBuilder::new(1);
+        for (t, &v) in vals.iter().enumerate() {
+            b.push(GroupKey::empty(), TimeInterval::instant(t as i64).unwrap(), &[v]).unwrap();
+        }
+        let input = b.build();
+        let mono = monotone_run_ends(&input);
+        assert_eq!(mono, vec![4, 4, 4, 5, 6, 8, 8, 8]);
+        // Multi-dim: the certificate is the intersection of the dims.
+        let mut b = SequentialBuilder::new(2);
+        let rows = [[1.0, 9.0], [2.0, 8.0], [3.0, 8.5], [4.0, 9.0]];
+        for (t, v) in rows.iter().enumerate() {
+            b.push(GroupKey::empty(), TimeInterval::instant(t as i64).unwrap(), v).unwrap();
+        }
+        let mono = monotone_run_ends(&b.build());
+        // Dim 0 ascends throughout; dim 1 descends then ascends at t=1.
+        assert_eq!(mono, vec![2, 4, 4, 4]);
+    }
+
+    /// The recorded split points agree between the strategies as well
+    /// (same tie-breaking as the scan).
+    #[test]
+    fn monge_split_points_match_scan() {
+        let input = trend_series(80, 23);
+        let n = input.len();
+        for strategy in [DpStrategy::Monge, DpStrategy::Auto] {
+            let scan = engine_with(&input, true, DpStrategy::Scan);
+            let other = engine_with(&input, true, strategy);
+            let width = n + 1;
+            let mut prev_s = vec![f64::INFINITY; width];
+            let mut prev_o = vec![f64::INFINITY; width];
+            let mut cur_s = vec![f64::INFINITY; width];
+            let mut cur_o = vec![f64::INFINITY; width];
+            for k in 1..=20 {
+                let mut js = vec![0usize; width];
+                let mut jo = vec![0usize; width];
+                scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, Some(&mut js));
+                other.fill_row_fwd(k, 0, n, &prev_o, &mut cur_o, Some(&mut jo));
+                for i in (k)..=n {
+                    if cur_s[i].is_finite() {
+                        assert_eq!(js[i], jo[i], "row {k} cell {i} ({strategy:?})");
+                    }
+                }
+                std::mem::swap(&mut prev_s, &mut cur_s);
+                std::mem::swap(&mut prev_o, &mut cur_o);
             }
         }
     }
@@ -697,41 +1318,43 @@ pub(crate) mod tests {
     }
 
     /// Divide-and-conquer backtracking reproduces the materialized-table
-    /// partition for every feasible size of the running example.
+    /// partition for every feasible size of the running example, under
+    /// every strategy.
     #[test]
     fn dnc_matches_table_on_running_example() {
         let input = fig1c();
-        let w = Weights::uniform(1);
         for prune in [false, true] {
-            let engine = DpEngine::new(&input, &w, prune).unwrap();
-            let n = input.len();
-            let width = n + 1;
-            for c in 3..=n {
-                let mut jm = vec![0usize; c * width];
-                let mut prev = vec![f64::INFINITY; width];
-                prev[0] = 0.0;
-                let mut cur = vec![f64::INFINITY; width];
-                for k in 1..=c {
-                    engine.fill_row_fwd(
-                        k,
-                        0,
-                        n,
-                        &prev,
-                        &mut cur,
-                        Some(&mut jm[(k - 1) * width..k * width]),
+            for strategy in [DpStrategy::Scan, DpStrategy::Monge, DpStrategy::Auto] {
+                let engine = engine_with(&input, prune, strategy);
+                let n = input.len();
+                let width = n + 1;
+                for c in 3..=n {
+                    let mut jm = vec![0usize; c * width];
+                    let mut prev = vec![f64::INFINITY; width];
+                    prev[0] = 0.0;
+                    let mut cur = vec![f64::INFINITY; width];
+                    for k in 1..=c {
+                        engine.fill_row_fwd(
+                            k,
+                            0,
+                            n,
+                            &prev,
+                            &mut cur,
+                            Some(&mut jm[(k - 1) * width..k * width]),
+                        );
+                        std::mem::swap(&mut prev, &mut cur);
+                        cur.fill(f64::INFINITY);
+                    }
+                    let table = engine.backtrack(&jm, c);
+                    let dnc = engine.dnc_boundaries(c);
+                    assert_eq!(table, dnc.boundaries, "c = {c} (prune={prune}, {strategy:?})");
+                    assert!(
+                        (dnc.optimal_sse - prev[n]).abs() <= 1e-9 * (1.0 + prev[n]),
+                        "c = {c}: dnc optimum {} vs table optimum {}",
+                        dnc.optimal_sse,
+                        prev[n]
                     );
-                    std::mem::swap(&mut prev, &mut cur);
-                    cur.fill(f64::INFINITY);
                 }
-                let table = engine.backtrack(&jm, c);
-                let dnc = engine.dnc_boundaries(c);
-                assert_eq!(table, dnc.boundaries, "c = {c} (prune={prune})");
-                assert!(
-                    (dnc.optimal_sse - prev[n]).abs() <= 1e-9 * (1.0 + prev[n]),
-                    "c = {c}: dnc optimum {} vs table optimum {}",
-                    dnc.optimal_sse,
-                    prev[n]
-                );
             }
         }
     }
@@ -766,5 +1389,60 @@ pub(crate) mod tests {
         assert_eq!(DpMode::Table.row_budget(100), usize::MAX);
         assert_eq!(DpMode::Budget(1_010).row_budget(100), 10);
         assert_eq!(DpMode::Auto.row_budget(100), DEFAULT_TABLE_BUDGET / 101);
+    }
+
+    /// The naive baseline ignores the strategy knob: it exists to measure
+    /// the unaccelerated recurrence.
+    #[test]
+    fn naive_engine_forces_scan() {
+        let input = fig1c();
+        let w = Weights::uniform(1);
+        let e = DpEngine::new_full(&input, &w, false, GapPolicy::Strict, true, DpStrategy::Monge)
+            .unwrap();
+        assert_eq!(e.strategy, DpStrategy::Scan);
+    }
+
+    /// Monge rows cost O(window) evaluations where the scan pays
+    /// O(window²) — the headline complexity change, measured directly.
+    #[test]
+    fn monge_row_is_superlinearly_cheaper_on_trend_data() {
+        let input = trend_series(512, 5);
+        let n = input.len();
+        let scan = engine_with(&input, true, DpStrategy::Scan);
+        let monge = engine_with(&input, true, DpStrategy::Monge);
+        let width = n + 1;
+        let mut prev = vec![f64::INFINITY; width];
+        let mut cur = vec![f64::INFINITY; width];
+        // Row 2 read from the genuine row 1.
+        scan.fill_row_fwd(1, 0, n, &prev, &mut cur, None);
+        std::mem::swap(&mut prev, &mut cur);
+        let s = scan.fill_row_fwd(2, 0, n, &prev, &mut cur, None);
+        let mut cur2 = vec![f64::INFINITY; width];
+        let m = monge.fill_row_fwd(2, 0, n, &prev, &mut cur2, None);
+        assert_eq!(s.monge, 0);
+        assert_eq!(m.scan, 0);
+        assert!(
+            m.monge * 5 < s.scan,
+            "monge {} evals vs scan {} — expected ≥ 5× reduction",
+            m.monge,
+            s.scan
+        );
+        assert_eq!(cur[..], cur2[..], "identical row values");
+    }
+
+    /// The bench-support harness reproduces the engine's rows.
+    #[test]
+    fn bench_support_row_fill_matches_engine() {
+        let input = trend_series(64, 3);
+        let w = Weights::uniform(1);
+        let rf = bench_support::RowFill::new(&input, &w, DpStrategy::Auto).unwrap();
+        let prev = rf.row(3);
+        let mut cur = vec![f64::INFINITY; rf.width()];
+        let cells = rf.fill(4, &prev, &mut cur);
+        assert!(cells > 0);
+        let m = full_matrix(&input, 4, true);
+        for i in 0..=input.len() {
+            assert_eq!(cur[i].to_bits(), m[3][i].to_bits(), "cell {i}");
+        }
     }
 }

@@ -2,7 +2,7 @@
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::{DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats};
+use crate::dp::{Cells, DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats, DpStrategy};
 use crate::error::CoreError;
 use crate::policy::GapPolicy;
 use crate::reduction::Reduction;
@@ -36,7 +36,7 @@ pub fn size_bounded_with_policy(
     c: usize,
     policy: GapPolicy,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, true, DpOptions { policy, mode: DpMode::Auto }, true)
+    run(input, weights, c, true, DpOptions { policy, ..DpOptions::default() }, true)
 }
 
 /// `PTAc` with an explicit backtracking mode — pin [`DpMode::Table`] or
@@ -48,7 +48,7 @@ pub fn size_bounded_with_mode(
     c: usize,
     mode: DpMode,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, true, DpOptions { policy: GapPolicy::Strict, mode }, true)
+    run(input, weights, c, true, DpOptions { mode, ..DpOptions::default() }, true)
 }
 
 /// `PTAc` with both the mergeability policy and the backtracking mode
@@ -63,13 +63,16 @@ pub fn size_bounded_with_opts(
 }
 
 /// `PTAc` without the Jagadish early break — ablation target only; always
-/// produces the same reduction, strictly more slowly on most data.
+/// produces the same reduction, strictly more slowly on most data. Pins
+/// [`DpStrategy::Scan`]: the early break is a scan-path acceleration, so
+/// the ablation must hold the row minimizer fixed.
 pub fn size_bounded_no_early_break(
     input: &SequentialRelation,
     weights: &Weights,
     c: usize,
 ) -> Result<DpOutcome, CoreError> {
-    run(input, weights, c, true, DpOptions::default(), false)
+    let opts = DpOptions { strategy: DpStrategy::Scan, ..DpOptions::default() };
+    run(input, weights, c, true, opts, false)
 }
 
 /// The unpruned "DP" baseline of Fig. 18: identical recurrence and
@@ -95,13 +98,15 @@ fn run(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    let engine = DpEngine::new_full(input, weights, prune, opts.policy, early_break)?;
+    let engine =
+        DpEngine::new_full(input, weights, prune, opts.policy, early_break, opts.strategy)?;
     let cmin = engine.gaps.cmin();
     if c < cmin {
         return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
     }
     if c >= n {
-        return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
+        let stats = DpStats { strategy: engine.strategy, ..DpStats::default() };
+        return Ok(DpOutcome { reduction: Reduction::identity(input), stats });
     }
 
     let (boundaries, optimum, stats) = if opts.mode.materializes_table(n, c) {
@@ -111,7 +116,7 @@ fn run(
         // window (see `fill_row_fwd`), so sparse rows cost O(window).
         let mut prev = vec![f64::INFINITY; width];
         let mut cur = vec![f64::INFINITY; width];
-        let mut cells = 0u64;
+        let mut cells = Cells::default();
         for k in 1..=c {
             cells += engine.fill_row_fwd(
                 k,
@@ -124,15 +129,26 @@ fn run(
             std::mem::swap(&mut prev, &mut cur);
         }
         let boundaries = engine.backtrack(&jm, c);
-        let stats = DpStats { rows: c, cells, peak_rows: c + 2, mode: DpExecMode::Table };
+        let stats = DpStats {
+            rows: c,
+            cells: cells.total(),
+            scan_cells: cells.scan,
+            monge_cells: cells.monge,
+            peak_rows: c + 2,
+            mode: DpExecMode::Table,
+            strategy: engine.strategy,
+        };
         (boundaries, prev[n], stats)
     } else {
         let out = engine.dnc_boundaries(c);
         let stats = DpStats {
             rows: out.rows,
-            cells: out.cells,
+            cells: out.cells.total(),
+            scan_cells: out.cells.scan,
+            monge_cells: out.cells.monge,
             peak_rows: 4,
             mode: DpExecMode::DivideConquer,
+            strategy: engine.strategy,
         };
         (out.boundaries, out.optimal_sse, stats)
     };

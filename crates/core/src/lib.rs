@@ -10,12 +10,14 @@
 //!
 //! Two evaluation families are provided:
 //!
-//! * **Exact dynamic programming** ([`dp`]): `PTAc` and `PTAε`, `O(n²cp)`
-//!   worst case, near-linear on data with gaps/groups thanks to the §5
-//!   optimizations (constant-time range SSE, gap pruning, early break).
-//!   Split points come from a materialized `O(n·c)` table on small
-//!   inputs or `O(n)`-memory divide-and-conquer backtracking beyond it
-//!   ([`DpMode`]), so no input size is rejected.
+//! * **Exact dynamic programming** ([`dp`]): `PTAc` and `PTAε`. The
+//!   §5 optimizations (constant-time range SSE, gap pruning, early
+//!   break) make it near-linear on data with gaps/groups; SMAWK row
+//!   minimization ([`DpStrategy`]) exploits the SSE's quadrangle
+//!   inequality to make it `O(n·c·p)` on *gap-free* data too (the plain
+//!   scan is `O(n²cp)` there). Split points come from a materialized
+//!   `O(n·c)` table on small inputs or `O(n)`-memory divide-and-conquer
+//!   backtracking beyond it ([`DpMode`]), so no input size is rejected.
 //! * **Greedy merging** ([`greedy`]): offline GMS plus the streaming
 //!   `gPTAc`/`gPTAε` that merge while ITA tuples arrive, in
 //!   `O(n log(c+β))` time and `O(c+β)` space, with an `O(log n)` bound on
@@ -40,7 +42,7 @@ pub mod sse;
 pub mod summarize;
 pub mod weights;
 
-pub use dp::curve::optimal_error_curve;
+pub use dp::curve::{optimal_error_curve, optimal_error_curve_with_strategy};
 pub use dp::error_bounded::{
     error_bounded as pta_error_bounded, error_bounded_with_mode as pta_error_bounded_with_mode,
     error_bounded_with_opts as pta_error_bounded_with_opts,
@@ -55,7 +57,7 @@ pub use dp::size_bounded::{
 };
 pub use dp::{
     max_error, max_error_with_policy, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats,
-    DEFAULT_TABLE_BUDGET,
+    DpStrategy, DEFAULT_TABLE_BUDGET, MONGE_AUTO_MIN_WINDOW,
 };
 pub use error::CoreError;
 pub use gaps::GapVector;

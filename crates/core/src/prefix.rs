@@ -128,6 +128,11 @@ impl PrefixStats {
 
     /// The SSE (Prop. 1) of merging tuples `range` into a single tuple,
     /// in `O(p)` time. Returns 0 for ranges of length ≤ 1.
+    ///
+    /// This is the innermost expression of every exact-DP cell, so the
+    /// dimension loop runs on `zip`ped subslices: one bounds check per
+    /// slice up front instead of four per dimension, and the weight
+    /// vector is hoisted once.
     #[inline]
     pub fn range_sse(&self, weights: &Weights, range: std::ops::Range<usize>) -> f64 {
         debug_assert!(range.end <= self.len());
@@ -135,12 +140,17 @@ impl PrefixStats {
             return 0.0;
         }
         let dur = self.duration(range.clone());
-        let (lo, hi) = (range.start * self.p, range.end * self.p);
+        let p = self.p;
+        let (lo, hi) = (range.start * p, range.end * p);
+        let s = self.s[lo..].iter().zip(&self.s[hi..hi + p]);
+        let ss = self.ss[lo..].iter().zip(&self.ss[hi..hi + p]);
+        let w = weights.squared_all();
+        debug_assert_eq!(w.len(), p);
         let mut err = 0.0;
-        for d in 0..self.p {
-            let sum = self.s[hi + d] - self.s[lo + d];
-            let sq = self.ss[hi + d] - self.ss[lo + d];
-            err += weights.squared(d) * (sq - sum * sum / dur);
+        for ((&wd, (sl, sh)), (ql, qh)) in w.iter().zip(s).zip(ss) {
+            let sum = sh - sl;
+            let sq = qh - ql;
+            err += wd * (sq - sum * sum / dur);
         }
         // Cancellation in `sq − sum²/dur` can produce tiny negatives for
         // (near-)constant ranges; the true SSE is non-negative.

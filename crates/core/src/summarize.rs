@@ -355,7 +355,7 @@ impl ExactPta {
     }
 
     fn opts(&self, view: &SeriesView<'_>) -> DpOptions {
-        DpOptions { policy: view.policy(), mode: self.mode }
+        DpOptions { policy: view.policy(), mode: self.mode, ..DpOptions::default() }
     }
 }
 

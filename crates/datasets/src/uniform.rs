@@ -30,6 +30,28 @@ pub fn ungrouped(n: usize, p: usize, seed: u64) -> SequentialRelation {
     b.build()
 }
 
+/// A gap-free *monotone trend* relation: `n` instant tuples whose `p`
+/// values are per-dimension nondecreasing random walks (uniform
+/// increments), no gaps, no groups (`cmin = 1`). Where [`ungrouped`] is
+/// the worst case for the exact DP's gap pruning *and* carries no Monge
+/// certificate, this is the gap-free workload the SMAWK row minimization
+/// provably accelerates: one monotone run spanning the relation — the
+/// strategy benchmark's superlinear-win dataset.
+pub fn trend(n: usize, p: usize, seed: u64) -> SequentialRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SequentialBuilder::with_capacity(p, n);
+    let mut row = vec![0.0f64; p];
+    for t in 0..n {
+        for v in &mut row {
+            *v += rng.random::<f64>();
+        }
+        b.push(GroupKey::empty(), TimeInterval::instant(t as i64).expect("valid"), &row)
+            .expect("rows arrive in order");
+    }
+    b.finish();
+    b.build()
+}
+
 /// A grouped uniform relation: `groups · per_group` instant tuples with
 /// `p` uniform values, one grouping attribute (`cmin = groups`). The
 /// paper's S2 is `grouped(50_000, 200, 10, seed)`.
@@ -68,6 +90,20 @@ mod tests {
                 assert!((0.0..1.0).contains(&v));
             }
         }
+    }
+
+    #[test]
+    fn trend_is_monotone_and_gap_free() {
+        let s = trend(500, 3, 7);
+        assert_eq!(s.len(), 500);
+        assert_eq!(s.cmin(), 1);
+        s.validate().unwrap();
+        for i in 0..s.len() - 1 {
+            for d in 0..3 {
+                assert!(s.value(i + 1, d) >= s.value(i, d), "dim {d} must be nondecreasing");
+            }
+        }
+        assert_eq!(trend(100, 2, 9), trend(100, 2, 9));
     }
 
     #[test]

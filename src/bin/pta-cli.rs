@@ -23,7 +23,9 @@ use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
 use std::process::ExitCode;
 
-use pta::{Agg, AggregateFunction, Algorithm, Bound, Delta, GapPolicy, PtaQuery, SpanSpec};
+use pta::{
+    Agg, AggregateFunction, Algorithm, Bound, Delta, DpStrategy, GapPolicy, PtaQuery, SpanSpec,
+};
 use pta_temporal::csv::{parse_schema, read_relation, write_relation, write_sequential};
 use pta_temporal::TemporalRelation;
 
@@ -36,6 +38,7 @@ fn usage() -> &'static str {
     "usage: pta-cli <reduce|ita|sta|compare> --input FILE --schema \"name:type,...\" \
      [--group-by A,B] --agg fn:attr[,fn:attr...] \
      [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
+     [--dp-strategy scan|monge|auto] \
      [--max-gap G] [--span-origin T --span-width W] [--output FILE]\n\
      compare: [--methods a,b,c|all] (--sizes N,N,... | --errors E,E,... | \
      --ratios R,R,...) — one-call §7 comparison; every method of the \
@@ -52,7 +55,7 @@ const COMMON_FLAGS: &[&str] = &["input", "schema", "output", "group-by", "agg"];
 /// produce plausible-looking output for a run the user never asked for.
 fn command_flags(command: &str) -> Option<&'static [&'static str]> {
     match command {
-        "reduce" => Some(&["size", "error", "algorithm", "delta", "max-gap"]),
+        "reduce" => Some(&["size", "error", "algorithm", "delta", "dp-strategy", "max-gap"]),
         "ita" => Some(&[]),
         "sta" => Some(&["span-origin", "span-width"]),
         "compare" => Some(&["methods", "sizes", "errors", "ratios", "max-gap"]),
@@ -199,6 +202,11 @@ fn run() -> Result<(), String> {
                     }
                     other => return Err(format!("unknown algorithm {other:?}")),
                 };
+            }
+            if let Some(s) = args.options.get("dp-strategy") {
+                let strategy = DpStrategy::parse(s)
+                    .ok_or_else(|| format!("bad --dp-strategy {s:?}: use scan|monge|auto"))?;
+                query = query.dp_strategy(strategy);
             }
             if let Some(g) = args.options.get("max-gap") {
                 let max_gap = g.parse().map_err(|e| format!("bad --max-gap: {e}"))?;

@@ -68,8 +68,8 @@ pub use pta_ita::AggregateSpec as Agg;
 pub use pta_baselines::summarize::{registry, summarizer, summarizer_names};
 
 pub use pta_core::{
-    Capabilities, Delta, DenseSeries, DpExecMode, DpMode, Estimates, ExactPta, GapPolicy,
-    GreedyPta, NaiveDp, PiecewiseConstant, Reduction, SeriesView, Summarizer, Summary,
+    Capabilities, Delta, DenseSeries, DpExecMode, DpMode, DpStrategy, Estimates, ExactPta,
+    GapPolicy, GreedyPta, NaiveDp, PiecewiseConstant, Reduction, SeriesView, Summarizer, Summary,
     SummaryDetail, SummaryStats, Weights,
 };
 pub use pta_ita::{AggregateFunction, ItaQuerySpec, SpanSpec, Window};

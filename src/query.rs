@@ -1,8 +1,8 @@
 //! The high-level PTA query builder.
 
 use pta_core::{
-    pta_error_bounded_with_opts, pta_size_bounded_with_opts, Delta, DpMode, DpOptions, Estimates,
-    GPtaC, GPtaE, GapPolicy, Reduction, Weights,
+    pta_error_bounded_with_opts, pta_size_bounded_with_opts, Delta, DpMode, DpOptions, DpStrategy,
+    Estimates, GPtaC, GPtaE, GapPolicy, Reduction, Weights,
 };
 use pta_ita::{ItaQuerySpec, StreamingIta};
 use pta_temporal::{SequentialRelation, TemporalRelation};
@@ -75,6 +75,7 @@ pub struct PtaQuery {
     pub(crate) estimates: Option<Estimates>,
     pub(crate) policy: GapPolicy,
     pub(crate) dp_mode: DpMode,
+    pub(crate) dp_strategy: DpStrategy,
 }
 
 impl Default for PtaQuery {
@@ -95,6 +96,7 @@ impl PtaQuery {
             estimates: None,
             policy: GapPolicy::Strict,
             dp_mode: DpMode::Auto,
+            dp_strategy: DpStrategy::Auto,
         }
     }
 
@@ -147,6 +149,19 @@ impl PtaQuery {
         self
     }
 
+    /// Sets how exact DP execution minimizes each row — the Monge knob.
+    /// The default, [`DpStrategy::Auto`], runs SMAWK row minimization on
+    /// wide gap-free windows whose values are provably Monge (monotone in
+    /// every dimension — trends, ramps, plateaus) and the paper's pruned
+    /// scan everywhere else; [`DpStrategy::Scan`] pins the scan,
+    /// [`DpStrategy::Monge`] extends the Monge engines to narrow
+    /// certified windows too. Every strategy returns the identical
+    /// optimal reduction.
+    pub fn dp_strategy(mut self, strategy: DpStrategy) -> Self {
+        self.dp_strategy = strategy;
+        self
+    }
+
     /// Supplies `(n̂, Ê_max)` estimates for greedy error-bounded
     /// execution; without them the exact values are computed in a first
     /// pass.
@@ -192,7 +207,11 @@ impl PtaQuery {
             Algorithm::Exact => {
                 let seq = pta_ita::ita(relation, &spec)?;
                 let n = seq.len();
-                let opts = DpOptions { policy: self.policy, mode: self.dp_mode };
+                let opts = DpOptions {
+                    policy: self.policy,
+                    mode: self.dp_mode,
+                    strategy: self.dp_strategy,
+                };
                 let out = match bound {
                     Bound::Size(c) => pta_size_bounded_with_opts(&seq, &weights, c, opts)?,
                     Bound::Error(e) => pta_error_bounded_with_opts(&seq, &weights, e, opts)?,

@@ -105,6 +105,56 @@ fn error_bound_and_gap_policy_flags() {
     assert!(stdout.contains("B,500,4,8"));
 }
 
+/// `--dp-strategy` is accepted on `reduce` with every strategy name,
+/// yields the identical Fig. 1(d) reduction, and rejects typos.
+#[test]
+fn dp_strategy_flag() {
+    for strategy in ["scan", "monge", "auto"] {
+        let (stdout, stderr, ok) = run_cli(
+            &[
+                "reduce",
+                "--schema",
+                SCHEMA,
+                "--group-by",
+                "Proj",
+                "--agg",
+                "avg:Sal",
+                "--size",
+                "4",
+                "--dp-strategy",
+                strategy,
+            ],
+            PROJ_CSV,
+        );
+        assert!(ok, "{strategy}: stderr: {stderr}");
+        assert!(stdout.contains("A,733.3333333333334,1,3"), "{strategy}: stdout: {stdout}");
+        assert!(stderr.contains("SSE 49166.6667"), "{strategy}");
+    }
+    let (_, stderr, ok) = run_cli(
+        &[
+            "reduce",
+            "--schema",
+            SCHEMA,
+            "--agg",
+            "avg:Sal",
+            "--size",
+            "4",
+            "--dp-strategy",
+            "smawk",
+        ],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("bad --dp-strategy"), "stderr: {stderr}");
+    // The flag belongs to `reduce` only.
+    let (_, stderr, ok) = run_cli(
+        &["ita", "--schema", SCHEMA, "--agg", "avg:Sal", "--dp-strategy", "auto"],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --dp-strategy"), "stderr: {stderr}");
+}
+
 #[test]
 fn greedy_algorithm_flag() {
     let (stdout, stderr, ok) = run_cli(

@@ -98,6 +98,51 @@ pub fn random_sequential_continuous(
     b.build()
 }
 
+/// Like [`random_sequential_continuous`], but values evolve as
+/// piecewise-monotone random walks: each dimension keeps a direction and
+/// flips it with probability `flip_prob` per step. Small `flip_prob`
+/// yields long per-dimension monotone runs — the inputs whose DP windows
+/// carry the Monge certificate — while groups/gaps still break the rows
+/// into windows.
+pub fn random_sequential_trendy(
+    seed: u64,
+    n: usize,
+    p: usize,
+    group_prob: f64,
+    gap_prob: f64,
+    flip_prob: f64,
+) -> SequentialRelation {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = SequentialBuilder::new(p);
+    let mut group = 0i64;
+    let mut t = 0i64;
+    let mut vals = vec![0.0; p];
+    let mut dirs = vec![1.0; p];
+    for _ in 0..n {
+        if rng.random_bool(group_prob) {
+            group += 1;
+            t = 0;
+        } else if rng.random_bool(gap_prob) {
+            t += rng.random_range(2i64..5);
+        }
+        let len = rng.random_range(1i64..4);
+        for (v, d) in vals.iter_mut().zip(&mut dirs) {
+            if rng.random_bool(flip_prob) {
+                *d = -*d;
+            }
+            *v += *d * rng.random::<f64>();
+        }
+        b.push(
+            GroupKey::new(vec![Value::Int(group)]),
+            TimeInterval::new(t, t + len - 1).unwrap(),
+            &vals,
+        )
+        .unwrap();
+        t += len;
+    }
+    b.build()
+}
+
 /// Exhaustive minimal SSE of partitioning `input` into exactly `k`
 /// contiguous parts that never cross a gap/group boundary — the brute
 /// force the DP must match. Exponential; keep `n` small.
