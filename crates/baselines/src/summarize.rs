@@ -20,8 +20,8 @@
 use std::time::{Duration, Instant};
 
 use pta_core::summarize::{
-    size_for_error_budget, Bound, Capabilities, SeriesView, Summarizer, Summary, SummaryDetail,
-    SummaryStats,
+    size_for_error_budget, Bound, BoxedSummarizer, Capabilities, SeriesView, Summarizer, Summary,
+    SummaryDetail, SummaryStats,
 };
 use pta_core::{CoreError, DenseSeries, DpMode, ExactPta, GreedyPta, NaiveDp};
 
@@ -40,7 +40,7 @@ use crate::sax::sax;
 /// [`DpMode`] backtracking paths), the naive-DP baseline, the greedy
 /// family (streaming δ = 1 and offline GMS), and the nine baseline
 /// methods — every algorithm of the §7 comparison, runnable by name.
-pub fn registry() -> Vec<Box<dyn Summarizer>> {
+pub fn registry() -> Vec<BoxedSummarizer> {
     vec![
         Box::new(ExactPta::new()),
         Box::new(ExactPta::with_mode(DpMode::Table)),
@@ -66,7 +66,7 @@ pub fn summarizer_names() -> Vec<&'static str> {
 }
 
 /// Looks a summarizer up by its registry name.
-pub fn summarizer(name: &str) -> Option<Box<dyn Summarizer>> {
+pub fn summarizer(name: &str) -> Option<BoxedSummarizer> {
     registry().into_iter().find(|s| s.name() == name)
 }
 

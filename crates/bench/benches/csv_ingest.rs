@@ -1,13 +1,14 @@
 //! Criterion bench of `pta-temporal`'s CSV ingest — the heavy-traffic
 //! entry point (ROADMAP): every CLI/server workload starts by parsing a
 //! relation, so the per-row allocation budget matters. Pins the
-//! reuse-the-line-buffer reader against a generated corpus.
+//! reuse-the-line-buffer reader against a generated corpus, and the
+//! chunked parallel reader against it at thread budgets 1, 2 and 4.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use pta_temporal::csv::{parse_schema, read_relation};
+use pta_temporal::csv::{parse_schema, read_relation, read_relation_str};
 
 /// Generates a `rows`-line CSV corpus in the ETDS shape
 /// (`Empl:str,Dept:str,Sal:int` + interval).
@@ -41,6 +42,20 @@ fn bench_csv_ingest(c: &mut Criterion) {
                 rel
             })
         });
+        for threads in [1usize, 2, 4] {
+            g.bench_with_input(
+                BenchmarkId::new(format!("read_relation_str_t{threads}"), rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        let rel =
+                            read_relation_str(schema.clone(), black_box(&text), threads).unwrap();
+                        assert_eq!(rel.len(), rows);
+                        rel
+                    })
+                },
+            );
+        }
     }
     g.finish();
 }

@@ -1,0 +1,63 @@
+//! Criterion bench of the parallel execution layer: the same work at
+//! pinned thread budgets 1, 2 and 4, so scaling (or, on small machines,
+//! the fan-out overhead) is visible per budget.
+//!
+//! * `dp_row_fill` — one forward DP row on gap-free flat data: the
+//!   chunked scan windows are the unit the threaded fills distribute.
+//! * `comparator` — a three-method §7 comparison over one size grid:
+//!   the method fan-out of `Comparator::run_sequential`.
+//!
+//! Budgets above the machine's core count still run (the pool spawns
+//! that many workers regardless) — they measure oversubscription, which
+//! is exactly what the 1-core CI container needs pinned.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use pta::Comparator;
+use pta_core::dp::bench_support::RowFill;
+use pta_core::{DpStrategy, Weights};
+use pta_datasets::uniform;
+
+const THREADS: [usize; 3] = [1, 2, 4];
+const ROW: usize = 8;
+
+fn bench_parallel_row_fill(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_dp_row");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let p = 4;
+    let w = Weights::uniform(p);
+    let n = 2_000;
+    let input = uniform::ungrouped(n, p, 32);
+    for &threads in &THREADS {
+        let rf = RowFill::with_threads(&input, &w, DpStrategy::Scan, threads).expect("dims match");
+        let prev = rf.row(ROW - 1);
+        let mut cur = vec![f64::INFINITY; rf.width()];
+        g.bench_with_input(BenchmarkId::new(format!("flat_{n}"), threads), &threads, |b, _| {
+            b.iter(|| rf.fill(ROW, black_box(&prev), &mut cur))
+        });
+    }
+    g.finish();
+}
+
+fn bench_parallel_comparator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("parallel_comparator");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let input = uniform::ungrouped(600, 1, 41);
+    let sizes: Vec<usize> = vec![40, 80, 160];
+    for &threads in &THREADS {
+        let cmp = Comparator::new()
+            .methods(&["exact", "greedy", "atc"])
+            .expect("registry names")
+            .sizes(sizes.iter().copied())
+            .threads(threads);
+        g.bench_with_input(BenchmarkId::new("three_methods", threads), &threads, |b, _| {
+            b.iter(|| cmp.run_sequential(black_box(&input)).expect("valid grid"))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_parallel_row_fill, bench_parallel_comparator);
+criterion_main!(benches);

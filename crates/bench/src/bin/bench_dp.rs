@@ -16,6 +16,16 @@
 //! * `flat` (uniform values, no certificate): the exactness guard —
 //!   Monge must fall back to the scan, cell-for-cell.
 //!
+//! A third study measures the threaded row fills: the flat/Scan/Table
+//! point at `n = 4000` under thread budgets 1, 2 and the process default.
+//! The mode and strategy studies pin `threads = 1` so their committed
+//! trajectory stays comparable across machines; the threads study is
+//! where budgets vary. Its guards assert that a 2-thread budget never
+//! costs more than 10 % over sequential (cheap-chunk overhead stays
+//! bounded even on one core) and — whenever the default budget resolves
+//! to 2+ workers, i.e. on real multi-core runners — that the default
+//! budget actually delivers a `min(2, 0.6·T)`-fold wall-time reduction.
+//!
 //! The exit code is non-zero when an assertion fails, which is what the
 //! CI step relies on.
 
@@ -36,6 +46,7 @@ struct Record {
     c: usize,
     mode: DpExecMode,
     strategy: DpStrategy,
+    threads: usize,
     wall_ms: f64,
     peak_rows: usize,
     cells: u64,
@@ -65,6 +76,7 @@ fn record(
         c: out.reduction.len(),
         mode: out.stats.mode,
         strategy,
+        threads: out.stats.threads,
         wall_ms,
         peak_rows: out.stats.peak_rows,
         cells: out.stats.cells,
@@ -79,14 +91,15 @@ fn json(records: &[Record]) -> String {
         let _ = write!(
             s,
             "  {{\"algorithm\": \"{}\", \"dataset\": \"{}\", \"n\": {}, \"c\": {}, \
-             \"mode\": \"{}\", \"strategy\": \"{}\", \"wall_ms\": {:.3}, \"peak_rows\": {}, \
-             \"cells\": {}, \"scan_cells\": {}, \"monge_cells\": {}}}",
+             \"mode\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
+             \"peak_rows\": {}, \"cells\": {}, \"scan_cells\": {}, \"monge_cells\": {}}}",
             r.algorithm,
             r.dataset,
             r.n,
             r.c,
             mode_name(r.mode),
             r.strategy.name(),
+            r.threads,
             r.wall_ms,
             r.peak_rows,
             r.cells,
@@ -121,10 +134,13 @@ fn main() {
     let w = Weights::uniform(p);
     let mut records = Vec::new();
 
+    // The mode and strategy studies pin threads = 1: their records track
+    // the sequential inner loops, and stay machine-comparable that way.
     let opts = |mode: DpMode, strategy: DpStrategy| DpOptions {
         policy: GapPolicy::Strict,
         mode,
         strategy,
+        threads: 1,
     };
 
     // Backtracking-mode matrix (as since PR 3), under the default Auto
@@ -192,6 +208,43 @@ fn main() {
         }
     }
 
+    // Threads study: the flat/Scan/Table point at n = 4000 under thread
+    // budgets 1, 2 and the process default (deduplicated — on a 1- or
+    // 2-core machine the default coincides with a pinned budget).
+    let par_n = *STRATEGY_SIZES.last().expect("non-empty study sizes");
+    let default_threads = pta_pool::default_threads();
+    {
+        let input = uniform::ungrouped(par_n, p, 21);
+        let mut budgets = vec![1usize, 2];
+        if default_threads > 2 {
+            budgets.push(default_threads);
+        }
+        for &threads in &budgets {
+            let (out, wall) = time(|| {
+                pta_size_bounded_with_opts(
+                    &input,
+                    &w,
+                    STRATEGY_C,
+                    DpOptions {
+                        policy: GapPolicy::Strict,
+                        mode: DpMode::Table,
+                        strategy: DpStrategy::Scan,
+                        threads,
+                    },
+                )
+                .expect("valid size bound")
+            });
+            records.push(record(
+                "size_bounded",
+                "flat",
+                par_n,
+                DpStrategy::Scan,
+                &out,
+                wall.as_secs_f64() * 1e3,
+            ));
+        }
+    }
+
     let rows: Vec<Vec<String>> = records
         .iter()
         .map(|r| {
@@ -202,6 +255,7 @@ fn main() {
                 r.c.to_string(),
                 mode_name(r.mode).to_string(),
                 r.strategy.name().to_string(),
+                r.threads.to_string(),
                 fmt(r.wall_ms),
                 r.peak_rows.to_string(),
                 r.cells.to_string(),
@@ -218,6 +272,7 @@ fn main() {
             "c",
             "mode",
             "strategy",
+            "threads",
             "wall_ms",
             "peak_rows",
             "cells",
@@ -256,6 +311,7 @@ fn main() {
                                 && r.c == STRATEGY_C
                                 && r.mode == mode
                                 && r.strategy == strategy
+                                && r.threads == 1
                         })
                         .expect("strategy study record")
                 };
@@ -313,6 +369,70 @@ fn main() {
             }
         }
     }
+    // Threads-study guards. The threads-study records are the Table/Scan
+    // flat points at the largest study size; find them by budget.
+    {
+        let find = |threads: usize| {
+            // Scan from the back: the threads-study records land after
+            // the strategy study's (which also holds a threads = 1 copy
+            // of this point).
+            records
+                .iter()
+                .rev()
+                .find(|r| {
+                    r.dataset == "flat"
+                        && r.n == par_n
+                        && r.c == STRATEGY_C
+                        && r.mode == DpExecMode::Table
+                        && r.strategy == DpStrategy::Scan
+                        && r.threads == threads
+                })
+                .expect("threads study record")
+        };
+        let seq = find(1);
+        let two = find(2);
+        // Determinism: the parallel fill evaluates exactly the
+        // sequential split candidates — the counters must agree.
+        check(
+            two.cells == seq.cells && two.scan_cells == seq.cells,
+            format!(
+                "threads study: identical work at any budget ({} vs {} cells)",
+                two.cells, seq.cells
+            ),
+        );
+        // Overhead guard, meaningful even on a single core: a 2-thread
+        // budget must never cost more than 10 % over sequential.
+        check(
+            two.wall_ms <= seq.wall_ms * 1.1,
+            format!(
+                "threads study: 2-thread overhead bounded ({:.3} ms vs {:.3} ms sequential)",
+                two.wall_ms, seq.wall_ms
+            ),
+        );
+        // Speedup guard — only decidable where parallel hardware exists.
+        // A 1-core container resolves the default budget to 1 and cannot
+        // observe a wall-time reduction, so the gate arms itself on the
+        // resolved default: T >= 2 workers must deliver min(2, 0.6·T)×.
+        if default_threads >= 2 {
+            let def = find(default_threads);
+            check(def.cells == seq.cells, "threads study: default budget work identical".into());
+            let speedup = seq.wall_ms / def.wall_ms.max(1e-9);
+            let need = 2.0_f64.min(0.6 * default_threads as f64);
+            check(
+                speedup >= need,
+                format!(
+                    "threads study: default budget ({} workers) speedup {speedup:.2}x >= {need:.2}x",
+                    default_threads
+                ),
+            );
+        } else {
+            println!(
+                "[skip] threads study speedup gate: default budget resolves to \
+                 {default_threads} worker(s) on this machine"
+            );
+        }
+    }
+
     if failures > 0 {
         eprintln!("{failures} regression check(s) failed");
         std::process::exit(1);

@@ -25,19 +25,34 @@ pub fn optimal_error_curve(
 }
 
 /// [`optimal_error_curve`] with an explicit row minimization strategy —
-/// the cross-strategy tests and the strategy benchmarks pin it.
+/// the cross-strategy tests and the strategy benchmarks pin it. Runs at
+/// the default thread budget (`PTA_THREADS`).
 pub fn optimal_error_curve_with_strategy(
     input: &SequentialRelation,
     weights: &Weights,
     kmax: usize,
     strategy: DpStrategy,
 ) -> Result<Vec<f64>, CoreError> {
+    optimal_error_curve_with_threads(input, weights, kmax, strategy, 0)
+}
+
+/// [`optimal_error_curve_with_strategy`] with an explicit thread budget
+/// (`0` = the process default) — the parallel equivalence suite pins
+/// curves at `threads = 1` against curves at higher budgets.
+pub fn optimal_error_curve_with_threads(
+    input: &SequentialRelation,
+    weights: &Weights,
+    kmax: usize,
+    strategy: DpStrategy,
+    threads: usize,
+) -> Result<Vec<f64>, CoreError> {
     let n = input.len();
     let kmax = kmax.min(n);
     if n == 0 || kmax == 0 {
         return Ok(Vec::new());
     }
-    let engine = DpEngine::new_full(input, weights, true, GapPolicy::Strict, true, strategy)?;
+    let engine =
+        DpEngine::new_full(input, weights, true, GapPolicy::Strict, true, strategy, threads)?;
     let width = n + 1;
     // Both row buffers start at ∞; each row fill resets only its window.
     let mut prev = vec![f64::INFINITY; width];

@@ -66,7 +66,8 @@ pub fn error_bounded_with_opts(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    let engine = DpEngine::new_full(input, weights, true, opts.policy, true, opts.strategy)?;
+    let engine =
+        DpEngine::new_full(input, weights, true, opts.policy, true, opts.strategy, opts.threads)?;
     let emax = max_error_over_runs(weights, &engine.stats, &engine.gaps, n);
     if !emax.is_finite() {
         return Err(CoreError::non_finite_data("maximal reduction error is not finite"));
@@ -134,6 +135,7 @@ fn run_with_threshold(
             peak_rows: recorded + 2,
             mode: DpExecMode::Table,
             strategy: engine.strategy,
+            threads: engine.pool.threads(),
         };
         (boundaries, stats)
     } else {
@@ -153,6 +155,7 @@ fn run_with_threshold(
             peak_rows: (recorded + 2).max(4),
             mode: DpExecMode::DivideConquer,
             strategy: engine.strategy,
+            threads: engine.pool.threads(),
         };
         (out.boundaries, stats)
     };
@@ -250,6 +253,7 @@ mod tests {
             GapPolicy::Strict,
             true,
             crate::dp::DpStrategy::Auto,
+            1,
         )
         .unwrap();
         let err =

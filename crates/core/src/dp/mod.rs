@@ -82,6 +82,7 @@ pub mod error_bounded;
 pub mod monge;
 pub mod size_bounded;
 
+use pta_pool::Pool;
 use pta_temporal::SequentialRelation;
 
 use crate::error::CoreError;
@@ -168,6 +169,12 @@ pub struct DpOptions {
     pub mode: DpMode,
     /// Row minimization strategy.
     pub strategy: DpStrategy,
+    /// Thread budget for the row fills; `0` (the default) means the
+    /// process-wide default ([`pta_pool::default_threads`], i.e. the
+    /// `PTA_THREADS` knob). Every budget produces bit-identical results —
+    /// parallelism splits rows into the same per-cell computations the
+    /// sequential scan performs (see [`DpEngine::fill_row_fwd`]).
+    pub threads: usize,
 }
 
 /// Work counters reported by the DP algorithms; the evaluation uses them to
@@ -197,6 +204,11 @@ pub struct DpStats {
     /// The row minimization strategy the run was asked for (the naive DP
     /// baseline always records [`DpStrategy::Scan`]).
     pub strategy: DpStrategy,
+    /// The resolved thread budget of the run (`>= 1`; the
+    /// [`DpOptions::threads`] request with `0` replaced by the
+    /// process-wide default). A budget above 1 only changes wall time,
+    /// never results or the evaluation counters.
+    pub threads: usize,
 }
 
 /// A finished DP run: the optimal reduction plus work counters.
@@ -228,6 +240,81 @@ impl std::ops::AddAssign for Cells {
     fn add_assign(&mut self, rhs: Self) {
         self.scan += rhs.scan;
         self.monge += rhs.monge;
+    }
+}
+
+/// Minimum *estimated* split-point evaluations in one row fill before the
+/// fill fans out across the pool. Below it the scoped-spawn cost (tens of
+/// microseconds) is comparable to the row itself; rows this small run the
+/// sequential loop even under a multi-thread budget.
+const PAR_MIN_ROW_WORK: u64 = 1 << 16;
+
+/// Minimum cells per parallel chunk of a scan window — keeps the chunk
+/// descriptor overhead negligible relative to per-cell work.
+const PAR_MIN_CHUNK_CELLS: usize = 16;
+
+/// Per-worker oversubscription factor of the chunker: more chunks than
+/// workers so the atomic-cursor scheduler can balance the early-break
+/// scan's data-dependent cell costs.
+const PAR_CHUNKS_PER_WORKER: u64 = 4;
+
+/// How one inter-break row window is minimized — recorded by the window
+/// walk so windows can be solved out of line, in any order, including on
+/// pool workers. The solve step is identical per cell whether windows run
+/// sequentially or chunked in parallel, which is the bit-identity
+/// guarantee of the `threads` knob.
+#[derive(Debug, Clone, Copy)]
+enum WindowTask {
+    /// Forced split pinned to break `g` (Fig. 7 lines 13–16); `feasible`
+    /// records whether the forced prefix/suffix can hold `k − 1` tuples
+    /// (when not, the cells stay `∞`).
+    Forced { g: usize, feasible: bool },
+    /// Break-free candidate range delimited by `jbound` (`jmin` forward,
+    /// `jmax` backward); `engine` is the Monge dispatch, `None` scans.
+    Open { jbound: usize, engine: Option<RowMinEngine> },
+}
+
+/// One inter-break window (or, on the parallel path, one chunk of a scan
+/// window) of cells `[ws, we]` awaiting minimization.
+#[derive(Debug, Clone, Copy)]
+struct RowWindow {
+    ws: usize,
+    we: usize,
+    task: WindowTask,
+}
+
+/// One parallel row-fill job: a window chunk plus its disjoint output
+/// slice(s) of the row being filled.
+type RowJob<'a> = (RowWindow, &'a mut [f64], Option<&'a mut [usize]>);
+
+impl RowWindow {
+    /// Number of cells in the window.
+    fn cells(&self) -> usize {
+        self.we - self.ws + 1
+    }
+
+    /// Upper bound on the window's split-point evaluations, assuming the
+    /// candidate count per cell grows away from `jbound` (forward rows:
+    /// cell `i` scans at most `i − jmin`; backward rows are mirrored by
+    /// the caller flipping `lohi`). Monge windows are estimated at their
+    /// SMAWK bound. The early break can only shrink the real work, so
+    /// this is a fan-out *gate*, not an exact cost.
+    fn work(&self, fwd: bool) -> u64 {
+        match self.task {
+            WindowTask::Forced { .. } => self.cells() as u64,
+            WindowTask::Open { jbound, engine } => {
+                let (a, b) = if fwd {
+                    ((self.ws - jbound) as u64, (self.we - jbound) as u64)
+                } else {
+                    ((jbound - self.we) as u64, (jbound - self.ws) as u64)
+                };
+                match engine {
+                    // SMAWK/D&C evaluate O(rows + cols) oracle entries.
+                    Some(_) => 4 * (self.cells() as u64 + b),
+                    None => (a + b) * (b - a + 1) / 2,
+                }
+            }
+        }
     }
 }
 
@@ -295,6 +382,8 @@ pub(crate) struct DpEngine {
     /// certificate that a window's cost matrix is Monge (see [`monge`]).
     /// Built only when the strategy can use it.
     mono_end: Option<Vec<usize>>,
+    /// Thread budget for the row fills (see [`DpOptions::threads`]).
+    pub(crate) pool: Pool,
 }
 
 /// One backward pass per dimension: the exclusive end of the maximal
@@ -357,6 +446,7 @@ impl DpEngine {
         policy: GapPolicy,
         early_break: bool,
         strategy: DpStrategy,
+        threads: usize,
     ) -> Result<Self, CoreError> {
         weights.check_dims(input.dims())?;
         // The unpruned Fig. 18 baseline measures the plain recurrence;
@@ -372,6 +462,7 @@ impl DpEngine {
             early_break,
             strategy,
             mono_end,
+            pool: Pool::new(threads),
         })
     }
 
@@ -495,12 +586,32 @@ impl DpEngine {
             return cells;
         }
 
-        // Pruned: walk the inter-break windows covering [lo + k, imax].
-        // All cells i in (g, g'] (consecutive breaks) share the same
+        // Pruned: decompose [lo + k, imax] into inter-break windows (all
+        // cells i in (g, g'] between consecutive breaks share the same
         // rightmost break below, the same internal-break count, and a
-        // break-free candidate range.
+        // break-free candidate range), then solve each window — on the
+        // pool when the row is worth fanning out, sequentially otherwise.
+        // The per-cell computation is identical either way.
+        let windows = self.collect_windows_fwd(k, lo, imax);
+        let work: u64 = windows.iter().map(|w| w.work(true)).sum();
+        if self.pool.threads() > 1 && !pta_pool::in_worker() && work >= PAR_MIN_ROW_WORK {
+            cells += self.fill_windows_par(&windows, work, true, prev, cur, jrow, lo + k, imax);
+            return cells;
+        }
+        for w in &windows {
+            cells += self.solve_window_fwd(w, prev, cur, jrow.as_deref_mut(), 0);
+        }
+        cells
+    }
+
+    /// Window walk of the forward fill: records each inter-break window of
+    /// `[lo + k, imax]` with its minimization task (see the
+    /// [`DpEngine::fill_row_fwd`] docs for the window invariants).
+    fn collect_windows_fwd(&self, k: usize, lo: usize, imax: usize) -> Vec<RowWindow> {
+        let floor = lo + k - 1;
         let breaks = self.gaps.breaks();
         let base = breaks.partition_point(|&g| g <= lo);
+        let mut windows = Vec::new();
         let mut ws = lo + k;
         while ws <= imax {
             let bidx = breaks.partition_point(|&g| g < ws);
@@ -510,63 +621,183 @@ impl DpEngine {
                 _ => imax,
             };
             let nb = bidx - base;
-            // Forced split: the prefix has exactly k − 1 internal breaks,
-            // so every cut is pinned to the rightmost break (Fig. 7 lines
-            // 13–16).
-            if let Some(g) = g_below.filter(|_| nb == k - 1) {
-                cells.scan += (we - ws + 1) as u64;
-                // g < floor means the forced prefix cannot hold k − 1
-                // tuples: the cells are infeasible and must stay ∞
-                // (prev[g] may hold a stale older row outside row k − 1's
-                // window).
-                if g >= floor {
-                    for i in ws..=we {
-                        cur[i] = prev[g] + self.stats.range_sse(&self.weights, g..i);
-                        if let Some(jr) = jrow.as_deref_mut() {
-                            jr[i] = g;
+            let task = match g_below.filter(|_| nb == k - 1) {
+                // Forced split: the prefix has exactly k − 1 internal
+                // breaks, so every cut is pinned to the rightmost break
+                // (Fig. 7 lines 13–16). g < floor means the forced prefix
+                // cannot hold k − 1 tuples: the cells are infeasible and
+                // must stay ∞ (prev[g] may hold a stale older row outside
+                // row k − 1's window).
+                Some(g) => WindowTask::Forced { g, feasible: g >= floor },
+                None => {
+                    let jmin = g_below.map_or(floor, |g| g.max(floor));
+                    debug_assert!(jmin < ws, "every window cell has at least one candidate");
+                    let mono = self.monotone_span(jmin, we);
+                    let engine = self.window_engine(mono, we - ws + 1, we - jmin);
+                    WindowTask::Open { jbound: jmin, engine }
+                }
+            };
+            windows.push(RowWindow { ws, we, task });
+            ws = we + 1;
+        }
+        windows
+    }
+
+    /// Solves one forward window (or chunk) into `out`: cell `i` lands at
+    /// `out[i − at]`, so the sequential path passes the whole
+    /// absolute-indexed row with `at = 0` and the parallel path passes
+    /// each job's disjoint subslice with `at = w.ws`.
+    fn solve_window_fwd(
+        &self,
+        w: &RowWindow,
+        prev: &[f64],
+        out: &mut [f64],
+        mut jout: Option<&mut [usize]>,
+        at: usize,
+    ) -> Cells {
+        let mut cells = Cells::default();
+        match w.task {
+            WindowTask::Forced { g, feasible } => {
+                cells.scan += w.cells() as u64;
+                if feasible {
+                    for i in w.ws..=w.we {
+                        out[i - at] = prev[g] + self.stats.range_sse(&self.weights, g..i);
+                        if let Some(jr) = jout.as_deref_mut() {
+                            jr[i - at] = g;
                         }
                     }
                 }
-                ws = we + 1;
+            }
+            WindowTask::Open { jbound: jmin, engine } => {
+                let mut solved = false;
+                if let Some(engine) = engine {
+                    let (evals, ok) = self.monge_window_fwd(
+                        engine,
+                        prev,
+                        out,
+                        jout.as_deref_mut(),
+                        at,
+                        w.ws,
+                        w.we,
+                        jmin,
+                    );
+                    cells.monge += evals;
+                    solved = ok;
+                }
+                if !solved {
+                    for i in w.ws..=w.we {
+                        let mut best = f64::INFINITY;
+                        let mut best_j = jmin;
+                        // Decreasing j: the range SSE err2 grows
+                        // monotonically, so once it alone exceeds the best
+                        // total the loop can stop (Fig. 7 line 24).
+                        for j in (jmin..i).rev() {
+                            cells.scan += 1;
+                            // j ≥ jmin guarantees the range crosses no break.
+                            let err2 = self.stats.range_sse(&self.weights, j..i);
+                            let total = prev[j] + err2;
+                            if total < best {
+                                best = total;
+                                best_j = j;
+                            }
+                            if self.early_break && err2 > best {
+                                break;
+                            }
+                        }
+                        out[i - at] = best;
+                        if let Some(jr) = jout.as_deref_mut() {
+                            jr[i - at] = best_j;
+                        }
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// Refines a row's windows into parallel chunks: scan windows above
+    /// the per-chunk work target split into cell ranges — each chunk
+    /// keeps its window's candidate bound, so the per-cell scans are
+    /// exactly the sequential ones — while forced and Monge windows stay
+    /// whole (SMAWK is sequential per window). Chunk work is balanced by
+    /// the same estimate the fan-out gate uses.
+    fn chunk_windows(&self, windows: &[RowWindow], work: u64, fwd: bool) -> Vec<RowWindow> {
+        let target = (work / (self.pool.threads() as u64 * PAR_CHUNKS_PER_WORKER)).max(1);
+        let mut chunks = Vec::new();
+        for w in windows {
+            let splittable = matches!(w.task, WindowTask::Open { engine: None, .. });
+            if !splittable || w.work(fwd) <= target || w.cells() < 2 * PAR_MIN_CHUNK_CELLS {
+                chunks.push(*w);
                 continue;
             }
-            let jmin = g_below.map_or(floor, |g| g.max(floor));
-            debug_assert!(jmin < ws, "every window cell has at least one candidate");
-            let mono = self.monotone_span(jmin, we);
-            let mut solved = false;
-            if let Some(engine) = self.window_engine(mono, we - ws + 1, we - jmin) {
-                let (evals, ok) =
-                    self.monge_window_fwd(engine, prev, cur, jrow.as_deref_mut(), ws, we, jmin);
-                cells.monge += evals;
-                solved = ok;
-            }
-            if !solved {
-                for i in ws..=we {
-                    let mut best = f64::INFINITY;
-                    let mut best_j = jmin;
-                    // Decreasing j: the range SSE err2 grows monotonically,
-                    // so once it alone exceeds the best total the loop can
-                    // stop (Fig. 7 line 24).
-                    for j in (jmin..i).rev() {
-                        cells.scan += 1;
-                        // j ≥ jmin guarantees the range crosses no break.
-                        let err2 = self.stats.range_sse(&self.weights, j..i);
-                        let total = prev[j] + err2;
-                        if total < best {
-                            best = total;
-                            best_j = j;
-                        }
-                        if self.early_break && err2 > best {
-                            break;
-                        }
-                    }
-                    cur[i] = best;
-                    if let Some(jr) = jrow.as_deref_mut() {
-                        jr[i] = best_j;
-                    }
+            let WindowTask::Open { jbound, .. } = w.task else { unreachable!() };
+            let mut cs = w.ws;
+            let mut acc = 0u64;
+            for i in w.ws..=w.we {
+                acc += if fwd { (i - jbound) as u64 } else { (jbound - i) as u64 };
+                if acc >= target && i < w.we && i + 1 - cs >= PAR_MIN_CHUNK_CELLS {
+                    chunks.push(RowWindow { ws: cs, we: i, task: w.task });
+                    cs = i + 1;
+                    acc = 0;
                 }
             }
-            ws = we + 1;
+            chunks.push(RowWindow { ws: cs, we: w.we, task: w.task });
+        }
+        chunks
+    }
+
+    /// Fans one row's windows out across the pool: chunks the windows,
+    /// tiles the row region `cur[first..=last]` (and `jrow`) into
+    /// disjoint per-chunk slices in window order, and solves every chunk
+    /// with the same per-cell code the sequential path runs. Results are
+    /// bit-identical to the sequential fill — chunks never share cells,
+    /// and each cell's scan state (`best`, `best_j`, early break) is
+    /// local to the cell — and the evaluation counters are summed in
+    /// window order, so [`DpStats`] is deterministic too.
+    #[allow(clippy::too_many_arguments)]
+    fn fill_windows_par(
+        &self,
+        windows: &[RowWindow],
+        work: u64,
+        fwd: bool,
+        prev: &[f64],
+        cur: &mut [f64],
+        jrow: Option<&mut [usize]>,
+        first: usize,
+        last: usize,
+    ) -> Cells {
+        let chunks = self.chunk_windows(windows, work, fwd);
+        let mut jobs: Vec<RowJob<'_>> = Vec::with_capacity(chunks.len());
+        let mut tail: &mut [f64] = &mut cur[first..=last];
+        let mut jtail: Option<&mut [usize]> = match jrow {
+            Some(j) => Some(&mut j[first..=last]),
+            None => None,
+        };
+        for w in chunks {
+            let (head, rest) = std::mem::take(&mut tail).split_at_mut(w.cells());
+            tail = rest;
+            let jhead = match jtail.take() {
+                Some(j) => {
+                    let (jh, jr) = j.split_at_mut(w.cells());
+                    jtail = Some(jr);
+                    Some(jh)
+                }
+                None => None,
+            };
+            jobs.push((w, head, jhead));
+        }
+        debug_assert!(tail.is_empty(), "chunks must tile the row region exactly");
+        let results = self.pool.map(jobs, |(w, out, jout)| {
+            if fwd {
+                self.solve_window_fwd(&w, prev, out, jout, w.ws)
+            } else {
+                debug_assert!(jout.is_none(), "backward rows record no split points");
+                self.solve_window_bwd(&w, prev, out, w.ws)
+            }
+        });
+        let mut cells = Cells::default();
+        for c in results {
+            cells += c;
         }
         cells
     }
@@ -581,14 +812,16 @@ impl DpEngine {
     /// count and whether the window was solved — `false` (nothing
     /// written, caller must scan) when a pad won a row, which only
     /// happens if a real cost reached the pad range (astronomical data
-    /// magnitudes or a non-finite `prev`).
+    /// magnitudes or a non-finite `prev`). Cell `i` writes `out[i − at]`
+    /// (see [`DpEngine::solve_window_fwd`]).
     #[allow(clippy::too_many_arguments)]
     fn monge_window_fwd(
         &self,
         engine: RowMinEngine,
         prev: &[f64],
-        cur: &mut [f64],
+        out: &mut [f64],
         mut jrow: Option<&mut [usize]>,
+        at: usize,
         ws: usize,
         we: usize,
         jmin: usize,
@@ -631,9 +864,9 @@ impl DpEngine {
             return (minima.evals, false);
         }
         for (r, i) in (ws..=we).enumerate() {
-            cur[i] = minima.values[r];
+            out[i - at] = minima.values[r];
             if let Some(jr) = jrow.as_deref_mut() {
-                jr[i] = minima.argmins[r];
+                jr[i - at] = minima.argmins[r];
             }
         }
         (minima.evals, true)
@@ -698,11 +931,30 @@ impl DpEngine {
             return cells;
         }
 
-        // Pruned: walk the mirrored inter-break windows — all cells i in
-        // [g, g') share the same leftmost break above, internal-break
-        // count, and break-free candidate range.
+        // Pruned: decompose into the mirrored inter-break windows — all
+        // cells i in [g, g') share the same leftmost break above,
+        // internal-break count, and break-free candidate range — and
+        // solve them like the forward fill: on the pool when the row is
+        // worth fanning out, sequentially otherwise.
+        let windows = self.collect_windows_bwd(k, hi, imin);
+        let work: u64 = windows.iter().map(|w| w.work(false)).sum();
+        if self.pool.threads() > 1 && !pta_pool::in_worker() && work >= PAR_MIN_ROW_WORK {
+            cells += self.fill_windows_par(&windows, work, false, prev, cur, None, imin, hi - k);
+            return cells;
+        }
+        for w in &windows {
+            cells += self.solve_window_bwd(w, prev, cur, 0);
+        }
+        cells
+    }
+
+    /// Window walk of the backward fill: records each mirrored
+    /// inter-break window of `[imin, hi − k]` with its minimization task.
+    fn collect_windows_bwd(&self, k: usize, hi: usize, imin: usize) -> Vec<RowWindow> {
+        let ceil = hi - (k - 1);
         let breaks = self.gaps.breaks();
         let limit = breaks.partition_point(|&g| g < hi);
+        let mut windows = Vec::new();
         let mut ws = imin;
         while ws <= hi - k {
             let bidx = breaks.partition_point(|&g| g <= ws);
@@ -712,51 +964,70 @@ impl DpEngine {
                 None => hi - k,
             };
             let nb = limit - bidx;
-            // Forced split, mirrored: exactly k − 1 internal breaks in the
-            // suffix pin the first cut to the leftmost break.
-            if let Some(g) = g_above.filter(|_| nb == k - 1) {
-                cells.scan += (we - ws + 1) as u64;
+            let task = match g_above.filter(|_| nb == k - 1) {
+                // Forced split, mirrored: exactly k − 1 internal breaks in
+                // the suffix pin the first cut to the leftmost break.
                 // g > ceil: the forced suffix cannot hold k − 1 tuples —
                 // infeasible, keep ∞ (prev[g] may be a stale older row
                 // outside row k − 1's window).
-                if g <= ceil {
-                    #[allow(clippy::needless_range_loop)]
-                    for i in ws..=we {
-                        cur[i] = self.stats.range_sse(&self.weights, i..g) + prev[g];
-                    }
+                Some(g) => WindowTask::Forced { g, feasible: g <= ceil },
+                None => {
+                    let jmax = g_above.map_or(ceil, |g| g.min(ceil));
+                    debug_assert!(jmax > ws, "every window cell has at least one candidate");
+                    let mono = self.monotone_span(ws, jmax);
+                    let engine = self.window_engine(mono, we - ws + 1, jmax - ws);
+                    WindowTask::Open { jbound: jmax, engine }
                 }
-                ws = we + 1;
-                continue;
-            }
-            let jmax = g_above.map_or(ceil, |g| g.min(ceil));
-            debug_assert!(jmax > ws, "every window cell has at least one candidate");
-            let mono = self.monotone_span(ws, jmax);
-            let mut solved = false;
-            if let Some(engine) = self.window_engine(mono, we - ws + 1, jmax - ws) {
-                let (evals, ok) = self.monge_window_bwd(engine, prev, cur, ws, we, jmax);
-                cells.monge += evals;
-                solved = ok;
-            }
-            if !solved {
-                #[allow(clippy::needless_range_loop)]
-                for i in ws..=we {
-                    let mut best = f64::INFINITY;
-                    for j in (i + 1)..=jmax {
-                        cells.scan += 1;
-                        // j ≤ jmax guarantees the range crosses no break.
-                        let err2 = self.stats.range_sse(&self.weights, i..j);
-                        let total = err2 + prev[j];
-                        if total < best {
-                            best = total;
-                        }
-                        if self.early_break && err2 > best {
-                            break;
-                        }
-                    }
-                    cur[i] = best;
-                }
-            }
+            };
+            windows.push(RowWindow { ws, we, task });
             ws = we + 1;
+        }
+        windows
+    }
+
+    /// Backward counterpart of [`DpEngine::solve_window_fwd`]: solves one
+    /// mirrored window (or chunk) into `out` at offset `at`. Backward
+    /// rows never record split points.
+    fn solve_window_bwd(&self, w: &RowWindow, prev: &[f64], out: &mut [f64], at: usize) -> Cells {
+        let mut cells = Cells::default();
+        match w.task {
+            WindowTask::Forced { g, feasible } => {
+                cells.scan += w.cells() as u64;
+                if feasible {
+                    for i in w.ws..=w.we {
+                        out[i - at] = self.stats.range_sse(&self.weights, i..g) + prev[g];
+                    }
+                }
+            }
+            WindowTask::Open { jbound: jmax, engine } => {
+                let mut solved = false;
+                if let Some(engine) = engine {
+                    let (evals, ok) =
+                        self.monge_window_bwd(engine, prev, out, at, w.ws, w.we, jmax);
+                    cells.monge += evals;
+                    solved = ok;
+                }
+                if !solved {
+                    for i in w.ws..=w.we {
+                        let mut best = f64::INFINITY;
+                        // Index loop mirrors the forward fill cell-for-cell.
+                        #[allow(clippy::needless_range_loop)]
+                        for j in (i + 1)..=jmax {
+                            cells.scan += 1;
+                            // j ≤ jmax guarantees the range crosses no break.
+                            let err2 = self.stats.range_sse(&self.weights, i..j);
+                            let total = err2 + prev[j];
+                            if total < best {
+                                best = total;
+                            }
+                            if self.early_break && err2 > best {
+                                break;
+                            }
+                        }
+                        out[i - at] = best;
+                    }
+                }
+            }
         }
         cells
     }
@@ -764,12 +1035,14 @@ impl DpEngine {
     /// Backward counterpart of [`DpEngine::monge_window_fwd`]: cells
     /// `[ws, we]`, candidate columns `[ws + 1, jmax]`, invalid `j ≤ i`
     /// cells padded; ties prefer the smallest `j`. Same pad-won-a-row
-    /// fallback contract.
+    /// fallback contract; cell `i` writes `out[i − at]`.
+    #[allow(clippy::too_many_arguments)]
     fn monge_window_bwd(
         &self,
         engine: RowMinEngine,
         prev: &[f64],
-        cur: &mut [f64],
+        out: &mut [f64],
+        at: usize,
         ws: usize,
         we: usize,
         jmax: usize,
@@ -804,7 +1077,7 @@ impl DpEngine {
             return (minima.evals, false);
         }
         for (r, i) in (ws..=we).enumerate() {
-            cur[i] = minima.values[r];
+            out[i - at] = minima.values[r];
         }
         (minima.evals, true)
     }
@@ -932,11 +1205,24 @@ pub mod bench_support {
     }
 
     impl RowFill {
-        /// Builds the engine (prefix stats + gap vector) once.
+        /// Builds the engine (prefix stats + gap vector) once, pinned to
+        /// one thread — the `dp_row` bench measures the sequential inner
+        /// loops. Use [`RowFill::with_threads`] to measure fan-out.
         pub fn new(
             input: &SequentialRelation,
             weights: &Weights,
             strategy: DpStrategy,
+        ) -> Result<Self, CoreError> {
+            Self::with_threads(input, weights, strategy, 1)
+        }
+
+        /// [`RowFill::new`] with an explicit thread budget (`0` = the
+        /// process default) — the `parallel` bench's scaling knob.
+        pub fn with_threads(
+            input: &SequentialRelation,
+            weights: &Weights,
+            strategy: DpStrategy,
+            threads: usize,
         ) -> Result<Self, CoreError> {
             Ok(Self {
                 engine: DpEngine::new_full(
@@ -946,6 +1232,7 @@ pub mod bench_support {
                     GapPolicy::Strict,
                     true,
                     strategy,
+                    threads,
                 )?,
             })
         }
@@ -1031,7 +1318,7 @@ pub(crate) mod tests {
 
     fn engine_with(input: &SequentialRelation, prune: bool, strategy: DpStrategy) -> DpEngine {
         let w = Weights::uniform(input.dims());
-        DpEngine::new_full(input, &w, prune, GapPolicy::Strict, true, strategy).unwrap()
+        DpEngine::new_full(input, &w, prune, GapPolicy::Strict, true, strategy, 1).unwrap()
     }
 
     /// Fills the full error matrix (rows 1..=kmax) for tests.
@@ -1397,8 +1684,9 @@ pub(crate) mod tests {
     fn naive_engine_forces_scan() {
         let input = fig1c();
         let w = Weights::uniform(1);
-        let e = DpEngine::new_full(&input, &w, false, GapPolicy::Strict, true, DpStrategy::Monge)
-            .unwrap();
+        let e =
+            DpEngine::new_full(&input, &w, false, GapPolicy::Strict, true, DpStrategy::Monge, 1)
+                .unwrap();
         assert_eq!(e.strategy, DpStrategy::Scan);
     }
 
@@ -1428,6 +1716,102 @@ pub(crate) mod tests {
             s.scan
         );
         assert_eq!(cur[..], cur2[..], "identical row values");
+    }
+
+    /// A multi-thread budget fans row fills out across chunked windows;
+    /// row values, split points, and evaluation counters stay
+    /// bit-identical to the one-thread fill — forward and backward, on
+    /// scan-only (wiggly) and Monge-certified (trend) data. The inputs
+    /// are large enough that every row clears the fan-out work gate.
+    #[test]
+    fn parallel_rows_are_bit_identical_to_sequential() {
+        let w = Weights::uniform(1);
+        for input in [wiggly_series(700, 41), trend_series(700, 43)] {
+            let n = input.len();
+            let make = |threads| {
+                DpEngine::new_full(
+                    &input,
+                    &w,
+                    true,
+                    GapPolicy::Strict,
+                    true,
+                    DpStrategy::Auto,
+                    threads,
+                )
+                .unwrap()
+            };
+            let seq = make(1);
+            let par = make(4);
+            assert_eq!(par.pool.threads(), 4);
+            let width = n + 1;
+            let mut prev_s = vec![f64::INFINITY; width];
+            let mut prev_p = vec![f64::INFINITY; width];
+            let mut cur_s = vec![f64::INFINITY; width];
+            let mut cur_p = vec![f64::INFINITY; width];
+            prev_s[0] = 0.0;
+            prev_p[0] = 0.0;
+            for k in 1..=12 {
+                let mut js = vec![0usize; width];
+                let mut jp = vec![0usize; width];
+                let s = seq.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, Some(&mut js));
+                let p = par.fill_row_fwd(k, 0, n, &prev_p, &mut cur_p, Some(&mut jp));
+                assert_eq!(s, p, "row {k}: identical counters");
+                for i in 0..=n {
+                    assert_eq!(cur_s[i].to_bits(), cur_p[i].to_bits(), "row {k} cell {i}");
+                }
+                assert_eq!(js, jp, "row {k}: identical split points");
+                std::mem::swap(&mut prev_s, &mut cur_s);
+                std::mem::swap(&mut prev_p, &mut cur_p);
+            }
+            let mut prev_s = vec![f64::INFINITY; width];
+            let mut prev_p = vec![f64::INFINITY; width];
+            let mut cur_s = vec![f64::INFINITY; width];
+            let mut cur_p = vec![f64::INFINITY; width];
+            for k in 1..=12 {
+                let s = seq.fill_row_bwd(k, 0, n, &prev_s, &mut cur_s);
+                let p = par.fill_row_bwd(k, 0, n, &prev_p, &mut cur_p);
+                assert_eq!(s, p, "bwd row {k}: identical counters");
+                for i in 0..=n {
+                    assert_eq!(cur_s[i].to_bits(), cur_p[i].to_bits(), "bwd row {k} cell {i}");
+                }
+                std::mem::swap(&mut prev_s, &mut cur_s);
+                std::mem::swap(&mut prev_p, &mut cur_p);
+            }
+        }
+    }
+
+    /// The chunker tiles every window region exactly: chunk extents are
+    /// contiguous, in order, and cover the same cells under any budget.
+    #[test]
+    fn chunker_tiles_rows_exactly() {
+        let input = wiggly_series(300, 7);
+        let w = Weights::uniform(1);
+        for threads in [2, 3, 8] {
+            let engine = DpEngine::new_full(
+                &input,
+                &w,
+                true,
+                GapPolicy::Strict,
+                true,
+                DpStrategy::Auto,
+                threads,
+            )
+            .unwrap();
+            for k in [2usize, 5, 20] {
+                let imax = engine.gaps.imax_within(k, 0, engine.n);
+                let windows = engine.collect_windows_fwd(k, 0, imax);
+                let work: u64 = windows.iter().map(|w| w.work(true)).sum();
+                let chunks = engine.chunk_windows(&windows, work, true);
+                assert!(chunks.len() >= windows.len());
+                let mut next = k;
+                for c in &chunks {
+                    assert_eq!(c.ws, next, "k = {k}, threads = {threads}");
+                    assert!(c.we >= c.ws);
+                    next = c.we + 1;
+                }
+                assert_eq!(next, imax + 1, "k = {k}: chunks must end at imax");
+            }
+        }
     }
 
     /// The bench-support harness reproduces the engine's rows.

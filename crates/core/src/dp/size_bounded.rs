@@ -98,14 +98,25 @@ fn run(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
-    let engine =
-        DpEngine::new_full(input, weights, prune, opts.policy, early_break, opts.strategy)?;
+    let engine = DpEngine::new_full(
+        input,
+        weights,
+        prune,
+        opts.policy,
+        early_break,
+        opts.strategy,
+        opts.threads,
+    )?;
     let cmin = engine.gaps.cmin();
     if c < cmin {
         return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
     }
     if c >= n {
-        let stats = DpStats { strategy: engine.strategy, ..DpStats::default() };
+        let stats = DpStats {
+            strategy: engine.strategy,
+            threads: engine.pool.threads(),
+            ..DpStats::default()
+        };
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats });
     }
 
@@ -137,6 +148,7 @@ fn run(
             peak_rows: c + 2,
             mode: DpExecMode::Table,
             strategy: engine.strategy,
+            threads: engine.pool.threads(),
         };
         (boundaries, prev[n], stats)
     } else {
@@ -149,6 +161,7 @@ fn run(
             peak_rows: 4,
             mode: DpExecMode::DivideConquer,
             strategy: engine.strategy,
+            threads: engine.pool.threads(),
         };
         (out.boundaries, out.optimal_sse, stats)
     };

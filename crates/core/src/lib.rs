@@ -42,7 +42,9 @@ pub mod sse;
 pub mod summarize;
 pub mod weights;
 
-pub use dp::curve::{optimal_error_curve, optimal_error_curve_with_strategy};
+pub use dp::curve::{
+    optimal_error_curve, optimal_error_curve_with_strategy, optimal_error_curve_with_threads,
+};
 pub use dp::error_bounded::{
     error_bounded as pta_error_bounded, error_bounded_with_mode as pta_error_bounded_with_mode,
     error_bounded_with_opts as pta_error_bounded_with_opts,
@@ -75,8 +77,8 @@ pub use reduction::Reduction;
 pub use series::{DenseSeries, PiecewiseConstant};
 pub use sse::{dsim, pointwise_sse};
 pub use summarize::{
-    size_for_error_budget, Bound, Capabilities, ExactPta, GreedyPta, NaiveDp, SeriesView,
-    Summarizer, Summary, SummaryDetail, SummaryStats,
+    size_for_error_budget, Bound, BoxedSummarizer, Capabilities, ExactPta, GreedyPta, NaiveDp,
+    SeriesView, Summarizer, Summary, SummaryDetail, SummaryStats,
 };
 pub use weights::Weights;
 

@@ -270,7 +270,7 @@ impl<'a> SeriesView<'a> {
 /// [`Summarizer::summarize_grid`] (which curve-sharing algorithms
 /// override to answer a whole bound grid from one computation). The trait
 /// is object-safe: registries and the facade's `Comparator` hold
-/// `Box<dyn Summarizer>`.
+/// [`BoxedSummarizer`]s.
 pub trait Summarizer {
     /// The registry name (also [`Summary::algorithm`]).
     fn name(&self) -> &'static str;
@@ -302,6 +302,13 @@ pub trait Summarizer {
         bounds.iter().map(|&b| self.summarize(view, b)).collect()
     }
 }
+
+/// A boxed summarizer as registries and the facade's `Comparator` hold
+/// it. `Send + Sync` so the comparator can fan methods out across a
+/// thread pool; every summarizer in the workspace is a stateless (or
+/// immutably configured) value, so the bounds cost implementations
+/// nothing.
+pub type BoxedSummarizer = Box<dyn Summarizer + Send + Sync>;
 
 /// Smallest size in `[floor, n]` whose error fits `budget`, by bisection
 /// under the (weak) assumption that `eval`'s error is non-increasing in

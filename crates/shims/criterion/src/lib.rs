@@ -1,0 +1,224 @@
+//! Offline stand-in for the [criterion](https://docs.rs/criterion) bench
+//! harness. The build environment has no crates.io access, so the
+//! workspace's `criterion` dependency resolves here (see
+//! `[workspace.dependencies]` in the root manifest).
+//!
+//! Only the API surface the benches under `crates/bench/benches/` use is
+//! provided: [`Criterion::benchmark_group`], [`BenchmarkGroup`] with
+//! `sample_size`/`measurement_time`/`bench_function`/`bench_with_input`/
+//! `finish`, [`BenchmarkId::new`], [`Bencher::iter`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros. Measurement is a
+//! plain wall-clock sampler: after one warm-up call per benchmark it
+//! takes up to `sample_size` timed samples (stopping early once the
+//! measurement-time budget is spent) and prints min/mean/max per sample.
+//! No plotting, no statistics beyond that, no output files — swap in the
+//! real crate unchanged once registry access exists (ROADMAP).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Harness entry point; one per `criterion_group!` expansion.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 10, measurement_time: Duration::from_secs(2) }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+}
+
+/// A benchmark identifier: a function name plus a parameter rendering,
+/// shown as `name/param`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a name and the parameter it was measured at.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self { id: format!("{name}/{parameter}") }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        Self { id: name.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and sampling settings.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timed samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Caps the total measurement wall time per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmarks a routine with no externally supplied input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b));
+        self
+    }
+
+    /// Benchmarks a routine against a borrowed input value.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.id, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (report flushing happens per benchmark already).
+    pub fn finish(self) {}
+
+    fn run(&self, id: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        // One untimed warm-up call, then timed samples until either the
+        // sample budget or the time budget runs out (always >= 1 sample).
+        let mut b = Bencher { elapsed: Duration::ZERO };
+        f(&mut b);
+        let mut samples = Vec::with_capacity(self.sample_size);
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            b.elapsed = Duration::ZERO;
+            f(&mut b);
+            samples.push(b.elapsed);
+            if started.elapsed() >= self.measurement_time {
+                break;
+            }
+        }
+        let min = samples.iter().min().copied().unwrap_or_default();
+        let max = samples.iter().max().copied().unwrap_or_default();
+        let mean = samples.iter().sum::<Duration>() / samples.len().max(1) as u32;
+        println!(
+            "{}/{id:<40} time: [{} {} {}] ({} samples)",
+            self.name,
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max),
+            samples.len()
+        );
+    }
+}
+
+/// Runs and times the measured routine.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times one execution of `routine` (the sampling loop lives in the
+    /// harness; real criterion batches iterations per sample instead).
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        let start = Instant::now();
+        let out = routine();
+        self.elapsed += start.elapsed();
+        std::hint::black_box(out);
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", d.as_secs_f64())
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", d.as_secs_f64() * 1e3)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+/// Bundles benchmark functions into a runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to a `main` that runs the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_benchmarks_and_respects_budgets() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("shim");
+        g.sample_size(3).measurement_time(Duration::from_millis(50));
+        let mut calls = 0u32;
+        g.bench_function("counter", |b| {
+            b.iter(|| {
+                calls += 1;
+                calls
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("with_input", 7), &7usize, |b, &x| b.iter(|| x * 2));
+        g.finish();
+        // 1 warm-up + up to 3 samples.
+        assert!((2..=4).contains(&calls), "calls = {calls}");
+    }
+
+    #[test]
+    fn benchmark_id_renders_name_slash_param() {
+        assert_eq!(BenchmarkId::new("scan", 4000).id, "scan/4000");
+    }
+}

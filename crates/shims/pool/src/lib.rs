@@ -1,0 +1,228 @@
+//! Scoped thread-pool shim for the PTA workspace — the parallel-execution
+//! layer behind the DP row fills, the chunked CSV ingest, and the
+//! Comparator fan-out.
+//!
+//! The build environment has no crates.io access, so this crate plays the
+//! role `rayon` (or a long-lived `crossbeam` pool) would otherwise fill,
+//! with the same replacement story as the `rand`/`criterion` shims: swap
+//! it out unchanged once a registry exists (ROADMAP). Under the
+//! workspace-wide `forbid(unsafe_code)` the only safe primitive for
+//! borrowing worker threads is [`std::thread::scope`], so a [`Pool`] is a
+//! *thread budget*, not a set of live threads: every [`Pool::map`] call
+//! spawns its workers scoped to the call and joins them before
+//! returning. For the millisecond-scale chunks the hot paths produce the
+//! spawn cost is noise; the callers gate fan-out behind a minimum-work
+//! threshold so tiny inputs never pay it.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic order.** `map` returns results in input order, and
+//!   each job runs exactly once, whole, on one worker — scheduling
+//!   affects only *which* worker runs a job, never the result.
+//! * **No nested oversubscription.** A `map` issued from inside another
+//!   `map`'s worker runs inline on that worker (see [`in_worker`]), so a
+//!   Comparator fan-out that reaches the parallel DP does not multiply
+//!   thread counts — and per-call wall-clock stamps stay honest.
+//! * **One global knob.** [`default_threads`] reads `PTA_THREADS` once
+//!   (falling back to [`std::thread::available_parallelism`]); a budget
+//!   of 1 short-circuits to the plain sequential iterator.
+
+use std::cell::Cell;
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+thread_local! {
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+}
+
+/// True when the current thread is a pool worker; nested [`Pool::map`]
+/// calls observe this and run inline instead of spawning again.
+pub fn in_worker() -> bool {
+    IN_WORKER.with(Cell::get)
+}
+
+/// Resolves a `PTA_THREADS`-style string: `Some(n)` for an integer
+/// `>= 1`, `None` (meaning "use the hardware default") otherwise.
+fn parse_threads(raw: Option<&str>) -> Option<usize> {
+    raw.and_then(|s| s.trim().parse::<usize>().ok()).filter(|&n| n >= 1)
+}
+
+/// The process-wide default thread budget: `PTA_THREADS` if set to an
+/// integer `>= 1`, otherwise [`std::thread::available_parallelism`]
+/// (1 when even that is unknown). Read once and cached.
+pub fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        parse_threads(std::env::var("PTA_THREADS").ok().as_deref()).unwrap_or_else(|| {
+            std::thread::available_parallelism().map(NonZeroUsize::get).unwrap_or(1)
+        })
+    })
+}
+
+/// A thread budget for scoped fan-out. Cheap to copy; spawns nothing
+/// until [`Pool::map`] runs with more than one thread's worth of work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pool {
+    threads: usize,
+}
+
+impl Default for Pool {
+    fn default() -> Self {
+        Self::global()
+    }
+}
+
+impl Pool {
+    /// A pool with an explicit thread budget; `0` means "use
+    /// [`default_threads`]" — the conventional spelling of "default"
+    /// everywhere a `threads` knob is threaded through the workspace.
+    pub fn new(threads: usize) -> Self {
+        Self { threads: if threads == 0 { default_threads() } else { threads } }
+    }
+
+    /// The pool at the process-wide default budget (`PTA_THREADS`).
+    pub fn global() -> Self {
+        Self::new(0)
+    }
+
+    /// The resolved thread budget (always `>= 1`).
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// A [`std::thread::scope`] escape hatch for callers that need raw
+    /// scoped spawning; prefer [`Pool::map`], which adds scheduling,
+    /// ordering, and the nesting guard.
+    pub fn scope<'env, F, T>(&self, f: F) -> T
+    where
+        F: for<'scope> FnOnce(&'scope std::thread::Scope<'scope, 'env>) -> T,
+    {
+        std::thread::scope(f)
+    }
+
+    /// Applies `f` to every item and returns the results **in input
+    /// order**. With a budget of 1, a single item, or when already on a
+    /// pool worker, this is exactly `items.into_iter().map(f).collect()`
+    /// on the current thread; otherwise `min(budget, items)` scoped
+    /// workers drain the items via an atomic cursor (dynamic scheduling,
+    /// so one slow job does not idle the rest of the pool).
+    ///
+    /// Items may borrow from the caller's stack — including disjoint
+    /// `&mut` slices, which is how the DP row fill hands each job its
+    /// own window of the output row.
+    pub fn map<T, R, F>(&self, items: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(T) -> R + Sync,
+    {
+        let n = items.len();
+        let workers = self.threads.min(n);
+        if workers <= 1 || in_worker() {
+            return items.into_iter().map(f).collect();
+        }
+        let jobs: Vec<Mutex<Option<T>>> = items.into_iter().map(|t| Mutex::new(Some(t))).collect();
+        let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let cursor = AtomicUsize::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        let item = jobs[i]
+                            .lock()
+                            .expect("pool job mutex poisoned")
+                            .take()
+                            .expect("each job is claimed exactly once");
+                        let result = f(item);
+                        *slots[i].lock().expect("pool slot mutex poisoned") = Some(result);
+                    }
+                });
+            }
+            // Scope join: a panicking job propagates here, before any
+            // slot is read.
+        });
+        slots
+            .into_iter()
+            .map(|m| {
+                m.into_inner()
+                    .expect("pool slot mutex poisoned")
+                    .expect("all jobs completed before join")
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_parsing() {
+        assert_eq!(parse_threads(None), None);
+        assert_eq!(parse_threads(Some("")), None);
+        assert_eq!(parse_threads(Some("banana")), None);
+        assert_eq!(parse_threads(Some("0")), None);
+        assert_eq!(parse_threads(Some("1")), Some(1));
+        assert_eq!(parse_threads(Some(" 8 ")), Some(8));
+    }
+
+    #[test]
+    fn budgets_resolve() {
+        assert!(default_threads() >= 1);
+        assert_eq!(Pool::new(3).threads(), 3);
+        assert_eq!(Pool::new(0).threads(), default_threads());
+        assert!(Pool::global().threads() >= 1);
+    }
+
+    #[test]
+    fn map_preserves_input_order() {
+        for threads in [1, 2, 4, 16] {
+            let pool = Pool::new(threads);
+            let out = pool.map((0..100).collect::<Vec<_>>(), |i| i * i);
+            assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn map_handles_empty_and_single() {
+        let pool = Pool::new(4);
+        assert_eq!(pool.map(Vec::<i32>::new(), |i| i), Vec::<i32>::new());
+        assert_eq!(pool.map(vec![7], |i| i + 1), vec![8]);
+    }
+
+    #[test]
+    fn jobs_may_hold_disjoint_mutable_slices() {
+        let pool = Pool::new(3);
+        let mut data = vec![0u32; 10];
+        let (a, rest) = data.split_at_mut(3);
+        let (b, c) = rest.split_at_mut(3);
+        let jobs: Vec<(usize, &mut [u32])> = vec![(0, a), (3, b), (6, c)];
+        let lens = pool.map(jobs, |(base, slice)| {
+            for (k, v) in slice.iter_mut().enumerate() {
+                *v = (base + k) as u32;
+            }
+            slice.len()
+        });
+        assert_eq!(lens, vec![3, 3, 4]);
+        assert_eq!(data, (0u32..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn nested_map_runs_inline_on_the_worker() {
+        let pool = Pool::new(4);
+        let nested = pool.map(vec![0usize; 8], |_| {
+            assert!(in_worker());
+            // The inner map must not spawn: its jobs stay on this worker.
+            let inner = Pool::new(4).map(vec![(); 4], |()| std::thread::current().id());
+            inner.iter().all(|id| *id == std::thread::current().id())
+        });
+        assert!(nested.into_iter().all(|ok| ok));
+        assert!(!in_worker(), "flag must not leak back to the caller");
+    }
+}

@@ -8,6 +8,8 @@
 
 use std::io::{BufRead, Write};
 
+use pta_pool::Pool;
+
 use crate::error::{CommonError, TemporalError};
 use crate::relation::TemporalRelation;
 use crate::schema::{Attribute, Schema};
@@ -63,6 +65,40 @@ fn parse_value(raw: &str, dtype: DataType, line: usize) -> Result<Value, Tempora
     }
 }
 
+/// Parses one non-skipped data row (already trimmed) into its attribute
+/// values and interval. Shared by the sequential and the chunked readers
+/// so both report byte-for-byte identical errors for the same row.
+fn parse_row(
+    schema: &Schema,
+    trimmed: &str,
+    row_index: usize,
+) -> Result<(Vec<Value>, TimeInterval), TemporalError> {
+    let arity = schema.arity();
+    // Check the column count before parsing any field, so a row with
+    // the wrong shape reports ArityMismatch rather than a misleading
+    // parse error on whichever value landed in the wrong column. The
+    // extra `count()` pass allocates nothing.
+    let got = trimmed.split(',').count();
+    if got != arity + 2 {
+        return Err(TemporalError::ArityMismatch { got, expected: arity + 2 });
+    }
+    let mut fields = trimmed.split(',');
+    let mut values = Vec::with_capacity(arity);
+    for i in 0..arity {
+        let raw = fields.next().expect("count checked above");
+        values.push(parse_value(raw, schema.attribute(i).data_type(), row_index)?);
+    }
+    let parse_t = |raw: &str| -> Result<i64, TemporalError> {
+        raw.trim().parse::<i64>().map_err(|_| TemporalError::NonSequential {
+            index: row_index,
+            reason: format!("cannot parse chronon {raw:?}"),
+        })
+    };
+    let start = parse_t(fields.next().expect("count checked above"))?;
+    let end = parse_t(fields.next().expect("count checked above"))?;
+    Ok((values, TimeInterval::new(start, end)?))
+}
+
 /// Reads a temporal relation from CSV. The first line must be a header;
 /// every following line carries the attribute values in schema order plus
 /// `t_start` and `t_end`. Empty lines and `#` comments are skipped.
@@ -76,8 +112,8 @@ pub fn read_relation(
     schema: Schema,
     mut reader: impl BufRead,
 ) -> Result<TemporalRelation, TemporalError> {
-    let arity = schema.arity();
     let mut rel = TemporalRelation::new(schema);
+    let schema = rel.schema().clone();
     let mut line = String::new();
     let mut lineno = 0usize;
     loop {
@@ -99,29 +135,136 @@ pub fn read_relation(
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        // Check the column count before parsing any field, so a row with
-        // the wrong shape reports ArityMismatch rather than a misleading
-        // parse error on whichever value landed in the wrong column. The
-        // extra `count()` pass allocates nothing.
-        let got = trimmed.split(',').count();
-        if got != arity + 2 {
-            return Err(TemporalError::ArityMismatch { got, expected: arity + 2 });
+        let (values, interval) = parse_row(&schema, trimmed, row_index)?;
+        rel.push(values, interval)?;
+    }
+    Ok(rel)
+}
+
+/// Inputs below this size parse sequentially even under a multi-thread
+/// budget: chunk setup costs more than the parse itself.
+const PAR_MIN_BYTES: usize = 1 << 16;
+
+/// Chunks handed out per worker. More than one so the pool's dynamic
+/// scheduling can rebalance chunks whose rows parse unevenly (comment
+/// blocks, string-heavy rows).
+const PAR_CHUNKS_PER_WORKER: usize = 4;
+
+/// [`read_relation`] with the parse fanned out across a thread pool:
+/// the whole input is read up front, split into newline-aligned chunks,
+/// parsed chunk-wise on the default pool (`PTA_THREADS`), and the rows
+/// spliced back in file order. The result is row-identical to the
+/// sequential reader — including *which* error a malformed file reports:
+/// chunk results are drained in file order and each chunk stops at its
+/// first bad row, so the first bad row in the file wins, exactly as if
+/// the file had been parsed front to back.
+pub fn read_relation_parallel(
+    schema: Schema,
+    mut reader: impl BufRead,
+) -> Result<TemporalRelation, TemporalError> {
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(|e| TemporalError::NonSequential {
+        index: 0,
+        reason: format!("I/O error: {e}"),
+    })?;
+    read_relation_str(schema, &text, 0)
+}
+
+/// [`read_relation_parallel`] over an in-memory string with an explicit
+/// thread budget (`0` = the process default). Single-thread budgets and
+/// small inputs take the sequential path unchanged.
+pub fn read_relation_str(
+    schema: Schema,
+    text: &str,
+    threads: usize,
+) -> Result<TemporalRelation, TemporalError> {
+    let pool = Pool::new(threads);
+    if pool.threads() <= 1 || text.len() < PAR_MIN_BYTES {
+        return read_relation(schema, text.as_bytes());
+    }
+    let chunks = pool.threads() * PAR_CHUNKS_PER_WORKER;
+    read_str_chunked(schema, text, &pool, chunks)
+}
+
+/// Newline-aligned chunk extents: `(start, end, first_line)` byte ranges
+/// that tile `text` exactly, each ending just after a `'\n'` (or at the
+/// end of input), with `first_line` the number of lines before the chunk.
+/// Records are never split: a chunk boundary that would land mid-record
+/// slides forward to the next newline. Searching bytes for `b'\n'` is
+/// UTF-8-safe — the newline byte never occurs inside a multi-byte
+/// sequence — so every extent is a valid `str` slice boundary.
+fn chunk_bounds(text: &str, chunks: usize) -> Vec<(usize, usize, usize)> {
+    let bytes = text.as_bytes();
+    let n = bytes.len();
+    let chunks = chunks.max(1);
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0usize;
+    let mut first_line = 0usize;
+    for c in 0..chunks {
+        if start >= n {
+            break;
         }
-        let mut fields = trimmed.split(',');
-        let mut values = Vec::with_capacity(arity);
-        for i in 0..arity {
-            let raw = fields.next().expect("count checked above");
-            values.push(parse_value(raw, rel.schema().attribute(i).data_type(), row_index)?);
-        }
-        let parse_t = |raw: &str| -> Result<i64, TemporalError> {
-            raw.trim().parse::<i64>().map_err(|_| TemporalError::NonSequential {
-                index: row_index,
-                reason: format!("cannot parse chronon {raw:?}"),
-            })
+        // Ideal split point, then slide to the newline at or after it
+        // (`target - 1` so a split landing exactly on a '\n' stays put).
+        let target = (n * (c + 1) / chunks).max(start + 1);
+        let end = if target >= n {
+            n
+        } else {
+            match bytes[target - 1..].iter().position(|&b| b == b'\n') {
+                Some(off) => target + off,
+                None => n,
+            }
         };
-        let start = parse_t(fields.next().expect("count checked above"))?;
-        let end = parse_t(fields.next().expect("count checked above"))?;
-        rel.push(values, TimeInterval::new(start, end)?)?;
+        out.push((start, end, first_line));
+        first_line += bytes[start..end].iter().filter(|&&b| b == b'\n').count();
+        start = end;
+    }
+    out
+}
+
+/// Parses one chunk into row parts. `first_line` keeps global line
+/// numbers (and thus the header skip and error indices) identical to the
+/// sequential reader's.
+fn parse_chunk(
+    schema: &Schema,
+    chunk: &str,
+    first_line: usize,
+) -> Result<Vec<(Vec<Value>, TimeInterval)>, TemporalError> {
+    let mut rows = Vec::new();
+    for (i, line) in chunk.lines().enumerate() {
+        let row_index = first_line + i;
+        if row_index == 0 {
+            // Header.
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        rows.push(parse_row(schema, trimmed, row_index)?);
+    }
+    Ok(rows)
+}
+
+/// The chunked parse against an explicit pool and chunk count — the
+/// equivalence tests force tiny chunks through here to exercise every
+/// boundary placement.
+fn read_str_chunked(
+    schema: Schema,
+    text: &str,
+    pool: &Pool,
+    chunks: usize,
+) -> Result<TemporalRelation, TemporalError> {
+    let bounds = chunk_bounds(text, chunks);
+    let schema_ref = &schema;
+    let parsed = pool.map(bounds, |(start, end, first_line)| {
+        parse_chunk(schema_ref, &text[start..end], first_line)
+    });
+    let mut rel = TemporalRelation::new(schema);
+    for chunk in parsed {
+        for (values, interval) in chunk? {
+            rel.push(values, interval)?;
+        }
     }
     Ok(rel)
 }
@@ -257,6 +400,101 @@ mod tests {
                 "{text:?}: {err}"
             );
         }
+    }
+
+    /// A synthetic corpus with comments, blank lines, and multi-type rows.
+    fn corpus(rows: usize, trailing_newline: bool) -> String {
+        let mut text = String::from("Empl,Dept,Sal,t_start,t_end\n# generated corpus\n");
+        for i in 0..rows {
+            if i % 97 == 0 {
+                text.push_str("\n# section break\n");
+            }
+            let start = (i * 3) as i64;
+            text.push_str(&format!("e{},d{},{},{},{}\n", i % 17, i % 5, 100 + i, start, start + 2));
+        }
+        if !trailing_newline {
+            text.pop();
+        }
+        text
+    }
+
+    #[test]
+    fn chunk_bounds_tile_text_at_newlines() {
+        for text in [corpus(57, true), corpus(57, false), String::new(), "no newline at all".into()]
+        {
+            for chunks in [1, 2, 3, 7, 64] {
+                let bounds = chunk_bounds(&text, chunks);
+                let mut next = 0usize;
+                let mut lines = 0usize;
+                for &(start, end, first_line) in &bounds {
+                    assert_eq!(start, next, "chunks must be contiguous");
+                    assert!(end > start, "chunks must be non-empty");
+                    assert_eq!(first_line, lines, "line numbers must accumulate");
+                    if end < text.len() {
+                        assert_eq!(text.as_bytes()[end - 1], b'\n', "split mid-record");
+                    }
+                    lines += text[start..end].matches('\n').count();
+                    next = end;
+                }
+                assert_eq!(next, text.len(), "chunks must cover the input");
+            }
+        }
+    }
+
+    /// The chunked parse is row-identical to the sequential reader across
+    /// trailing-newline, blank-line, and comment placements, for chunk
+    /// counts from one to far more than the worker count — including
+    /// counts that force boundaries onto comments and blank lines.
+    #[test]
+    fn chunked_parse_matches_sequential() {
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        for trailing in [true, false] {
+            let text = corpus(211, trailing);
+            let seq = read_relation(schema.clone(), text.as_bytes()).unwrap();
+            for (threads, chunks) in [(1, 1), (2, 2), (4, 3), (4, 7), (4, 64), (4, 1000)] {
+                let par =
+                    read_str_chunked(schema.clone(), &text, &Pool::new(threads), chunks).unwrap();
+                assert_eq!(par, seq, "threads {threads}, chunks {chunks}, trailing {trailing}");
+            }
+        }
+    }
+
+    /// The public entry points agree with the sequential reader too (the
+    /// corpus here is below `PAR_MIN_BYTES`, so this also pins the small-
+    /// input fallback; the forced-chunk test above covers the fan-out).
+    #[test]
+    fn parallel_reader_matches_sequential() {
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        let text = corpus(150, true);
+        let seq = read_relation(schema.clone(), text.as_bytes()).unwrap();
+        assert_eq!(read_relation_parallel(schema.clone(), text.as_bytes()).unwrap(), seq);
+        for threads in [0, 1, 2, 4] {
+            assert_eq!(read_relation_str(schema.clone(), &text, threads).unwrap(), seq);
+        }
+    }
+
+    /// Error reporting is in file order: the first bad row in the file
+    /// wins even when a later chunk also contains a bad row, and the
+    /// reported error is identical to the sequential reader's.
+    #[test]
+    fn chunked_errors_match_sequential_in_file_order() {
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        let mut text = corpus(120, true);
+        let lines: Vec<&str> = text.lines().collect();
+        let bad_early = lines.len() / 3;
+        let bad_late = 2 * lines.len() / 3;
+        let mut mutated: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        mutated[bad_early] = "e1,d1,not-a-number,5,9".into();
+        mutated[bad_late] = "e1,d1,7,5".into();
+        text = mutated.join("\n");
+        text.push('\n');
+        let seq_err = read_relation(schema.clone(), text.as_bytes()).unwrap_err();
+        for chunks in [2, 5, 64] {
+            let par_err =
+                read_str_chunked(schema.clone(), &text, &Pool::new(4), chunks).unwrap_err();
+            assert_eq!(par_err.to_string(), seq_err.to_string(), "chunks {chunks}");
+        }
+        assert!(seq_err.to_string().contains("not-a-number"), "{seq_err}");
     }
 
     #[test]

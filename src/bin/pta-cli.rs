@@ -20,13 +20,13 @@
 //! Output goes to `--output FILE` or stdout.
 
 use std::fs::File;
-use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::io::{self, BufWriter, Read, Write};
 use std::process::ExitCode;
 
 use pta::{
     Agg, AggregateFunction, Algorithm, Bound, Delta, DpStrategy, GapPolicy, PtaQuery, SpanSpec,
 };
-use pta_temporal::csv::{parse_schema, read_relation, write_relation, write_sequential};
+use pta_temporal::csv::{parse_schema, read_relation_str, write_relation, write_sequential};
 use pta_temporal::TemporalRelation;
 
 struct Args {
@@ -38,15 +38,20 @@ fn usage() -> &'static str {
     "usage: pta-cli <reduce|ita|sta|compare> --input FILE --schema \"name:type,...\" \
      [--group-by A,B] --agg fn:attr[,fn:attr...] \
      [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
-     [--dp-strategy scan|monge|auto] \
+     [--dp-strategy scan|monge|auto] [--threads N] \
      [--max-gap G] [--span-origin T --span-width W] [--output FILE]\n\
+     --threads: worker budget for CSV ingest, exact-DP row fills and the \
+     compare fan-out (0 = auto: PTA_THREADS or all cores; results are \
+     identical at any budget)\n\
      compare: [--methods a,b,c|all] (--sizes N,N,... | --errors E,E,... | \
      --ratios R,R,...) — one-call §7 comparison; every method of the \
      summarizer registry over one bound grid, as CSV"
 }
 
-/// Flags shared by every subcommand.
-const COMMON_FLAGS: &[&str] = &["input", "schema", "output", "group-by", "agg"];
+/// Flags shared by every subcommand. `threads` is common because every
+/// subcommand ingests CSV through the parallel reader; `reduce` and
+/// `compare` additionally thread it into their execution.
+const COMMON_FLAGS: &[&str] = &["input", "schema", "output", "group-by", "agg", "threads"];
 
 /// The flags each subcommand reads beyond [`COMMON_FLAGS`]. Flags outside
 /// the invoked subcommand's set are rejected up front: several flags gate
@@ -111,16 +116,27 @@ fn parse_aggs(spec: &str) -> Result<Vec<Agg>, String> {
     Ok(out)
 }
 
-fn load_relation(args: &Args) -> Result<TemporalRelation, String> {
+/// The `--threads` budget: `0` (the default) resolves to `PTA_THREADS`
+/// or the machine's parallelism downstream.
+fn thread_budget(args: &Args) -> Result<usize, String> {
+    match args.options.get("threads") {
+        Some(t) => t.parse().map_err(|e| format!("bad --threads: {e}")),
+        None => Ok(0),
+    }
+}
+
+fn load_relation(args: &Args, threads: usize) -> Result<TemporalRelation, String> {
     let schema_spec = args.options.get("schema").ok_or("missing --schema \"name:type,...\"")?;
     let schema = parse_schema(schema_spec).map_err(|e| e.to_string())?;
-    let reader: Box<dyn Read> = match args.options.get("input") {
+    let mut reader: Box<dyn Read> = match args.options.get("input") {
         Some(path) if path != "-" => {
             Box::new(File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?)
         }
         _ => Box::new(io::stdin()),
     };
-    read_relation(schema, BufReader::new(reader)).map_err(|e| e.to_string())
+    let mut text = String::new();
+    reader.read_to_string(&mut text).map_err(|e| format!("cannot read input: {e}"))?;
+    read_relation_str(schema, &text, threads).map_err(|e| e.to_string())
 }
 
 fn output_writer(args: &Args) -> Result<Box<dyn Write>, String> {
@@ -141,7 +157,8 @@ fn group_names(args: &Args) -> Vec<String> {
 
 fn run() -> Result<(), String> {
     let args = parse_args()?;
-    let relation = load_relation(&args)?;
+    let threads = thread_budget(&args)?;
+    let relation = load_relation(&args, threads)?;
     let groups = group_names(&args);
     let group_refs: Vec<&str> = groups.iter().map(String::as_str).collect();
     let aggs = parse_aggs(args.options.get("agg").ok_or("missing --agg fn:attr")?)?;
@@ -183,7 +200,7 @@ fn run() -> Result<(), String> {
                 }
                 _ => return Err("reduce needs exactly one of --size N or --error EPS".into()),
             };
-            let mut query = PtaQuery::new().group_by(&group_refs).bound(bound);
+            let mut query = PtaQuery::new().group_by(&group_refs).bound(bound).threads(threads);
             for a in aggs {
                 query = query.aggregate(a);
             }
@@ -222,7 +239,7 @@ fn run() -> Result<(), String> {
             );
         }
         "compare" => {
-            let mut cmp = pta::Comparator::new().group_by(&group_refs);
+            let mut cmp = pta::Comparator::new().group_by(&group_refs).threads(threads);
             for a in aggs {
                 cmp = cmp.aggregate(a);
             }

@@ -31,7 +31,8 @@ use std::fmt;
 use std::time::Duration;
 
 use pta_baselines::summarize::summarizer;
-use pta_core::{Bound, CoreError, GapPolicy, SeriesView, Summarizer, Summary};
+use pta_core::{Bound, BoxedSummarizer, CoreError, GapPolicy, SeriesView, Summary};
+use pta_pool::Pool;
 use pta_temporal::{SequentialRelation, TemporalRelation};
 
 use crate::error::Error;
@@ -52,8 +53,9 @@ enum Grid {
 /// end-to-end example.
 pub struct Comparator {
     query: PtaQuery,
-    methods: Vec<Box<dyn Summarizer>>,
+    methods: Vec<BoxedSummarizer>,
     grid: Grid,
+    threads: usize,
 }
 
 impl fmt::Debug for Comparator {
@@ -82,7 +84,17 @@ impl Comparator {
     /// weights, gap policy); its bound/algorithm settings are ignored —
     /// the comparator's methods and grid replace them.
     pub fn from_query(query: PtaQuery) -> Self {
-        Self { query, methods: Vec::new(), grid: Grid::Bounds(Vec::new()) }
+        Self { query, methods: Vec::new(), grid: Grid::Bounds(Vec::new()), threads: 0 }
+    }
+
+    /// Sets the thread budget for the method fan-out (`0` = the process
+    /// default, `PTA_THREADS`; `1` = fully sequential). Each method still
+    /// runs its whole grid on one worker, so curve-sharing fast paths and
+    /// per-call wall times are untouched — only *methods* run
+    /// concurrently.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 
     /// Sets the grouping attributes `A`.
@@ -139,9 +151,10 @@ impl Comparator {
         self
     }
 
-    /// Adds a custom summarizer (any [`Summarizer`] implementation —
-    /// the one-trait-impl extension point for new algorithms).
-    pub fn summarizer(mut self, s: Box<dyn Summarizer>) -> Self {
+    /// Adds a custom summarizer (any [`pta_core::Summarizer`]
+    /// implementation — the one-trait-impl extension point for new
+    /// algorithms).
+    pub fn summarizer(mut self, s: BoxedSummarizer) -> Self {
         self.methods.push(s);
         self
     }
@@ -181,6 +194,15 @@ impl Comparator {
     /// Runs the comparison on an existing sequential relation (an ITA
     /// result or a raw time series), skipping the aggregation step —
     /// what the figure harnesses use on prepared inputs.
+    ///
+    /// The shared front half (the view, its `cmin`/`E_max` caches, the
+    /// grid resolution) runs once on the calling thread; the methods
+    /// then fan out across the comparator's thread budget, one worker
+    /// per method. Timing stays honest under the fan-out: every
+    /// [`Summary::wall`] is stamped on the worker that ran that call, so
+    /// it measures the method's own compute exactly as in a sequential
+    /// run, and `shared_wall` keeps meaning "this wall covers the whole
+    /// grid, not one point" — concurrency never leaks into either.
     pub fn run_sequential(&self, input: &SequentialRelation) -> Result<Comparison, Error> {
         if self.methods.is_empty() {
             return Err(Error::InvalidQuery("no summarizers selected".into()));
@@ -188,13 +210,16 @@ impl Comparator {
         let weights = self.query.resolved_weights(input.dims())?;
         let view = SeriesView::with_policy(input, weights, self.query.policy)?;
         let (bounds, ratios) = self.resolve_grid(&view)?;
+        // Resolve the shared caches before the fan-out so no worker
+        // pays for (or races to compute) them inside its timed region.
         let emax = view.emax()?;
-        let methods = self
-            .methods
-            .iter()
-            .map(|m| MethodCurve { name: m.name(), points: m.summarize_grid(&view, &bounds) })
-            .collect();
-        Ok(Comparison { n: view.len(), cmin: view.cmin(), emax, bounds, ratios, methods })
+        let cmin = view.cmin();
+        let (view_ref, bounds_ref) = (&view, &bounds);
+        let methods = Pool::new(self.threads).map(self.methods.iter().collect(), |m| MethodCurve {
+            name: m.name(),
+            points: m.summarize_grid(view_ref, bounds_ref),
+        });
+        Ok(Comparison { n: view.len(), cmin, emax, bounds, ratios, methods })
     }
 
     fn resolve_grid(&self, view: &SeriesView<'_>) -> Result<(Vec<Bound>, Option<Vec<f64>>), Error> {
@@ -422,6 +447,49 @@ mod tests {
             .run_sequential(&empty)
             .unwrap_err();
         assert!(matches!(err, Error::InvalidQuery(_)), "{err}");
+    }
+
+    /// The fan-out changes scheduling only: every method's curve —
+    /// SSEs, sizes, point errors, `shared_wall` flags, method order —
+    /// is identical under any thread budget, and walls stay per-call
+    /// (non-zero where work happened, zero where `run` was never timed).
+    #[test]
+    fn fan_out_matches_sequential_run() {
+        let build = |threads: usize| {
+            Comparator::new()
+                .group_by(&["Proj"])
+                .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+                .all_methods()
+                .threads(threads)
+                .sizes([3usize, 4, 5, 6])
+                .run(&proj_relation())
+                .unwrap()
+        };
+        let seq = build(1);
+        for threads in [2, 4, 8] {
+            let par = build(threads);
+            assert_eq!(par.n, seq.n);
+            assert_eq!(par.cmin, seq.cmin);
+            assert_eq!(par.emax.to_bits(), seq.emax.to_bits());
+            assert_eq!(par.bounds, seq.bounds);
+            assert_eq!(par.methods.len(), seq.methods.len());
+            for (p, s) in par.methods.iter().zip(&seq.methods) {
+                assert_eq!(p.name, s.name, "method order must be selection order");
+                assert_eq!(p.points.len(), s.points.len());
+                for i in 0..p.points.len() {
+                    assert_eq!(p.sse_at(i).to_bits(), s.sse_at(i).to_bits(), "{} @ {i}", p.name);
+                    assert_eq!(p.size_at(i), s.size_at(i), "{} @ {i}", p.name);
+                    assert_eq!(p.points[i].is_err(), s.points[i].is_err(), "{} @ {i}", p.name);
+                    let (pw, sw) = (p.summary_at(i), s.summary_at(i));
+                    assert_eq!(
+                        pw.map(|x| x.shared_wall),
+                        sw.map(|x| x.shared_wall),
+                        "{} @ {i}: shared_wall is a property of the method, not the schedule",
+                        p.name
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -76,6 +76,7 @@ pub struct PtaQuery {
     pub(crate) policy: GapPolicy,
     pub(crate) dp_mode: DpMode,
     pub(crate) dp_strategy: DpStrategy,
+    pub(crate) threads: usize,
 }
 
 impl Default for PtaQuery {
@@ -97,6 +98,7 @@ impl PtaQuery {
             policy: GapPolicy::Strict,
             dp_mode: DpMode::Auto,
             dp_strategy: DpStrategy::Auto,
+            threads: 0,
         }
     }
 
@@ -162,6 +164,17 @@ impl PtaQuery {
         self
     }
 
+    /// Sets the thread budget for exact DP row fills (`0`, the default,
+    /// resolves to `PTA_THREADS` or the machine's parallelism; `1` pins
+    /// fully sequential execution). Results are bit-identical at every
+    /// budget — the parallel fill computes exactly the sequential cell
+    /// values. The streaming greedy algorithms are inherently sequential
+    /// (they merge while ITA tuples arrive) and ignore this knob.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Supplies `(n̂, Ê_max)` estimates for greedy error-bounded
     /// execution; without them the exact values are computed in a first
     /// pass.
@@ -211,6 +224,7 @@ impl PtaQuery {
                     policy: self.policy,
                     mode: self.dp_mode,
                     strategy: self.dp_strategy,
+                    threads: self.threads,
                 };
                 let out = match bound {
                     Bound::Size(c) => pta_size_bounded_with_opts(&seq, &weights, c, opts)?,
