@@ -29,7 +29,7 @@ fn bench_early_break(c: &mut Criterion) {
     for (name, rel) in [("smooth", &smooth), ("noisy", &noisy)] {
         let cc = rel.len() / 10;
         g.bench_with_input(BenchmarkId::new("with_break", name), name, |b, _| {
-            b.iter(|| pta_size_bounded_with_opts(black_box(rel), &w, cc, scan).unwrap())
+            b.iter(|| pta_size_bounded_with_opts(black_box(rel), &w, cc, scan.clone()).unwrap())
         });
         g.bench_with_input(BenchmarkId::new("no_break", name), name, |b, _| {
             b.iter(|| pta_size_bounded_no_early_break(black_box(rel), &w, cc).unwrap())

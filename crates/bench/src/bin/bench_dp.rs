@@ -30,11 +30,12 @@
 //! CI step relies on.
 
 use std::fmt::Write as _;
+use std::time::Duration;
 
 use pta_bench::{fmt, print_table, row, time, HarnessArgs, Scale};
 use pta_core::{
-    pta_error_bounded_with_opts, pta_size_bounded_with_opts, DpExecMode, DpMode, DpOptions,
-    DpOutcome, DpStrategy, GapPolicy, Weights,
+    pta_error_bounded_with_opts, pta_size_bounded_with_opts, CancelToken, DpExecMode, DpMode,
+    DpOptions, DpOutcome, DpStrategy, GapPolicy, Weights,
 };
 use pta_datasets::uniform;
 use pta_temporal::SequentialRelation;
@@ -141,6 +142,7 @@ fn main() {
         mode,
         strategy,
         threads: 1,
+        ..DpOptions::default()
     };
 
     // Backtracking-mode matrix (as since PR 3), under the default Auto
@@ -230,6 +232,7 @@ fn main() {
                         mode: DpMode::Table,
                         strategy: DpStrategy::Scan,
                         threads,
+                        ..DpOptions::default()
                     },
                 )
                 .expect("valid size bound")
@@ -244,6 +247,59 @@ fn main() {
             ));
         }
     }
+
+    // Cancellation-overhead study: the same flat/Scan/Table point at
+    // n = 4000, threads = 1, with an armed-but-never-firing deadline
+    // token against the inert default. Interleaved min-of-k (armed and
+    // inert alternate within each round) so the gate below measures the
+    // per-check cost, not drift between two separated timing blocks.
+    let (cancel_inert_ms, cancel_armed_ms) = {
+        let input = uniform::ungrouped(par_n, p, 21);
+        let point = |cancel: CancelToken| {
+            pta_size_bounded_with_opts(
+                &input,
+                &w,
+                STRATEGY_C,
+                DpOptions {
+                    policy: GapPolicy::Strict,
+                    mode: DpMode::Table,
+                    strategy: DpStrategy::Scan,
+                    threads: 1,
+                    cancel,
+                },
+            )
+            .expect("valid size bound")
+        };
+        let baseline = point(CancelToken::inert());
+        let mut inert_best = f64::INFINITY;
+        let mut armed_best = f64::INFINITY;
+        let mut run_inert = || {
+            let (_, wall) = time(|| point(CancelToken::inert()));
+            inert_best = inert_best.min(wall.as_secs_f64() * 1e3);
+        };
+        let mut run_armed = || {
+            let token = CancelToken::with_timeout(Duration::from_secs(3600));
+            let (out, wall) = time(|| point(token));
+            armed_best = armed_best.min(wall.as_secs_f64() * 1e3);
+            assert_eq!(
+                out.reduction.source_ranges(),
+                baseline.reduction.source_ranges(),
+                "an armed token must not change the result"
+            );
+        };
+        // Alternate which arm goes first so a monotone machine slowdown
+        // (or warm-up) cannot systematically tax one arm.
+        for round in 0..4 {
+            if round % 2 == 0 {
+                run_inert();
+                run_armed();
+            } else {
+                run_armed();
+                run_inert();
+            }
+        }
+        (inert_best, armed_best)
+    };
 
     let rows: Vec<Vec<String>> = records
         .iter()
@@ -432,6 +488,17 @@ fn main() {
             );
         }
     }
+
+    // Cancellation-overhead gate: an armed-but-never-fired token may cost
+    // at most 2 % wall on the hot row-fill point — the contract that lets
+    // deadline tokens default-on in services without a perf tax.
+    check(
+        cancel_armed_ms <= cancel_inert_ms * 1.02,
+        format!(
+            "cancellation overhead bounded: armed {cancel_armed_ms:.3} ms \
+             <= 1.02x inert {cancel_inert_ms:.3} ms"
+        ),
+    );
 
     if failures > 0 {
         eprintln!("{failures} regression check(s) failed");

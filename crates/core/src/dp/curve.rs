@@ -7,7 +7,8 @@
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::{DpEngine, DpStrategy};
+use crate::cancel::CancelToken;
+use crate::dp::{DpEngine, DpExecMode, DpStats, DpStrategy};
 use crate::error::CoreError;
 use crate::policy::GapPolicy;
 use crate::weights::Weights;
@@ -46,20 +47,49 @@ pub fn optimal_error_curve_with_threads(
     strategy: DpStrategy,
     threads: usize,
 ) -> Result<Vec<f64>, CoreError> {
+    optimal_error_curve_with_cancel(input, weights, kmax, strategy, threads, CancelToken::inert())
+}
+
+/// [`optimal_error_curve_with_threads`] under a [`CancelToken`]: a fired
+/// token aborts the curve with [`CoreError::Cancelled`] /
+/// [`CoreError::DeadlineExceeded`] carrying the rows completed so far —
+/// the deadline path of the facade's curve queries.
+pub fn optimal_error_curve_with_cancel(
+    input: &SequentialRelation,
+    weights: &Weights,
+    kmax: usize,
+    strategy: DpStrategy,
+    threads: usize,
+    cancel: CancelToken,
+) -> Result<Vec<f64>, CoreError> {
     let n = input.len();
     let kmax = kmax.min(n);
     if n == 0 || kmax == 0 {
         return Ok(Vec::new());
     }
     let engine =
-        DpEngine::new_full(input, weights, true, GapPolicy::Strict, true, strategy, threads)?;
+        DpEngine::new_full(input, weights, true, GapPolicy::Strict, true, strategy, threads)?
+            .with_cancel(cancel);
     let width = n + 1;
     // Both row buffers start at ∞; each row fill resets only its window.
     let mut prev = vec![f64::INFINITY; width];
     let mut cur = vec![f64::INFINITY; width];
     let mut curve = Vec::with_capacity(kmax);
+    let mut cells = crate::dp::Cells::default();
     for k in 1..=kmax {
-        engine.fill_row_fwd(k, 0, n, &prev, &mut cur, None);
+        cells += engine.fill_row_fwd(k, 0, n, &prev, &mut cur, None).map_err(|e| {
+            // Curve entries 1..k − 1 were completed before the abort.
+            e.with_dp_progress(DpStats {
+                rows: k - 1,
+                cells: cells.total(),
+                scan_cells: cells.scan,
+                monge_cells: cells.monge,
+                peak_rows: 2,
+                mode: DpExecMode::Table,
+                strategy: engine.strategy,
+                threads: engine.pool.threads(),
+            })
+        })?;
         std::mem::swap(&mut prev, &mut cur);
         curve.push(prev[n]);
     }

@@ -67,7 +67,8 @@ pub fn error_bounded_with_opts(
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
     let engine =
-        DpEngine::new_full(input, weights, true, opts.policy, true, opts.strategy, opts.threads)?;
+        DpEngine::new_full(input, weights, true, opts.policy, true, opts.strategy, opts.threads)?
+            .with_cancel(opts.cancel.clone());
     let emax = max_error_over_runs(weights, &engine.stats, &engine.gaps, n);
     if !emax.is_finite() {
         return Err(CoreError::non_finite_data("maximal reduction error is not finite"));
@@ -112,7 +113,19 @@ fn run_with_threshold(
         } else {
             None
         };
-        cells += engine.fill_row_fwd(k, 0, n, &prev, &mut cur, jrow);
+        cells += engine.fill_row_fwd(k, 0, n, &prev, &mut cur, jrow).map_err(|e| {
+            // Rows 1..k − 1 completed before the abort.
+            e.with_dp_progress(DpStats {
+                rows: k - 1,
+                cells: cells.total(),
+                scan_cells: cells.scan,
+                monge_cells: cells.monge,
+                peak_rows: recorded + 2,
+                mode: DpExecMode::Table,
+                strategy: engine.strategy,
+                threads: engine.pool.threads(),
+            })
+        })?;
         std::mem::swap(&mut prev, &mut cur);
         if prev[n] <= threshold {
             found = k;
@@ -144,7 +157,16 @@ fn run_with_threshold(
         drop(jm);
         drop(prev);
         drop(cur);
-        let out = engine.dnc_boundaries(found);
+        // Fold the search-phase work into the recovery's partial progress
+        // if the recovery itself is aborted.
+        let out = engine.dnc_boundaries(found).map_err(|e| {
+            let mut p = e.dp_progress().copied().unwrap_or_default();
+            p.rows += found;
+            p.cells += cells.total();
+            p.scan_cells += cells.scan;
+            p.monge_cells += cells.monge;
+            e.with_dp_progress(p)
+        })?;
         let mut total = cells;
         total += out.cells;
         let stats = DpStats {

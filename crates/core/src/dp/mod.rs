@@ -82,9 +82,11 @@ pub mod error_bounded;
 pub mod monge;
 pub mod size_bounded;
 
+use pta_failpoints::fail_point;
 use pta_pool::Pool;
 use pta_temporal::SequentialRelation;
 
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::gaps::GapVector;
 use crate::policy::GapPolicy;
@@ -161,7 +163,7 @@ pub enum DpExecMode {
 }
 
 /// Options shared by the exact DP entry points.
-#[derive(Debug, Clone, Copy, Default, PartialEq)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct DpOptions {
     /// Mergeability policy (§8 gap-tolerant extension).
     pub policy: GapPolicy,
@@ -175,6 +177,12 @@ pub struct DpOptions {
     /// parallelism splits rows into the same per-cell computations the
     /// sequential scan performs (see [`DpEngine::fill_row_fwd`]).
     pub threads: usize,
+    /// Cooperative cancellation handle, polled at row/window granularity.
+    /// The default token is inert (the run can never be interrupted);
+    /// arm it with [`CancelToken::new`] / [`CancelToken::with_timeout`]
+    /// to make the run abort with [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`] carrying partial-progress stats.
+    pub cancel: CancelToken,
 }
 
 /// Work counters reported by the DP algorithms; the evaluation uses them to
@@ -257,6 +265,15 @@ const PAR_MIN_CHUNK_CELLS: usize = 16;
 /// workers so the atomic-cursor scheduler can balance the early-break
 /// scan's data-dependent cell costs.
 const PAR_CHUNKS_PER_WORKER: u64 = 4;
+
+/// Minimum *estimated* split-point evaluations in one row window before
+/// the sequential solve loop re-polls the cancel token ahead of it. Every
+/// row checks at entry regardless; the per-window poll only exists so a
+/// huge window (gap-free data: one window spanning the whole row) cannot
+/// delay cancellation by a whole row, and gating it on window work keeps
+/// gap-rich rows — thousands of tiny windows — free of per-window
+/// `Instant::now()` calls (the `bench_dp` overhead gate).
+const CANCEL_CHECK_MIN_WORK: u64 = 1 << 12;
 
 /// How one inter-break row window is minimized — recorded by the window
 /// walk so windows can be solved out of line, in any order, including on
@@ -384,6 +401,9 @@ pub(crate) struct DpEngine {
     mono_end: Option<Vec<usize>>,
     /// Thread budget for the row fills (see [`DpOptions::threads`]).
     pub(crate) pool: Pool,
+    /// Cancellation handle polled at row entry, between large windows,
+    /// and before each parallel chunk (see [`DpOptions::cancel`]).
+    pub(crate) cancel: CancelToken,
 }
 
 /// One backward pass per dimension: the exclusive end of the maximal
@@ -463,7 +483,15 @@ impl DpEngine {
             strategy,
             mono_end,
             pool: Pool::new(threads),
+            cancel: CancelToken::default(),
         })
+    }
+
+    /// Arms the engine with a cancellation handle (builder style — the
+    /// entry points thread [`DpOptions::cancel`] through here).
+    pub(crate) fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
     }
 
     /// Cost of merging tuples `j..i` (prefix lengths) into one tuple: the
@@ -532,6 +560,13 @@ impl DpEngine {
     ///
     /// `lo = 0, hi = n` is the classic whole-input DP row (Fig. 7);
     /// arbitrary subranges serve the divide-and-conquer recursion.
+    ///
+    /// The row polls the engine's [`CancelToken`] at entry and again
+    /// ahead of every window whose estimated work exceeds
+    /// [`CANCEL_CHECK_MIN_WORK`] (parallel chunks poll once each); a
+    /// fired token aborts the fill with [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`]. An aborted row leaves `cur` in an
+    /// unspecified state — callers must not read it on the error path.
     pub(crate) fn fill_row_fwd(
         &self,
         k: usize,
@@ -540,11 +575,13 @@ impl DpEngine {
         prev: &[f64],
         cur: &mut [f64],
         mut jrow: Option<&mut [usize]>,
-    ) -> Cells {
+    ) -> Result<Cells, CoreError> {
         debug_assert!(k >= 1 && lo <= hi && hi <= self.n);
+        fail_point!("dp.fill_row", |msg: String| Err(CoreError::Panic { message: msg }));
+        self.cancel.check()?;
         let imax = if self.prune { self.gaps.imax_within(k, lo, hi) } else { hi };
         if lo + k > imax {
-            return Cells::default();
+            return Ok(Cells::default());
         }
         cur[lo + k..=imax].fill(f64::INFINITY);
         let mut cells = Cells::default();
@@ -557,7 +594,7 @@ impl DpEngine {
                 }
             }
             cells.scan += (imax - lo) as u64;
-            return cells;
+            return Ok(cells);
         }
         let floor = lo + k - 1;
         if !self.prune {
@@ -583,7 +620,7 @@ impl DpEngine {
                     jr[i] = best_j;
                 }
             }
-            return cells;
+            return Ok(cells);
         }
 
         // Pruned: decompose [lo + k, imax] into inter-break windows (all
@@ -595,13 +632,16 @@ impl DpEngine {
         let windows = self.collect_windows_fwd(k, lo, imax);
         let work: u64 = windows.iter().map(|w| w.work(true)).sum();
         if self.pool.threads() > 1 && !pta_pool::in_worker() && work >= PAR_MIN_ROW_WORK {
-            cells += self.fill_windows_par(&windows, work, true, prev, cur, jrow, lo + k, imax);
-            return cells;
+            cells += self.fill_windows_par(&windows, work, true, prev, cur, jrow, lo + k, imax)?;
+            return Ok(cells);
         }
         for w in &windows {
+            if w.work(true) >= CANCEL_CHECK_MIN_WORK {
+                self.cancel.check()?;
+            }
             cells += self.solve_window_fwd(w, prev, cur, jrow.as_deref_mut(), 0);
         }
-        cells
+        Ok(cells)
     }
 
     /// Window walk of the forward fill: records each inter-break window of
@@ -754,6 +794,10 @@ impl DpEngine {
     /// and each cell's scan state (`best`, `best_j`, early break) is
     /// local to the cell — and the evaluation counters are summed in
     /// window order, so [`DpStats`] is deterministic too.
+    ///
+    /// Each chunk polls the cancel token before solving; the first error
+    /// in window order wins (remaining chunks still run — the pool has no
+    /// early stop — but their output is discarded with the row).
     #[allow(clippy::too_many_arguments)]
     fn fill_windows_par(
         &self,
@@ -765,7 +809,7 @@ impl DpEngine {
         jrow: Option<&mut [usize]>,
         first: usize,
         last: usize,
-    ) -> Cells {
+    ) -> Result<Cells, CoreError> {
         let chunks = self.chunk_windows(windows, work, fwd);
         let mut jobs: Vec<RowJob<'_>> = Vec::with_capacity(chunks.len());
         let mut tail: &mut [f64] = &mut cur[first..=last];
@@ -787,19 +831,20 @@ impl DpEngine {
             jobs.push((w, head, jhead));
         }
         debug_assert!(tail.is_empty(), "chunks must tile the row region exactly");
-        let results = self.pool.map(jobs, |(w, out, jout)| {
-            if fwd {
+        let results: Vec<Result<Cells, CoreError>> = self.pool.map(jobs, |(w, out, jout)| {
+            self.cancel.check()?;
+            Ok(if fwd {
                 self.solve_window_fwd(&w, prev, out, jout, w.ws)
             } else {
                 debug_assert!(jout.is_none(), "backward rows record no split points");
                 self.solve_window_bwd(&w, prev, out, w.ws)
-            }
+            })
         });
         let mut cells = Cells::default();
         for c in results {
-            cells += c;
+            cells += c?;
         }
-        cells
+        Ok(cells)
     }
 
     /// Solves one forward inter-break window `[ws, we]` with candidate
@@ -892,11 +937,13 @@ impl DpEngine {
         hi: usize,
         prev: &[f64],
         cur: &mut [f64],
-    ) -> Cells {
+    ) -> Result<Cells, CoreError> {
         debug_assert!(k >= 1 && lo <= hi && hi <= self.n && hi - lo >= k);
+        fail_point!("dp.fill_row", |msg: String| Err(CoreError::Panic { message: msg }));
+        self.cancel.check()?;
         let imin = if self.prune { self.gaps.imin_within(k, lo, hi) } else { lo };
         if imin > hi - k {
-            return Cells::default();
+            return Ok(Cells::default());
         }
         cur[imin..=(hi - k)].fill(f64::INFINITY);
         let mut cells = Cells::default();
@@ -907,7 +954,7 @@ impl DpEngine {
                 cur[i] = self.cost(i, hi);
             }
             cells.scan += (hi - imin) as u64;
-            return cells;
+            return Ok(cells);
         }
         let ceil = hi - (k - 1);
         if !self.prune {
@@ -928,7 +975,7 @@ impl DpEngine {
                 }
                 cur[i] = best;
             }
-            return cells;
+            return Ok(cells);
         }
 
         // Pruned: decompose into the mirrored inter-break windows — all
@@ -939,13 +986,16 @@ impl DpEngine {
         let windows = self.collect_windows_bwd(k, hi, imin);
         let work: u64 = windows.iter().map(|w| w.work(false)).sum();
         if self.pool.threads() > 1 && !pta_pool::in_worker() && work >= PAR_MIN_ROW_WORK {
-            cells += self.fill_windows_par(&windows, work, false, prev, cur, None, imin, hi - k);
-            return cells;
+            cells += self.fill_windows_par(&windows, work, false, prev, cur, None, imin, hi - k)?;
+            return Ok(cells);
         }
         for w in &windows {
+            if w.work(false) >= CANCEL_CHECK_MIN_WORK {
+                self.cancel.check()?;
+            }
             cells += self.solve_window_bwd(w, prev, cur, 0);
         }
-        cells
+        Ok(cells)
     }
 
     /// Window walk of the backward fill: records each mirrored
@@ -1106,7 +1156,7 @@ impl DpEngine {
     /// backtracking over [`DpEngine::fill_row_fwd`] /
     /// [`DpEngine::fill_row_bwd`]. Requires `1 ≤ c ≤ n` and a feasible
     /// reduction (`c ≥ cmin`), which the public entry points establish.
-    pub(crate) fn dnc_boundaries(&self, c: usize) -> DncOutcome {
+    pub(crate) fn dnc_boundaries(&self, c: usize) -> Result<DncOutcome, CoreError> {
         debug_assert!(c >= 1 && c <= self.n);
         let width = self.n + 1;
         let mut scratch = DncScratch {
@@ -1119,11 +1169,25 @@ impl DpEngine {
         boundaries.push(0);
         let mut cells = Cells::default();
         let mut rows = 0usize;
-        let optimal_sse =
-            self.dnc_rec(0, self.n, c, &mut boundaries, &mut scratch, &mut cells, &mut rows);
+        let optimal_sse = self
+            .dnc_rec(0, self.n, c, &mut boundaries, &mut scratch, &mut cells, &mut rows)
+            .map_err(|e| {
+                // The recursion's accumulators survive the abort — stamp
+                // them so callers see how far the run got.
+                e.with_dp_progress(DpStats {
+                    rows,
+                    cells: cells.total(),
+                    scan_cells: cells.scan,
+                    monge_cells: cells.monge,
+                    peak_rows: 4,
+                    mode: DpExecMode::DivideConquer,
+                    strategy: self.strategy,
+                    threads: self.pool.threads(),
+                })
+            })?;
         boundaries.push(self.n);
         debug_assert_eq!(boundaries.len(), c + 1);
-        DncOutcome { boundaries, cells, rows, optimal_sse }
+        Ok(DncOutcome { boundaries, cells, rows, optimal_sse })
     }
 
     /// Appends the internal cut positions of the optimal `c`-piece
@@ -1139,15 +1203,15 @@ impl DpEngine {
         scratch: &mut DncScratch,
         cells: &mut Cells,
         rows: &mut usize,
-    ) -> f64 {
+    ) -> Result<f64, CoreError> {
         debug_assert!(c >= 1 && hi - lo >= c);
         if c == 1 {
-            return self.cost(lo, hi);
+            return Ok(self.cost(lo, hi));
         }
         if hi - lo == c {
             // Every tuple its own piece: all cuts are forced, SSE 0.
             cuts.extend(lo + 1..hi);
-            return 0.0;
+            return Ok(0.0);
         }
         let k_left = c / 2;
         let k_right = c - k_left;
@@ -1161,13 +1225,14 @@ impl DpEngine {
         // Forward DP to row k_left over [lo, hi]; fwd_prev ends holding
         // F[k_left][·] = optimal SSE of `lo..i` in k_left pieces.
         for k in 1..=k_left {
-            *cells += self.fill_row_fwd(k, lo, hi, &scratch.fwd_prev, &mut scratch.fwd_cur, None);
+            *cells +=
+                self.fill_row_fwd(k, lo, hi, &scratch.fwd_prev, &mut scratch.fwd_cur, None)?;
             std::mem::swap(&mut scratch.fwd_prev, &mut scratch.fwd_cur);
         }
         // Suffix DP to row k_right; bwd_prev ends holding
         // B[k_right][·] = optimal SSE of `i..hi` in k_right pieces.
         for k in 1..=k_right {
-            *cells += self.fill_row_bwd(k, lo, hi, &scratch.bwd_prev, &mut scratch.bwd_cur);
+            *cells += self.fill_row_bwd(k, lo, hi, &scratch.bwd_prev, &mut scratch.bwd_cur)?;
             std::mem::swap(&mut scratch.bwd_prev, &mut scratch.bwd_cur);
         }
         *rows += c;
@@ -1185,10 +1250,10 @@ impl DpEngine {
         debug_assert!(best.is_finite(), "feasible subproblem must yield a finite midpoint");
         // The children overwrite the scratch rows; the parent only needs
         // `mid` from here on, so peak memory stays at four rows.
-        self.dnc_rec(lo, mid, k_left, cuts, scratch, cells, rows);
+        self.dnc_rec(lo, mid, k_left, cuts, scratch, cells, rows)?;
         cuts.push(mid);
-        self.dnc_rec(mid, hi, k_right, cuts, scratch, cells, rows);
-        best
+        self.dnc_rec(mid, hi, k_right, cuts, scratch, cells, rows)?;
+        Ok(best)
     }
 }
 
@@ -1237,6 +1302,15 @@ pub mod bench_support {
             })
         }
 
+        /// Arms the harness with a cancellation token — the `bench_dp`
+        /// cancellation-overhead gate fills rows under a far-future
+        /// deadline token that never fires and compares against the
+        /// inert default.
+        pub fn with_cancel(mut self, cancel: crate::cancel::CancelToken) -> Self {
+            self.engine = self.engine.with_cancel(cancel);
+            self
+        }
+
         /// Row-buffer width (`n + 1`).
         pub fn width(&self) -> usize {
             self.engine.n + 1
@@ -1248,7 +1322,9 @@ pub mod bench_support {
             let mut prev = vec![f64::INFINITY; self.width()];
             let mut cur = vec![f64::INFINITY; self.width()];
             for kk in 1..=k {
-                self.engine.fill_row_fwd(kk, 0, self.engine.n, &prev, &mut cur, None);
+                self.engine
+                    .fill_row_fwd(kk, 0, self.engine.n, &prev, &mut cur, None)
+                    .expect("bench harness tokens never fire");
                 std::mem::swap(&mut prev, &mut cur);
             }
             prev
@@ -1257,7 +1333,10 @@ pub mod bench_support {
         /// Fills row `k` reading row `k − 1` from `prev`; returns the
         /// split-point evaluation count.
         pub fn fill(&self, k: usize, prev: &[f64], cur: &mut [f64]) -> u64 {
-            self.engine.fill_row_fwd(k, 0, self.engine.n, prev, cur, None).total()
+            self.engine
+                .fill_row_fwd(k, 0, self.engine.n, prev, cur, None)
+                .expect("bench harness tokens never fire")
+                .total()
         }
     }
 }
@@ -1335,7 +1414,7 @@ pub(crate) mod tests {
         let mut rows = Vec::new();
         for k in 1..=kmax {
             let mut cur = vec![f64::INFINITY; n + 1];
-            engine.fill_row_fwd(k, 0, n, &prev, &mut cur, None);
+            engine.fill_row_fwd(k, 0, n, &prev, &mut cur, None).unwrap();
             rows.push(cur.clone());
             prev = cur;
         }
@@ -1360,7 +1439,7 @@ pub(crate) mod tests {
         let mut rows = Vec::new();
         for k in 1..=kmax {
             let mut cur = vec![f64::INFINITY; n + 1];
-            engine.fill_row_bwd(k, 0, n, &prev, &mut cur);
+            engine.fill_row_bwd(k, 0, n, &prev, &mut cur).unwrap();
             rows.push(cur.clone());
             prev = cur;
         }
@@ -1471,8 +1550,8 @@ pub(crate) mod tests {
         let mut cur_s = vec![f64::INFINITY; width];
         let mut cur_m = vec![f64::INFINITY; width];
         for k in 1..=12 {
-            let s = scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, None);
-            let m = monge.fill_row_fwd(k, 0, n, &prev_m, &mut cur_m, None);
+            let s = scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, None).unwrap();
+            let m = monge.fill_row_fwd(k, 0, n, &prev_m, &mut cur_m, None).unwrap();
             assert_eq!(m.monge, 0, "row {k}: no certificate, no Monge evals");
             assert_eq!(m, s, "row {k}: identical work");
             for i in 0..=n {
@@ -1505,8 +1584,8 @@ pub(crate) mod tests {
         let mut cur_s = vec![f64::INFINITY; width];
         let mut cur_m = vec![f64::INFINITY; width];
         for k in 1..=10 {
-            let s = scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, None);
-            let m = monge.fill_row_fwd(k, 0, n, &prev_m, &mut cur_m, None);
+            let s = scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, None).unwrap();
+            let m = monge.fill_row_fwd(k, 0, n, &prev_m, &mut cur_m, None).unwrap();
             assert_eq!(m.monge, 0, "row {k}: magnitude certificate must reject the window");
             assert_eq!(m.scan, s.scan, "row {k}");
             for i in 0..=n {
@@ -1558,8 +1637,8 @@ pub(crate) mod tests {
             for k in 1..=20 {
                 let mut js = vec![0usize; width];
                 let mut jo = vec![0usize; width];
-                scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, Some(&mut js));
-                other.fill_row_fwd(k, 0, n, &prev_o, &mut cur_o, Some(&mut jo));
+                scan.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, Some(&mut js)).unwrap();
+                other.fill_row_fwd(k, 0, n, &prev_o, &mut cur_o, Some(&mut jo)).unwrap();
                 for i in (k)..=n {
                     if cur_s[i].is_finite() {
                         assert_eq!(js[i], jo[i], "row {k} cell {i} ({strategy:?})");
@@ -1621,19 +1700,21 @@ pub(crate) mod tests {
                     prev[0] = 0.0;
                     let mut cur = vec![f64::INFINITY; width];
                     for k in 1..=c {
-                        engine.fill_row_fwd(
-                            k,
-                            0,
-                            n,
-                            &prev,
-                            &mut cur,
-                            Some(&mut jm[(k - 1) * width..k * width]),
-                        );
+                        engine
+                            .fill_row_fwd(
+                                k,
+                                0,
+                                n,
+                                &prev,
+                                &mut cur,
+                                Some(&mut jm[(k - 1) * width..k * width]),
+                            )
+                            .unwrap();
                         std::mem::swap(&mut prev, &mut cur);
                         cur.fill(f64::INFINITY);
                     }
                     let table = engine.backtrack(&jm, c);
-                    let dnc = engine.dnc_boundaries(c);
+                    let dnc = engine.dnc_boundaries(c).unwrap();
                     assert_eq!(table, dnc.boundaries, "c = {c} (prune={prune}, {strategy:?})");
                     assert!(
                         (dnc.optimal_sse - prev[n]).abs() <= 1e-9 * (1.0 + prev[n]),
@@ -1702,11 +1783,11 @@ pub(crate) mod tests {
         let mut prev = vec![f64::INFINITY; width];
         let mut cur = vec![f64::INFINITY; width];
         // Row 2 read from the genuine row 1.
-        scan.fill_row_fwd(1, 0, n, &prev, &mut cur, None);
+        scan.fill_row_fwd(1, 0, n, &prev, &mut cur, None).unwrap();
         std::mem::swap(&mut prev, &mut cur);
-        let s = scan.fill_row_fwd(2, 0, n, &prev, &mut cur, None);
+        let s = scan.fill_row_fwd(2, 0, n, &prev, &mut cur, None).unwrap();
         let mut cur2 = vec![f64::INFINITY; width];
-        let m = monge.fill_row_fwd(2, 0, n, &prev, &mut cur2, None);
+        let m = monge.fill_row_fwd(2, 0, n, &prev, &mut cur2, None).unwrap();
         assert_eq!(s.monge, 0);
         assert_eq!(m.scan, 0);
         assert!(
@@ -1753,8 +1834,8 @@ pub(crate) mod tests {
             for k in 1..=12 {
                 let mut js = vec![0usize; width];
                 let mut jp = vec![0usize; width];
-                let s = seq.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, Some(&mut js));
-                let p = par.fill_row_fwd(k, 0, n, &prev_p, &mut cur_p, Some(&mut jp));
+                let s = seq.fill_row_fwd(k, 0, n, &prev_s, &mut cur_s, Some(&mut js)).unwrap();
+                let p = par.fill_row_fwd(k, 0, n, &prev_p, &mut cur_p, Some(&mut jp)).unwrap();
                 assert_eq!(s, p, "row {k}: identical counters");
                 for i in 0..=n {
                     assert_eq!(cur_s[i].to_bits(), cur_p[i].to_bits(), "row {k} cell {i}");
@@ -1768,8 +1849,8 @@ pub(crate) mod tests {
             let mut cur_s = vec![f64::INFINITY; width];
             let mut cur_p = vec![f64::INFINITY; width];
             for k in 1..=12 {
-                let s = seq.fill_row_bwd(k, 0, n, &prev_s, &mut cur_s);
-                let p = par.fill_row_bwd(k, 0, n, &prev_p, &mut cur_p);
+                let s = seq.fill_row_bwd(k, 0, n, &prev_s, &mut cur_s).unwrap();
+                let p = par.fill_row_bwd(k, 0, n, &prev_p, &mut cur_p).unwrap();
                 assert_eq!(s, p, "bwd row {k}: identical counters");
                 for i in 0..=n {
                     assert_eq!(cur_s[i].to_bits(), cur_p[i].to_bits(), "bwd row {k} cell {i}");

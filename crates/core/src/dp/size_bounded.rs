@@ -106,7 +106,8 @@ fn run(
         early_break,
         opts.strategy,
         opts.threads,
-    )?;
+    )?
+    .with_cancel(opts.cancel.clone());
     let cmin = engine.gaps.cmin();
     if c < cmin {
         return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
@@ -129,14 +130,21 @@ fn run(
         let mut cur = vec![f64::INFINITY; width];
         let mut cells = Cells::default();
         for k in 1..=c {
-            cells += engine.fill_row_fwd(
-                k,
-                0,
-                n,
-                &prev,
-                &mut cur,
-                Some(&mut jm[(k - 1) * width..k * width]),
-            );
+            cells += engine
+                .fill_row_fwd(k, 0, n, &prev, &mut cur, Some(&mut jm[(k - 1) * width..k * width]))
+                .map_err(|e| {
+                    // Rows 1..k − 1 completed before the abort.
+                    e.with_dp_progress(DpStats {
+                        rows: k - 1,
+                        cells: cells.total(),
+                        scan_cells: cells.scan,
+                        monge_cells: cells.monge,
+                        peak_rows: c + 2,
+                        mode: DpExecMode::Table,
+                        strategy: engine.strategy,
+                        threads: engine.pool.threads(),
+                    })
+                })?;
             std::mem::swap(&mut prev, &mut cur);
         }
         let boundaries = engine.backtrack(&jm, c);
@@ -152,7 +160,8 @@ fn run(
         };
         (boundaries, prev[n], stats)
     } else {
-        let out = engine.dnc_boundaries(c);
+        // `dnc_boundaries` stamps its own partial progress on abort.
+        let out = engine.dnc_boundaries(c)?;
         let stats = DpStats {
             rows: out.rows,
             cells: out.cells.total(),

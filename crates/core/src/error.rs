@@ -4,6 +4,8 @@ use std::fmt;
 
 use pta_temporal::{CommonError, TemporalError};
 
+use crate::dp::DpStats;
+
 /// Errors raised by PTA evaluation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CoreError {
@@ -21,6 +23,24 @@ pub enum CoreError {
         got: usize,
         /// Relation dimensionality `p`.
         expected: usize,
+    },
+    /// The run was cancelled through its [`CancelToken`](crate::CancelToken)
+    /// before completing.
+    Cancelled {
+        /// DP work completed before the abort (empty for greedy runs).
+        stats: DpStats,
+    },
+    /// The run's [`CancelToken`](crate::CancelToken) deadline passed
+    /// before it completed.
+    DeadlineExceeded {
+        /// DP work completed before the abort (empty for greedy runs).
+        stats: DpStats,
+    },
+    /// A summarizer panicked and the panic was isolated by the fan-out
+    /// layer instead of unwinding the caller.
+    Panic {
+        /// The panic payload, rendered as text.
+        message: String,
     },
     /// A failure mode shared across the workspace (invalid error bound,
     /// invalid weights, invalid estimate, ...).
@@ -77,6 +97,33 @@ impl CoreError {
         ))
     }
 
+    /// Whether this error reports a cancelled or timed-out run (as
+    /// opposed to invalid input or an isolated panic).
+    pub fn is_cancellation(&self) -> bool {
+        matches!(self, Self::Cancelled { .. } | Self::DeadlineExceeded { .. })
+    }
+
+    /// Stamps partial-progress statistics onto a cancellation error.
+    /// [`CancelToken::check`](crate::CancelToken::check) reports with
+    /// empty stats (it cannot see the run's counters); the outer run
+    /// loops call this on the way out so callers learn how far the
+    /// aborted run got. Non-cancellation errors pass through unchanged.
+    pub fn with_dp_progress(self, progress: DpStats) -> Self {
+        match self {
+            Self::Cancelled { .. } => Self::Cancelled { stats: progress },
+            Self::DeadlineExceeded { .. } => Self::DeadlineExceeded { stats: progress },
+            other => other,
+        }
+    }
+
+    /// The partial-progress statistics of a cancelled run, if any.
+    pub fn dp_progress(&self) -> Option<&DpStats> {
+        match self {
+            Self::Cancelled { stats } | Self::DeadlineExceeded { stats } => Some(stats),
+            _ => None,
+        }
+    }
+
     /// The shared failure vocabulary, if this error carries one (looking
     /// through wrapped lower-layer errors).
     pub fn common(&self) -> Option<&CommonError> {
@@ -99,6 +146,13 @@ impl fmt::Display for CoreError {
             Self::WeightDimensionMismatch { got, expected } => {
                 write!(f, "{got} weights supplied for a {expected}-dimensional relation")
             }
+            Self::Cancelled { stats } => {
+                write!(f, "run cancelled after {} DP rows ({} cells)", stats.rows, stats.cells)
+            }
+            Self::DeadlineExceeded { stats } => {
+                write!(f, "deadline exceeded after {} DP rows ({} cells)", stats.rows, stats.cells)
+            }
+            Self::Panic { message } => write!(f, "summarizer panicked: {message}"),
             Self::Common(e) => write!(f, "{e}"),
             Self::Temporal(e) => write!(f, "{e}"),
         }
@@ -153,5 +207,33 @@ mod tests {
         assert!(nan.common().is_some_and(CommonError::is_invalid_parameter));
         assert!(nan.to_string().contains("non-finite"));
         assert!(CoreError::SizeBelowMinimum { requested: 2, cmin: 3 }.common().is_none());
+    }
+
+    #[test]
+    fn cancellation_variants_carry_progress() {
+        let progress = DpStats { rows: 7, cells: 420, ..DpStats::default() };
+        let e = CoreError::Cancelled { stats: DpStats::default() }.with_dp_progress(progress);
+        assert!(e.is_cancellation());
+        assert_eq!(e.dp_progress().map(|s| (s.rows, s.cells)), Some((7, 420)));
+        assert!(e.to_string().contains("7 DP rows"));
+
+        let progress = DpStats { rows: 2, cells: 10, ..DpStats::default() };
+        let d =
+            CoreError::DeadlineExceeded { stats: DpStats::default() }.with_dp_progress(progress);
+        assert!(d.is_cancellation());
+        assert!(d.to_string().contains("deadline exceeded"));
+
+        // Stamping progress onto a non-cancellation error is a no-op.
+        let other = CoreError::invalid_weights("negative")
+            .with_dp_progress(DpStats { rows: 9, ..DpStats::default() });
+        assert!(!other.is_cancellation());
+        assert!(other.dp_progress().is_none());
+    }
+
+    #[test]
+    fn panic_variant_renders_payload() {
+        let e = CoreError::Panic { message: "boom".into() };
+        assert!(!e.is_cancellation());
+        assert_eq!(e.to_string(), "summarizer panicked: boom");
     }
 }

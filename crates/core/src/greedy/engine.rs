@@ -5,6 +5,7 @@ use std::collections::HashMap;
 
 use pta_temporal::{GroupId, GroupKey, SequentialRelation, TemporalError, TimeInterval};
 
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::greedy::heap::IndexedMinHeap;
 use crate::greedy::list::{SegmentList, NIL};
@@ -21,6 +22,9 @@ use crate::weights::Weights;
 pub(crate) struct GreedyEngine {
     pub(crate) weights: Weights,
     pub(crate) policy: GapPolicy,
+    /// Checked once per streamed row and once per merge in the drain
+    /// loops; inert by default, so only armed tokens pay for the checks.
+    pub(crate) cancel: CancelToken,
     pub(crate) list: SegmentList,
     pub(crate) heap: IndexedMinHeap,
     group_keys: Vec<GroupKey>,
@@ -53,6 +57,7 @@ impl GreedyEngine {
         Self {
             weights,
             policy,
+            cancel: CancelToken::default(),
             list: SegmentList::new(),
             heap: IndexedMinHeap::new(),
             group_keys: Vec::new(),
@@ -80,6 +85,7 @@ impl GreedyEngine {
         interval: TimeInterval,
         values: &[f64],
     ) -> Result<u32, CoreError> {
+        self.cancel.check()?;
         if values.len() != self.weights.dims() {
             return Err(CoreError::Temporal(TemporalError::DimensionMismatch {
                 got: values.len(),

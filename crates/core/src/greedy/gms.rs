@@ -8,6 +8,7 @@
 
 use pta_temporal::SequentialRelation;
 
+use crate::cancel::CancelToken;
 use crate::dp::max_error_with_policy;
 use crate::error::CoreError;
 use crate::gaps::GapVector;
@@ -33,13 +34,27 @@ pub fn gms_size_bounded_with_policy(
     c: usize,
     policy: GapPolicy,
 ) -> Result<GreedyOutcome, CoreError> {
+    gms_size_bounded_with_cancel(input, weights, c, policy, CancelToken::inert())
+}
+
+/// [`gms_size_bounded_with_policy`] under a [`CancelToken`], checked once
+/// per ingested row and once per merge. A fired token aborts with
+/// [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`].
+pub fn gms_size_bounded_with_cancel(
+    input: &SequentialRelation,
+    weights: &Weights,
+    c: usize,
+    policy: GapPolicy,
+    cancel: CancelToken,
+) -> Result<GreedyOutcome, CoreError> {
     weights.check_dims(input.dims())?;
     let cmin = GapVector::build_with_policy(input, policy).cmin();
     if c < cmin {
         return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
     }
-    let mut engine = load(input, weights, policy)?;
+    let mut engine = load(input, weights, policy, cancel)?;
     while engine.live() > c {
+        engine.cancel.check()?;
         let (_, key, _) = engine.heap.peek().expect("live > c >= cmin implies a finite key");
         debug_assert!(key.is_finite());
         engine.merge_top();
@@ -64,17 +79,30 @@ pub fn gms_error_bounded_with_policy(
     epsilon: f64,
     policy: GapPolicy,
 ) -> Result<GreedyOutcome, CoreError> {
+    gms_error_bounded_with_cancel(input, weights, epsilon, policy, CancelToken::inert())
+}
+
+/// [`gms_error_bounded_with_policy`] under a [`CancelToken`], checked once
+/// per ingested row and once per merge.
+pub fn gms_error_bounded_with_cancel(
+    input: &SequentialRelation,
+    weights: &Weights,
+    epsilon: f64,
+    policy: GapPolicy,
+    cancel: CancelToken,
+) -> Result<GreedyOutcome, CoreError> {
     if !(0.0..=1.0).contains(&epsilon) {
         return Err(CoreError::invalid_error_bound(epsilon));
     }
     weights.check_dims(input.dims())?;
     let emax = max_error_with_policy(input, weights, policy)?;
     let budget = epsilon * emax + 1e-9 * (1.0 + emax);
-    let mut engine = load(input, weights, policy)?;
+    let mut engine = load(input, weights, policy, cancel)?;
     while let Some((_, key, _)) = engine.heap.peek() {
         if !key.is_finite() || engine.etot + key > budget {
             break;
         }
+        engine.cancel.check()?;
         engine.merge_top();
     }
     engine.into_outcome(false)
@@ -87,6 +115,17 @@ pub fn greedy_error_curve(
     input: &SequentialRelation,
     weights: &Weights,
 ) -> Result<Vec<f64>, CoreError> {
+    greedy_error_curve_with_cancel(input, weights, CancelToken::inert())
+}
+
+/// [`greedy_error_curve`] under a [`CancelToken`], checked once per
+/// ingested row and once per merge — the deadline path of the facade's
+/// greedy grid queries.
+pub fn greedy_error_curve_with_cancel(
+    input: &SequentialRelation,
+    weights: &Weights,
+    cancel: CancelToken,
+) -> Result<Vec<f64>, CoreError> {
     weights.check_dims(input.dims())?;
     let n = input.len();
     let mut curve = vec![f64::INFINITY; n];
@@ -94,11 +133,12 @@ pub fn greedy_error_curve(
         return Ok(curve);
     }
     curve[n - 1] = 0.0;
-    let mut engine = load(input, weights, GapPolicy::Strict)?;
+    let mut engine = load(input, weights, GapPolicy::Strict, cancel)?;
     while let Some((_, key, _)) = engine.heap.peek() {
         if !key.is_finite() {
             break;
         }
+        engine.cancel.check()?;
         engine.merge_top();
         curve[engine.live() - 1] = engine.etot;
     }
@@ -109,8 +149,10 @@ fn load(
     input: &SequentialRelation,
     weights: &Weights,
     policy: GapPolicy,
+    cancel: CancelToken,
 ) -> Result<GreedyEngine, CoreError> {
     let mut engine = GreedyEngine::with_policy(weights.clone(), policy);
+    engine.cancel = cancel;
     for i in 0..input.len() {
         engine.push_relation_row(input, i)?;
     }

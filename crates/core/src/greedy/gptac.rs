@@ -7,6 +7,7 @@
 
 use pta_temporal::{GroupKey, SequentialRelation, TimeInterval};
 
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::gaps::GapVector;
 use crate::greedy::engine::GreedyEngine;
@@ -34,6 +35,14 @@ impl GPtaC {
     /// to buffer until the next hard gap.
     pub fn with_policy(weights: Weights, c: usize, delta: Delta, policy: GapPolicy) -> Self {
         Self { engine: GreedyEngine::with_policy(weights, policy), c, delta }
+    }
+
+    /// Attaches a [`CancelToken`], checked once per pushed row and once
+    /// per merge in [`GPtaC::finish`]. A fired token makes `push`/`finish`
+    /// return [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.engine.cancel = cancel;
+        self
     }
 
     /// Ingests the next ITA tuple and performs all merges currently
@@ -78,6 +87,7 @@ impl GPtaC {
     pub fn finish(mut self) -> Result<GreedyOutcome, CoreError> {
         let mut clamped = false;
         while self.engine.live() > self.c {
+            self.engine.cancel.check()?;
             match self.engine.heap.peek() {
                 Some((_, key, _)) if key.is_finite() => {
                     self.engine.merge_top();
@@ -110,12 +120,24 @@ impl GPtaC {
         delta: Delta,
         policy: GapPolicy,
     ) -> Result<GreedyOutcome, CoreError> {
+        Self::run_with_cancel(input, weights, c, delta, policy, CancelToken::inert())
+    }
+
+    /// [`GPtaC::run_with_policy`] under a [`CancelToken`].
+    pub fn run_with_cancel(
+        input: &SequentialRelation,
+        weights: &Weights,
+        c: usize,
+        delta: Delta,
+        policy: GapPolicy,
+        cancel: CancelToken,
+    ) -> Result<GreedyOutcome, CoreError> {
         weights.check_dims(input.dims())?;
         let cmin = GapVector::build_with_policy(input, policy).cmin();
         if c < cmin {
             return Err(CoreError::SizeBelowMinimum { requested: c, cmin });
         }
-        let mut alg = GPtaC::with_policy(weights.clone(), c, delta, policy);
+        let mut alg = GPtaC::with_policy(weights.clone(), c, delta, policy).with_cancel(cancel);
         for i in 0..input.len() {
             let key = input.group_key(input.group(i))?.clone();
             alg.push(&key, input.interval(i), input.values(i))?;

@@ -8,6 +8,7 @@
 
 use pta_temporal::{GroupKey, SequentialRelation, TimeInterval};
 
+use crate::cancel::CancelToken;
 use crate::error::CoreError;
 use crate::greedy::engine::GreedyEngine;
 use crate::greedy::estimate::Estimates;
@@ -69,6 +70,14 @@ impl GPtaE {
             emax_real: 0.0,
             weights_squared,
         })
+    }
+
+    /// Attaches a [`CancelToken`], checked once per pushed row and once
+    /// per merge in [`GPtaE::finish`]. A fired token makes `push`/`finish`
+    /// return [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`].
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.engine.cancel = cancel;
+        self
     }
 
     /// Ingests one ITA tuple and merges all candidates within the average
@@ -143,6 +152,7 @@ impl GPtaE {
             if !k.is_finite() || self.engine.etot + k > budget {
                 break;
             }
+            self.engine.cancel.check()?;
             self.engine.merge_top();
         }
         self.engine.into_outcome(false)
@@ -158,12 +168,24 @@ impl GPtaE {
         delta: Delta,
         estimates: Option<Estimates>,
     ) -> Result<GreedyOutcome, CoreError> {
+        Self::run_with_cancel(input, weights, epsilon, delta, estimates, CancelToken::inert())
+    }
+
+    /// [`GPtaE::run`] under a [`CancelToken`].
+    pub fn run_with_cancel(
+        input: &SequentialRelation,
+        weights: &Weights,
+        epsilon: f64,
+        delta: Delta,
+        estimates: Option<Estimates>,
+        cancel: CancelToken,
+    ) -> Result<GreedyOutcome, CoreError> {
         weights.check_dims(input.dims())?;
         let est = match estimates {
             Some(e) => e,
             None => Estimates::exact(input, weights)?,
         };
-        let mut alg = GPtaE::new(weights.clone(), epsilon, delta, est)?;
+        let mut alg = GPtaE::new(weights.clone(), epsilon, delta, est)?.with_cancel(cancel);
         for i in 0..input.len() {
             let key = input.group_key(input.group(i))?.clone();
             alg.push(&key, input.interval(i), input.values(i))?;

@@ -29,6 +29,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod dp;
 pub mod error;
 pub mod gaps;
@@ -42,8 +43,10 @@ pub mod sse;
 pub mod summarize;
 pub mod weights;
 
+pub use cancel::CancelToken;
 pub use dp::curve::{
-    optimal_error_curve, optimal_error_curve_with_strategy, optimal_error_curve_with_threads,
+    optimal_error_curve, optimal_error_curve_with_cancel, optimal_error_curve_with_strategy,
+    optimal_error_curve_with_threads,
 };
 pub use dp::error_bounded::{
     error_bounded as pta_error_bounded, error_bounded_with_mode as pta_error_bounded_with_mode,
@@ -65,8 +68,9 @@ pub use error::CoreError;
 pub use gaps::GapVector;
 pub use greedy::estimate::Estimates;
 pub use greedy::gms::{
-    gms_error_bounded, gms_error_bounded_with_policy, gms_size_bounded,
-    gms_size_bounded_with_policy, greedy_error_curve,
+    gms_error_bounded, gms_error_bounded_with_cancel, gms_error_bounded_with_policy,
+    gms_size_bounded, gms_size_bounded_with_cancel, gms_size_bounded_with_policy,
+    greedy_error_curve, greedy_error_curve_with_cancel,
 };
 pub use greedy::gptac::GPtaC;
 pub use greedy::gptae::GPtaE;

@@ -17,19 +17,20 @@
 //! protocol of sweeping a method's own knob and reading the bound off the
 //! achieved curve.
 
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use pta_temporal::SequentialRelation;
 
-use crate::dp::curve::optimal_error_curve;
+use crate::cancel::CancelToken;
+use crate::dp::curve::optimal_error_curve_with_cancel;
 use crate::dp::error_bounded::error_bounded_with_opts;
 use crate::dp::size_bounded::{size_bounded_naive, size_bounded_with_opts};
-use crate::dp::{max_error_with_policy, DpMode, DpOptions, DpStats};
+use crate::dp::{max_error_with_policy, DpMode, DpOptions, DpStats, DpStrategy};
 use crate::error::CoreError;
 use crate::gaps::GapVector;
 use crate::greedy::estimate::Estimates;
-use crate::greedy::gms::greedy_error_curve;
+use crate::greedy::gms::greedy_error_curve_with_cancel;
 use crate::greedy::gptac::GPtaC;
 use crate::greedy::gptae::GPtaE;
 use crate::greedy::{Delta, GreedyStats};
@@ -171,6 +172,14 @@ pub struct SeriesView<'a> {
     relation: &'a SequentialRelation,
     weights: Weights,
     policy: GapPolicy,
+    cancel: CancelToken,
+    caches: Arc<ViewCaches>,
+}
+
+/// The lazily computed shared derivatives of a [`SeriesView`], behind an
+/// `Arc` so [`SeriesView::with_cancel`] siblings keep sharing them.
+#[derive(Debug, Default)]
+struct ViewCaches {
     cmin: OnceLock<usize>,
     emax: OnceLock<Result<f64, CoreError>>,
     dense: OnceLock<Result<DenseSeries, CoreError>>,
@@ -193,10 +202,28 @@ impl<'a> SeriesView<'a> {
             relation,
             weights,
             policy,
-            cmin: OnceLock::new(),
-            emax: OnceLock::new(),
-            dense: OnceLock::new(),
+            cancel: CancelToken::default(),
+            caches: Arc::new(ViewCaches::default()),
         })
+    }
+
+    /// A sibling view over the same input carrying `cancel`, sharing this
+    /// view's caches — how the facade's `Comparator` scopes per-method
+    /// deadlines without recomputing `E_max` or re-densifying per method.
+    pub fn with_cancel(&self, cancel: CancelToken) -> SeriesView<'a> {
+        SeriesView {
+            relation: self.relation,
+            weights: self.weights.clone(),
+            policy: self.policy,
+            cancel,
+            caches: Arc::clone(&self.caches),
+        }
+    }
+
+    /// The cancellation token summarizers are expected to poll; inert
+    /// unless the caller attached one via [`SeriesView::with_cancel`].
+    pub fn cancel(&self) -> &CancelToken {
+        &self.cancel
     }
 
     /// The underlying sequential relation.
@@ -231,13 +258,17 @@ impl<'a> SeriesView<'a> {
 
     /// The smallest reachable size under this view's policy (cached).
     pub fn cmin(&self) -> usize {
-        *self.cmin.get_or_init(|| GapVector::build_with_policy(self.relation, self.policy).cmin())
+        *self
+            .caches
+            .cmin
+            .get_or_init(|| GapVector::build_with_policy(self.relation, self.policy).cmin())
     }
 
     /// The maximal reduction error `E_max` under this view's policy
     /// (cached) — the denominator of every ε bound.
     pub fn emax(&self) -> Result<f64, CoreError> {
-        self.emax
+        self.caches
+            .emax
             .get_or_init(|| max_error_with_policy(self.relation, &self.weights, self.policy))
             .clone()
     }
@@ -246,7 +277,8 @@ impl<'a> SeriesView<'a> {
     /// error series methods report on gapped/grouped/multidimensional
     /// inputs.
     pub fn dense(&self) -> Result<&DenseSeries, CoreError> {
-        self.dense
+        self.caches
+            .dense
             .get_or_init(|| DenseSeries::from_sequential(self.relation))
             .as_ref()
             .map_err(Clone::clone)
@@ -362,7 +394,12 @@ impl ExactPta {
     }
 
     fn opts(&self, view: &SeriesView<'_>) -> DpOptions {
-        DpOptions { policy: view.policy(), mode: self.mode, ..DpOptions::default() }
+        DpOptions {
+            policy: view.policy(),
+            mode: self.mode,
+            cancel: view.cancel().clone(),
+            ..DpOptions::default()
+        }
     }
 }
 
@@ -424,7 +461,14 @@ impl Summarizer for ExactPta {
         let n = view.len();
         let kmax = sizes.iter().copied().max().unwrap_or(0).min(n);
         let start = Instant::now();
-        let curve = match optimal_error_curve(view.relation(), view.weights(), kmax) {
+        let curve = match optimal_error_curve_with_cancel(
+            view.relation(),
+            view.weights(),
+            kmax,
+            DpStrategy::Auto,
+            0,
+            view.cancel().clone(),
+        ) {
             Ok(curve) => curve,
             Err(e) => return bounds.iter().map(|_| Err(e.clone())).collect(),
         };
@@ -530,12 +574,17 @@ impl Summarizer for GreedyPta {
     fn run(&self, view: &SeriesView<'_>, bound: Bound) -> Result<Summary, CoreError> {
         let (rel, w) = (view.relation(), view.weights());
         let out = match bound {
-            Bound::Size(c) => GPtaC::run_with_policy(rel, w, c, self.delta, view.policy())?,
+            Bound::Size(c) => {
+                GPtaC::run_with_cancel(rel, w, c, self.delta, view.policy(), view.cancel().clone())?
+            }
             Bound::Error(eps) => match view.policy() {
-                GapPolicy::Strict => GPtaE::run(rel, w, eps, self.delta, None)?,
+                GapPolicy::Strict => {
+                    GPtaE::run_with_cancel(rel, w, eps, self.delta, None, view.cancel().clone())?
+                }
                 policy => {
                     let est = Estimates::exact(rel, w)?;
-                    let mut alg = GPtaE::with_policy(w.clone(), eps, self.delta, est, policy)?;
+                    let mut alg = GPtaE::with_policy(w.clone(), eps, self.delta, est, policy)?
+                        .with_cancel(view.cancel().clone());
                     for i in 0..rel.len() {
                         let key = rel.group_key(rel.group(i))?.clone();
                         alg.push(&key, rel.interval(i), rel.values(i))?;
@@ -576,7 +625,11 @@ impl Summarizer for GreedyPta {
             return bounds.iter().map(|&b| self.summarize(view, b)).collect();
         }
         let start = Instant::now();
-        let curve = match greedy_error_curve(view.relation(), view.weights()) {
+        let curve = match greedy_error_curve_with_cancel(
+            view.relation(),
+            view.weights(),
+            view.cancel().clone(),
+        ) {
             Ok(curve) => curve,
             Err(e) => return bounds.iter().map(|_| Err(e.clone())).collect(),
         };

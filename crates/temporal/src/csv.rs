@@ -8,6 +8,7 @@
 
 use std::io::{BufRead, Write};
 
+use pta_failpoints::fail_point;
 use pta_pool::Pool;
 
 use crate::error::{CommonError, TemporalError};
@@ -17,6 +18,64 @@ use crate::sequential::SequentialRelation;
 use crate::tuple::Tuple;
 use crate::value::{DataType, Value};
 use crate::TimeInterval;
+
+/// How the CSV readers treat malformed data rows.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub enum RowPolicy {
+    /// Abort the read on the first malformed row (the default).
+    #[default]
+    Strict,
+    /// Skip malformed rows, keep the well-formed ones, and report the
+    /// skips in an [`IngestReport`]. I/O errors still abort.
+    SkipAndReport,
+}
+
+/// What a [`RowPolicy::SkipAndReport`] read skipped. The sequential and
+/// the chunked readers produce identical reports for the same input.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Data rows that parsed and made it into the relation.
+    pub rows_kept: usize,
+    /// Malformed data rows that were skipped.
+    pub rows_skipped: usize,
+    /// Zero-based file line numbers of every skipped row, in file order.
+    pub skipped_lines: Vec<usize>,
+    /// Rendered errors of the first [`IngestReport::MAX_ERRORS`] skipped
+    /// rows, in file order — a diagnosis sample; the line list above is
+    /// always complete.
+    pub first_errors: Vec<String>,
+}
+
+impl IngestReport {
+    /// Cap on retained error messages (`first_errors`).
+    pub const MAX_ERRORS: usize = 16;
+
+    /// Whether any row was skipped.
+    pub fn has_skips(&self) -> bool {
+        self.rows_skipped > 0
+    }
+
+    fn record(&mut self, line: usize, err: &TemporalError) {
+        self.rows_skipped += 1;
+        self.skipped_lines.push(line);
+        if self.first_errors.len() < Self::MAX_ERRORS {
+            self.first_errors.push(format!("line {line}: {err}"));
+        }
+    }
+
+    /// Folds a chunk's report into this one. Chunks drain in file order,
+    /// so the first [`IngestReport::MAX_ERRORS`] messages overall are
+    /// exactly the sequential reader's: a chunk's capped message list
+    /// covers its earliest skips, and once this report's cap is reached
+    /// no later chunk's messages are needed.
+    fn absorb(&mut self, chunk: IngestReport) {
+        self.rows_kept += chunk.rows_kept;
+        self.rows_skipped += chunk.rows_skipped;
+        let room = Self::MAX_ERRORS.saturating_sub(self.first_errors.len());
+        self.first_errors.extend(chunk.first_errors.into_iter().take(room));
+        self.skipped_lines.extend(chunk.skipped_lines);
+    }
+}
 
 /// Parses a schema string: comma-separated `name:type` pairs with types
 /// `int`, `float`, `str`, `bool`.
@@ -141,6 +200,59 @@ pub fn read_relation(
     Ok(rel)
 }
 
+/// [`read_relation`] under a [`RowPolicy`]. Under
+/// [`RowPolicy::SkipAndReport`], malformed data rows are skipped instead
+/// of aborting the read, and the returned [`IngestReport`] lists them.
+pub fn read_relation_with_policy(
+    schema: Schema,
+    reader: impl BufRead,
+    policy: RowPolicy,
+) -> Result<(TemporalRelation, IngestReport), TemporalError> {
+    match policy {
+        RowPolicy::Strict => read_relation(schema, reader).map(|rel| {
+            let report = IngestReport { rows_kept: rel.len(), ..IngestReport::default() };
+            (rel, report)
+        }),
+        RowPolicy::SkipAndReport => read_relation_lenient(schema, reader),
+    }
+}
+
+fn read_relation_lenient(
+    schema: Schema,
+    mut reader: impl BufRead,
+) -> Result<(TemporalRelation, IngestReport), TemporalError> {
+    let mut rel = TemporalRelation::new(schema);
+    let schema = rel.schema().clone();
+    let mut report = IngestReport::default();
+    let mut line = String::new();
+    let mut lineno = 0usize;
+    loop {
+        line.clear();
+        let read = reader.read_line(&mut line).map_err(|e| TemporalError::NonSequential {
+            index: lineno,
+            reason: format!("I/O error: {e}"),
+        })?;
+        if read == 0 {
+            break;
+        }
+        let row_index = lineno;
+        lineno += 1;
+        if row_index == 0 {
+            // Header.
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_row(&schema, trimmed, row_index).and_then(|(v, iv)| rel.push(v, iv)) {
+            Ok(()) => report.rows_kept += 1,
+            Err(e) => report.record(row_index, &e),
+        }
+    }
+    Ok((rel, report))
+}
+
 /// Inputs below this size parse sequentially even under a multi-thread
 /// budget: chunk setup costs more than the parse itself.
 const PAR_MIN_BYTES: usize = 1 << 16;
@@ -184,6 +296,35 @@ pub fn read_relation_str(
     }
     let chunks = pool.threads() * PAR_CHUNKS_PER_WORKER;
     read_str_chunked(schema, text, &pool, chunks)
+}
+
+/// [`read_relation_str`] under a [`RowPolicy`]. The surviving rows and
+/// the [`IngestReport`] are identical to
+/// [`read_relation_with_policy`]'s over the same input, whatever the
+/// thread budget or chunk placement.
+pub fn read_relation_str_with_policy(
+    schema: Schema,
+    text: &str,
+    threads: usize,
+    policy: RowPolicy,
+) -> Result<(TemporalRelation, IngestReport), TemporalError> {
+    let pool = Pool::new(threads);
+    if policy == RowPolicy::Strict || pool.threads() <= 1 || text.len() < PAR_MIN_BYTES {
+        // Strict parses chunked as before; lenient small inputs fall back
+        // to the sequential lenient reader.
+        return match policy {
+            RowPolicy::Strict if pool.threads() > 1 && text.len() >= PAR_MIN_BYTES => {
+                let chunks = pool.threads() * PAR_CHUNKS_PER_WORKER;
+                read_str_chunked(schema, text, &pool, chunks).map(|rel| {
+                    let report = IngestReport { rows_kept: rel.len(), ..IngestReport::default() };
+                    (rel, report)
+                })
+            }
+            _ => read_relation_with_policy(schema, text.as_bytes(), policy),
+        };
+    }
+    let chunks = pool.threads() * PAR_CHUNKS_PER_WORKER;
+    read_str_chunked_lenient(schema, text, &pool, chunks)
 }
 
 /// Newline-aligned chunk extents: `(start, end, first_line)` byte ranges
@@ -230,6 +371,10 @@ fn parse_chunk(
     chunk: &str,
     first_line: usize,
 ) -> Result<Vec<(Vec<Value>, TimeInterval)>, TemporalError> {
+    fail_point!("csv.chunk", |msg: String| Err(TemporalError::NonSequential {
+        index: first_line,
+        reason: msg,
+    }));
     let mut rows = Vec::new();
     for (i, line) in chunk.lines().enumerate() {
         let row_index = first_line + i;
@@ -267,6 +412,63 @@ fn read_str_chunked(
         }
     }
     Ok(rel)
+}
+
+/// The lenient chunk parse: malformed rows land in the chunk's report
+/// instead of aborting it. Kept rows carry their file line so the drain
+/// loop can attribute any (in practice unreachable) push failure.
+fn parse_chunk_lenient(
+    schema: &Schema,
+    chunk: &str,
+    first_line: usize,
+) -> (Vec<(usize, Vec<Value>, TimeInterval)>, IngestReport) {
+    fail_point!("csv.chunk");
+    let mut rows = Vec::new();
+    let mut report = IngestReport::default();
+    for (i, line) in chunk.lines().enumerate() {
+        let row_index = first_line + i;
+        if row_index == 0 {
+            // Header.
+            continue;
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        match parse_row(schema, trimmed, row_index) {
+            Ok((values, interval)) => rows.push((row_index, values, interval)),
+            Err(e) => report.record(row_index, &e),
+        }
+    }
+    (rows, report)
+}
+
+/// The lenient chunked parse — row- and report-identical to
+/// [`read_relation_lenient`]: chunks drain in file order, and
+/// [`IngestReport::absorb`] preserves the first-N error sample.
+fn read_str_chunked_lenient(
+    schema: Schema,
+    text: &str,
+    pool: &Pool,
+    chunks: usize,
+) -> Result<(TemporalRelation, IngestReport), TemporalError> {
+    let bounds = chunk_bounds(text, chunks);
+    let schema_ref = &schema;
+    let parsed = pool.map(bounds, |(start, end, first_line)| {
+        parse_chunk_lenient(schema_ref, &text[start..end], first_line)
+    });
+    let mut rel = TemporalRelation::new(schema);
+    let mut report = IngestReport::default();
+    for (rows, chunk_report) in parsed {
+        report.absorb(chunk_report);
+        for (line, values, interval) in rows {
+            match rel.push(values, interval) {
+                Ok(()) => report.rows_kept += 1,
+                Err(e) => report.record(line, &e),
+            }
+        }
+    }
+    Ok((rel, report))
 }
 
 fn escape(v: &Value) -> String {
@@ -495,6 +697,129 @@ mod tests {
             assert_eq!(par_err.to_string(), seq_err.to_string(), "chunks {chunks}");
         }
         assert!(seq_err.to_string().contains("not-a-number"), "{seq_err}");
+    }
+
+    /// Lenient mode keeps exactly the well-formed rows and reports the
+    /// malformed ones by line, with rendered messages for the first few.
+    #[test]
+    fn lenient_reader_skips_and_reports() {
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        let text = corpus(80, true);
+        let lines: Vec<String> = text.lines().map(str::to_string).collect();
+        let mut mutated = lines.clone();
+        // Three different failure shapes on known lines.
+        let bad = [10usize, 40, 71];
+        mutated[bad[0]] = "e1,d1,not-a-number,5,9".into();
+        mutated[bad[1]] = "e1,d1,7,5".into(); // missing column
+        mutated[bad[2]] = "e1,d1,7,9,2".into(); // inverted interval
+        let mutated_text = mutated.join("\n") + "\n";
+        assert!(
+            read_relation_with_policy(schema.clone(), mutated_text.as_bytes(), RowPolicy::Strict)
+                .is_err(),
+            "strict must fail on the bad rows"
+        );
+        let (rel, report) = read_relation_with_policy(
+            schema.clone(),
+            mutated_text.as_bytes(),
+            RowPolicy::SkipAndReport,
+        )
+        .unwrap();
+        assert_eq!(report.rows_skipped, 3);
+        assert_eq!(report.skipped_lines, bad.to_vec());
+        assert_eq!(report.first_errors.len(), 3);
+        assert!(report.first_errors[0].starts_with("line 10:"), "{:?}", report.first_errors);
+        assert!(report.has_skips());
+        // The survivors are exactly the strict parse of the clean text.
+        let clean: Vec<String> = lines
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !bad.contains(i))
+            .map(|(_, l)| l.clone())
+            .collect();
+        let clean_text = clean.join("\n") + "\n";
+        let clean_rel = read_relation(schema, BufReader::new(clean_text.as_bytes())).unwrap();
+        assert_eq!(rel, clean_rel);
+        assert_eq!(report.rows_kept, rel.len());
+    }
+
+    /// The error-message sample caps at [`IngestReport::MAX_ERRORS`] while
+    /// the skipped-line list stays complete.
+    #[test]
+    fn lenient_error_sample_is_capped() {
+        let schema = parse_schema("V:int").unwrap();
+        let mut text = String::from("V,t_start,t_end\n");
+        for _ in 0..(IngestReport::MAX_ERRORS + 9) {
+            text.push_str("oops,1,2\n");
+        }
+        let (rel, report) =
+            read_relation_with_policy(schema, text.as_bytes(), RowPolicy::SkipAndReport).unwrap();
+        assert!(rel.is_empty());
+        assert_eq!(report.rows_skipped, IngestReport::MAX_ERRORS + 9);
+        assert_eq!(report.skipped_lines.len(), IngestReport::MAX_ERRORS + 9);
+        assert_eq!(report.first_errors.len(), IngestReport::MAX_ERRORS);
+    }
+
+    /// Sequential and chunked lenient reads are identical — surviving
+    /// rows *and* report — with malformed rows forced onto chunk
+    /// boundaries by sweeping the chunk count.
+    #[test]
+    fn lenient_parity_sequential_vs_chunked() {
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        for trailing in [true, false] {
+            let text = corpus(211, trailing);
+            let lines: Vec<String> = text.lines().map(str::to_string).collect();
+            let mut mutated = lines.clone();
+            // Malformed rows spread across the file, including first/last
+            // data rows so some land exactly on chunk edges.
+            let step = lines.len() / 9;
+            for j in 1..9 {
+                mutated[j * step] = format!("bad-row-{j}");
+            }
+            let mut mtext = mutated.join("\n");
+            if trailing {
+                mtext.push('\n');
+            }
+            let (seq_rel, seq_report) = read_relation_with_policy(
+                schema.clone(),
+                mtext.as_bytes(),
+                RowPolicy::SkipAndReport,
+            )
+            .unwrap();
+            assert!(seq_report.has_skips());
+            for (threads, chunks) in [(2, 2), (4, 3), (4, 7), (4, 64), (4, 1000)] {
+                let (par_rel, par_report) =
+                    read_str_chunked_lenient(schema.clone(), &mtext, &Pool::new(threads), chunks)
+                        .unwrap();
+                assert_eq!(par_rel, seq_rel, "threads {threads}, chunks {chunks}");
+                assert_eq!(par_report, seq_report, "threads {threads}, chunks {chunks}");
+            }
+            // The public entry point agrees too.
+            let (pub_rel, pub_report) =
+                read_relation_str_with_policy(schema.clone(), &mtext, 4, RowPolicy::SkipAndReport)
+                    .unwrap();
+            assert_eq!(pub_rel, seq_rel);
+            assert_eq!(pub_report, seq_report);
+        }
+    }
+
+    /// The strict policy through the policy-aware entry points behaves
+    /// exactly like the plain readers.
+    #[test]
+    fn strict_policy_wrappers_match_plain_readers() {
+        let schema = parse_schema("Empl:str,Dept:str,Sal:int").unwrap();
+        let text = corpus(150, true);
+        let plain = read_relation(schema.clone(), text.as_bytes()).unwrap();
+        let (rel, report) =
+            read_relation_with_policy(schema.clone(), text.as_bytes(), RowPolicy::Strict).unwrap();
+        assert_eq!(rel, plain);
+        assert_eq!(report.rows_kept, plain.len());
+        assert!(!report.has_skips());
+        let (rel2, _) =
+            read_relation_str_with_policy(schema.clone(), &text, 4, RowPolicy::Strict).unwrap();
+        assert_eq!(rel2, plain);
+        // Strict still aborts on a bad row.
+        let bad = "Empl,Dept,Sal,t_start,t_end\ne1,d1,x,1,2\n";
+        assert!(read_relation_with_policy(schema, bad.as_bytes(), RowPolicy::Strict).is_err());
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod value;
 
 pub use chronon::Chronon;
 pub use coalesce::coalesce;
+pub use csv::{IngestReport, RowPolicy};
 pub use error::{CommonError, TemporalError};
 pub use group::{GroupId, GroupKey};
 pub use interval::TimeInterval;

@@ -22,11 +22,14 @@
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::process::ExitCode;
+use std::time::Duration;
 
 use pta::{
     Agg, AggregateFunction, Algorithm, Bound, Delta, DpStrategy, GapPolicy, PtaQuery, SpanSpec,
 };
-use pta_temporal::csv::{parse_schema, read_relation_str, write_relation, write_sequential};
+use pta_temporal::csv::{
+    parse_schema, read_relation_str_with_policy, write_relation, write_sequential, RowPolicy,
+};
 use pta_temporal::TemporalRelation;
 
 struct Args {
@@ -38,11 +41,17 @@ fn usage() -> &'static str {
     "usage: pta-cli <reduce|ita|sta|compare> --input FILE --schema \"name:type,...\" \
      [--group-by A,B] --agg fn:attr[,fn:attr...] \
      [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
-     [--dp-strategy scan|monge|auto] [--threads N] \
+     [--dp-strategy scan|monge|auto] [--threads N] [--timeout-ms MS] \
+     [--on-bad-rows fail|skip] \
      [--max-gap G] [--span-origin T --span-width W] [--output FILE]\n\
      --threads: worker budget for CSV ingest, exact-DP row fills and the \
      compare fan-out (0 = auto: PTA_THREADS or all cores; results are \
      identical at any budget)\n\
+     --timeout-ms: wall-time budget — reduce aborts the reduction with a \
+     deadline error; compare bounds each method, degrading overruns to \
+     error cells while the comparison completes\n\
+     --on-bad-rows skip: skip malformed CSV rows (reported on stderr) \
+     instead of aborting the read\n\
      compare: [--methods a,b,c|all] (--sizes N,N,... | --errors E,E,... | \
      --ratios R,R,...) — one-call §7 comparison; every method of the \
      summarizer registry over one bound grid, as CSV"
@@ -51,7 +60,8 @@ fn usage() -> &'static str {
 /// Flags shared by every subcommand. `threads` is common because every
 /// subcommand ingests CSV through the parallel reader; `reduce` and
 /// `compare` additionally thread it into their execution.
-const COMMON_FLAGS: &[&str] = &["input", "schema", "output", "group-by", "agg", "threads"];
+const COMMON_FLAGS: &[&str] =
+    &["input", "schema", "output", "group-by", "agg", "threads", "on-bad-rows"];
 
 /// The flags each subcommand reads beyond [`COMMON_FLAGS`]. Flags outside
 /// the invoked subcommand's set are rejected up front: several flags gate
@@ -60,10 +70,12 @@ const COMMON_FLAGS: &[&str] = &["input", "schema", "output", "group-by", "agg", 
 /// produce plausible-looking output for a run the user never asked for.
 fn command_flags(command: &str) -> Option<&'static [&'static str]> {
     match command {
-        "reduce" => Some(&["size", "error", "algorithm", "delta", "dp-strategy", "max-gap"]),
+        "reduce" => {
+            Some(&["size", "error", "algorithm", "delta", "dp-strategy", "max-gap", "timeout-ms"])
+        }
         "ita" => Some(&[]),
         "sta" => Some(&["span-origin", "span-width"]),
-        "compare" => Some(&["methods", "sizes", "errors", "ratios", "max-gap"]),
+        "compare" => Some(&["methods", "sizes", "errors", "ratios", "max-gap", "timeout-ms"]),
         _ => None,
     }
 }
@@ -136,7 +148,38 @@ fn load_relation(args: &Args, threads: usize) -> Result<TemporalRelation, String
     };
     let mut text = String::new();
     reader.read_to_string(&mut text).map_err(|e| format!("cannot read input: {e}"))?;
-    read_relation_str(schema, &text, threads).map_err(|e| e.to_string())
+    let policy = match args.options.get("on-bad-rows").map(String::as_str) {
+        None | Some("fail") => RowPolicy::Strict,
+        Some("skip") => RowPolicy::SkipAndReport,
+        Some(other) => return Err(format!("bad --on-bad-rows {other:?}: use fail|skip")),
+    };
+    let (relation, report) =
+        read_relation_str_with_policy(schema, &text, threads, policy).map_err(|e| e.to_string())?;
+    if report.has_skips() {
+        eprintln!(
+            "warning: skipped {} malformed row(s), kept {}",
+            report.rows_skipped, report.rows_kept
+        );
+        for msg in &report.first_errors {
+            eprintln!("  {msg}");
+        }
+        let unsampled = report.skipped_lines.len() - report.first_errors.len();
+        if unsampled > 0 {
+            eprintln!("  ... and {unsampled} more");
+        }
+    }
+    Ok(relation)
+}
+
+/// The optional `--timeout-ms` wall-time budget.
+fn timeout_budget(args: &Args) -> Result<Option<Duration>, String> {
+    match args.options.get("timeout-ms") {
+        Some(ms) => {
+            let ms: u64 = ms.parse().map_err(|e| format!("bad --timeout-ms: {e}"))?;
+            Ok(Some(Duration::from_millis(ms)))
+        }
+        None => Ok(None),
+    }
 }
 
 fn output_writer(args: &Args) -> Result<Box<dyn Write>, String> {
@@ -229,6 +272,9 @@ fn run() -> Result<(), String> {
                 let max_gap = g.parse().map_err(|e| format!("bad --max-gap: {e}"))?;
                 query = query.gap_policy(GapPolicy::Tolerate { max_gap });
             }
+            if let Some(t) = timeout_budget(&args)? {
+                query = query.deadline(t);
+            }
             let result = query.execute(&relation).map_err(|e| e.to_string())?;
             write_relation(&result.table, &mut out).map_err(|e| e.to_string())?;
             eprintln!(
@@ -246,6 +292,9 @@ fn run() -> Result<(), String> {
             if let Some(g) = args.options.get("max-gap") {
                 let max_gap = g.parse().map_err(|e| format!("bad --max-gap: {e}"))?;
                 cmp = cmp.gap_policy(GapPolicy::Tolerate { max_gap });
+            }
+            if let Some(t) = timeout_budget(&args)? {
+                cmp = cmp.method_timeout(t);
             }
             match args.options.get("methods").map(String::as_str).unwrap_or("exact,greedy,atc") {
                 "all" => cmp = cmp.all_methods(),

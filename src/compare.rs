@@ -32,6 +32,7 @@ use std::time::Duration;
 
 use pta_baselines::summarize::summarizer;
 use pta_core::{Bound, BoxedSummarizer, CoreError, GapPolicy, SeriesView, Summary};
+use pta_failpoints::fail_point;
 use pta_pool::Pool;
 use pta_temporal::{SequentialRelation, TemporalRelation};
 
@@ -56,6 +57,7 @@ pub struct Comparator {
     methods: Vec<BoxedSummarizer>,
     grid: Grid,
     threads: usize,
+    method_timeout: Option<Duration>,
 }
 
 impl fmt::Debug for Comparator {
@@ -84,7 +86,26 @@ impl Comparator {
     /// weights, gap policy); its bound/algorithm settings are ignored —
     /// the comparator's methods and grid replace them.
     pub fn from_query(query: PtaQuery) -> Self {
-        Self { query, methods: Vec::new(), grid: Grid::Bounds(Vec::new()), threads: 0 }
+        Self {
+            query,
+            methods: Vec::new(),
+            grid: Grid::Bounds(Vec::new()),
+            threads: 0,
+            method_timeout: None,
+        }
+    }
+
+    /// Bounds each method's wall time: a method still running `timeout`
+    /// after it starts aborts with the typed
+    /// [`CoreError::DeadlineExceeded`] in its curve cells, and the
+    /// comparison completes with every other method's results intact —
+    /// one slow method cannot hold the whole evaluation hostage. The
+    /// clock starts when the method starts executing (not when the run
+    /// is submitted), so queuing behind other methods on a small thread
+    /// budget does not consume the budget.
+    pub fn method_timeout(mut self, timeout: Duration) -> Self {
+        self.method_timeout = Some(timeout);
+        self
     }
 
     /// Sets the thread budget for the method fan-out (`0` = the process
@@ -203,6 +224,12 @@ impl Comparator {
     /// it measures the method's own compute exactly as in a sequential
     /// run, and `shared_wall` keeps meaning "this wall covers the whole
     /// grid, not one point" — concurrency never leaks into either.
+    ///
+    /// The fan-out is fault-isolated: a summarizer that panics degrades
+    /// to [`CoreError::Panic`] cells in its own curve, and one that
+    /// overruns [`Comparator::method_timeout`] to
+    /// [`CoreError::DeadlineExceeded`] cells — the comparison itself
+    /// always completes with every well-behaved method's results intact.
     pub fn run_sequential(&self, input: &SequentialRelation) -> Result<Comparison, Error> {
         if self.methods.is_empty() {
             return Err(Error::InvalidQuery("no summarizers selected".into()));
@@ -214,11 +241,36 @@ impl Comparator {
         // pays for (or races to compute) them inside its timed region.
         let emax = view.emax()?;
         let cmin = view.cmin();
-        let (view_ref, bounds_ref) = (&view, &bounds);
-        let methods = Pool::new(self.threads).map(self.methods.iter().collect(), |m| MethodCurve {
-            name: m.name(),
-            points: m.summarize_grid(view_ref, bounds_ref),
+        let base_cancel = self.query.effective_cancel();
+        let (view_ref, bounds_ref, cancel_ref, timeout) =
+            (&view, &bounds, &base_cancel, self.method_timeout);
+        // `try_map` isolates panics per method: a crashing summarizer
+        // degrades to typed `CoreError::Panic` cells in its own curve
+        // while every sibling's results survive.
+        let outcomes = Pool::new(self.threads).try_map(self.methods.iter().collect(), |m| {
+            fail_point!(format!("comparator.method.{}", m.name()));
+            // The per-method deadline counts from here — the method's own
+            // start on its worker — so a timeout budgets compute, not
+            // queueing.
+            let method_view = match timeout {
+                Some(t) => view_ref.with_cancel(cancel_ref.with_deadline_in(t)),
+                None => view_ref.with_cancel(cancel_ref.clone()),
+            };
+            MethodCurve { name: m.name(), points: m.summarize_grid(&method_view, bounds_ref) }
         });
+        let methods = outcomes
+            .into_iter()
+            .zip(&self.methods)
+            .map(|(outcome, m)| {
+                outcome.unwrap_or_else(|panic| MethodCurve {
+                    name: m.name(),
+                    points: bounds
+                        .iter()
+                        .map(|_| Err(CoreError::Panic { message: panic.message.clone() }))
+                        .collect(),
+                })
+            })
+            .collect();
         Ok(Comparison { n: view.len(), cmin, emax, bounds, ratios, methods })
     }
 
@@ -488,6 +540,32 @@ mod tests {
                         p.name
                     );
                 }
+            }
+        }
+    }
+
+    /// An already-expired method deadline degrades every point of every
+    /// deadline-aware method to typed cells — and the comparison still
+    /// completes rather than erroring out.
+    #[test]
+    fn expired_method_timeout_degrades_points_to_typed_deadline_cells() {
+        let cmp = Comparator::new()
+            .group_by(&["Proj"])
+            .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+            .methods(&["exact", "greedy"])
+            .unwrap()
+            .sizes([4usize, 5])
+            .method_timeout(Duration::ZERO)
+            .run(&proj_relation())
+            .unwrap();
+        assert_eq!(cmp.bounds.len(), 2);
+        for curve in &cmp.methods {
+            for (i, point) in curve.points.iter().enumerate() {
+                assert!(
+                    matches!(point, Err(CoreError::DeadlineExceeded { .. })),
+                    "{} @ {i}: expected a deadline cell, got {point:?}",
+                    curve.name
+                );
             }
         }
     }

@@ -1,8 +1,10 @@
 //! The high-level PTA query builder.
 
+use std::time::Duration;
+
 use pta_core::{
-    pta_error_bounded_with_opts, pta_size_bounded_with_opts, Delta, DpMode, DpOptions, DpStrategy,
-    Estimates, GPtaC, GPtaE, GapPolicy, Reduction, Weights,
+    pta_error_bounded_with_opts, pta_size_bounded_with_opts, CancelToken, Delta, DpMode, DpOptions,
+    DpStrategy, Estimates, GPtaC, GPtaE, GapPolicy, Reduction, Weights,
 };
 use pta_ita::{ItaQuerySpec, StreamingIta};
 use pta_temporal::{SequentialRelation, TemporalRelation};
@@ -77,6 +79,8 @@ pub struct PtaQuery {
     pub(crate) dp_mode: DpMode,
     pub(crate) dp_strategy: DpStrategy,
     pub(crate) threads: usize,
+    pub(crate) deadline: Option<Duration>,
+    pub(crate) cancel: CancelToken,
 }
 
 impl Default for PtaQuery {
@@ -99,6 +103,8 @@ impl PtaQuery {
             dp_mode: DpMode::Auto,
             dp_strategy: DpStrategy::Auto,
             threads: 0,
+            deadline: None,
+            cancel: CancelToken::inert(),
         }
     }
 
@@ -175,6 +181,34 @@ impl PtaQuery {
         self
     }
 
+    /// Bounds the reduction's wall time: execution past the deadline
+    /// aborts with the typed [`pta_core::CoreError::DeadlineExceeded`]
+    /// (carrying the partial-progress counters) instead of running to
+    /// completion. The deadline covers the reduction itself; the ITA
+    /// front half is linear in the input and not interrupted.
+    pub fn deadline(mut self, timeout: Duration) -> Self {
+        self.deadline = Some(timeout);
+        self
+    }
+
+    /// Attaches an externally cancellable token:
+    /// [`CancelToken::cancel`] from any thread aborts the reduction with
+    /// [`pta_core::CoreError::Cancelled`]. Composes with
+    /// [`PtaQuery::deadline`] — whichever fires first wins.
+    pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
+        self.cancel = cancel;
+        self
+    }
+
+    /// The effective token of one execution: the caller's token, bounded
+    /// by the configured deadline counted from now.
+    pub(crate) fn effective_cancel(&self) -> CancelToken {
+        match self.deadline {
+            Some(timeout) => self.cancel.with_deadline_in(timeout),
+            None => self.cancel.clone(),
+        }
+    }
+
     /// Supplies `(n̂, Ê_max)` estimates for greedy error-bounded
     /// execution; without them the exact values are computed in a first
     /// pass.
@@ -215,6 +249,7 @@ impl PtaQuery {
             self.bound.ok_or_else(|| Error::InvalidQuery("no size or error bound set".into()))?;
         let spec = self.ita_spec()?;
         let weights = self.resolved_weights(self.aggregates.len())?;
+        let cancel = self.effective_cancel();
 
         let (reduction, ita_size, stats) = match self.algorithm {
             Algorithm::Exact => {
@@ -225,6 +260,7 @@ impl PtaQuery {
                     mode: self.dp_mode,
                     strategy: self.dp_strategy,
                     threads: self.threads,
+                    cancel,
                 };
                 let out = match bound {
                     Bound::Size(c) => pta_size_bounded_with_opts(&seq, &weights, c, opts)?,
@@ -235,7 +271,8 @@ impl PtaQuery {
             Algorithm::Greedy { delta } => match bound {
                 Bound::Size(c) => {
                     let stream = StreamingIta::new(relation, &spec)?;
-                    let mut alg = GPtaC::with_policy(weights.clone(), c, delta, self.policy);
+                    let mut alg = GPtaC::with_policy(weights.clone(), c, delta, self.policy)
+                        .with_cancel(cancel);
                     for row in stream {
                         alg.push(&row.key, row.interval, &row.values)?;
                     }
@@ -260,7 +297,8 @@ impl PtaQuery {
                     };
                     let stream = StreamingIta::new(relation, &spec)?;
                     let mut alg =
-                        GPtaE::with_policy(weights.clone(), eps, delta, est, self.policy)?;
+                        GPtaE::with_policy(weights.clone(), eps, delta, est, self.policy)?
+                            .with_cancel(cancel);
                     for row in stream {
                         alg.push(&row.key, row.interval, &row.values)?;
                     }

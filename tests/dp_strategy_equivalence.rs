@@ -26,7 +26,7 @@ const MODES: [DpMode; 2] = [DpMode::Table, DpMode::DivideConquer];
 const STRATEGIES: [DpStrategy; 3] = [DpStrategy::Scan, DpStrategy::Monge, DpStrategy::Auto];
 
 fn opts(mode: DpMode, strategy: DpStrategy) -> DpOptions {
-    DpOptions { policy: GapPolicy::Strict, mode, strategy, threads: 1 }
+    DpOptions { policy: GapPolicy::Strict, mode, strategy, threads: 1, ..DpOptions::default() }
 }
 
 /// Non-uniform weights so the equivalence covers the weighted SSE.

@@ -24,7 +24,7 @@ const MODES: [DpMode; 2] = [DpMode::Table, DpMode::DivideConquer];
 const STRATEGIES: [DpStrategy; 2] = [DpStrategy::Scan, DpStrategy::Monge];
 
 fn opts(mode: DpMode, strategy: DpStrategy, threads: usize) -> DpOptions {
-    DpOptions { policy: GapPolicy::Strict, mode, strategy, threads }
+    DpOptions { policy: GapPolicy::Strict, mode, strategy, threads, ..DpOptions::default() }
 }
 
 /// The three §7 input classes the row fills behave differently on.
