@@ -1,0 +1,288 @@
+//! Minimal JSON support: a position-tracking parser (for the
+//! `BENCH_dp.json` schema rule) and string escaping (for `--format json`
+//! output). Hand-rolled because the analyzer is dependency-free.
+
+/// A parsed JSON value, each carrying the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// `null`
+    Null(u32),
+    /// `true` / `false`
+    Bool(u32, bool),
+    /// Any number (JSON does not distinguish int/float; the schema rule
+    /// does its own integer checks on the raw f64).
+    Num(u32, f64),
+    /// A string.
+    Str(u32, String),
+    /// An array.
+    Arr(u32, Vec<Value>),
+    /// An object, insertion-ordered.
+    Obj(u32, Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The 1-based line this value starts on.
+    pub fn line(&self) -> u32 {
+        match self {
+            Value::Null(l)
+            | Value::Bool(l, _)
+            | Value::Num(l, _)
+            | Value::Str(l, _)
+            | Value::Arr(l, _)
+            | Value::Obj(l, _) => *l,
+        }
+    }
+
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Obj(_, fields) => fields.iter().find_map(|(k, v)| (k == key).then_some(v)),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+/// Parses a complete JSON document; trailing whitespace allowed, trailing
+/// garbage is an error. Errors carry the 1-based line they occur on.
+pub fn parse(src: &str) -> Result<Value, (u32, String)> {
+    let mut p = Parser { bytes: src.as_bytes(), pos: 0, line: 1 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos < p.bytes.len() {
+        return Err((p.line, "trailing characters after JSON document".to_string()));
+    }
+    Ok(v)
+}
+
+impl Parser<'_> {
+    fn skip_ws(&mut self) {
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+            } else if !matches!(b, b' ' | b'\t' | b'\r') {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+
+    fn err(&self, msg: &str) -> (u32, String) {
+        (self.line, msg.to_string())
+    }
+
+    fn eat(&mut self, b: u8) -> Result<(), (u32, String)> {
+        if self.bytes.get(self.pos) == Some(&b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{}`", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value, (u32, String)> {
+        self.skip_ws();
+        let line = self.line;
+        match self.bytes.get(self.pos) {
+            Some(b'{') => self.object(line),
+            Some(b'[') => self.array(line),
+            Some(b'"') => Ok(Value::Str(line, self.string()?)),
+            Some(b't') => self.literal("true").map(|()| Value::Bool(line, true)),
+            Some(b'f') => self.literal("false").map(|()| Value::Bool(line, false)),
+            Some(b'n') => self.literal("null").map(|()| Value::Null(line)),
+            Some(b) if b.is_ascii_digit() || *b == b'-' => self.number(line),
+            _ => Err(self.err("expected a JSON value")),
+        }
+    }
+
+    fn literal(&mut self, word: &str) -> Result<(), (u32, String)> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected `{word}`")))
+        }
+    }
+
+    fn object(&mut self, line: u32) -> Result<Value, (u32, String)> {
+        self.eat(b'{')?;
+        let mut fields = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b'}') {
+            self.pos += 1;
+            return Ok(Value::Obj(line, fields));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.eat(b':')?;
+            let val = self.value()?;
+            fields.push((key, val));
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Value::Obj(line, fields));
+                }
+                _ => return Err(self.err("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn array(&mut self, line: u32) -> Result<Value, (u32, String)> {
+        self.eat(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.bytes.get(self.pos) == Some(&b']') {
+            self.pos += 1;
+            return Ok(Value::Arr(line, items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bytes.get(self.pos) {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Value::Arr(line, items));
+                }
+                _ => return Err(self.err("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, (u32, String)> {
+        self.eat(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.bytes.get(self.pos) {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.bytes.get(self.pos) {
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .and_then(char::from_u32);
+                            match hex {
+                                Some(c) => {
+                                    out.push(c);
+                                    self.pos += 4;
+                                }
+                                None => return Err(self.err("bad \\u escape")),
+                            }
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(&b) => {
+                    // Multi-byte UTF-8: copy the whole scalar.
+                    let start = self.pos;
+                    let width = utf8_width(b);
+                    let chunk = self.bytes.get(start..start + width);
+                    match chunk.and_then(|c| std::str::from_utf8(c).ok()) {
+                        Some(s) => {
+                            out.push_str(s);
+                            self.pos += width;
+                        }
+                        None => return Err(self.err("invalid UTF-8 in string")),
+                    }
+                }
+            }
+        }
+    }
+
+    fn number(&mut self, line: u32) -> Result<Value, (u32, String)> {
+        let start = self.pos;
+        while let Some(&b) = self.bytes.get(self.pos) {
+            if b.is_ascii_digit() || matches!(b, b'-' | b'+' | b'.' | b'e' | b'E') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(|n| Value::Num(line, n))
+            .ok_or_else(|| self.err("malformed number"))
+    }
+}
+
+fn utf8_width(b: u8) -> usize {
+    match b {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_records_with_lines() {
+        let src = "[\n  {\"a\": 1, \"b\": \"x\"},\n  {\"a\": 2.5}\n]\n";
+        let v = parse(src).unwrap();
+        let Value::Arr(1, items) = &v else { panic!("want array at line 1") };
+        assert_eq!(items.len(), 2);
+        assert_eq!(items[0].line(), 2);
+        assert_eq!(items[1].line(), 3);
+        assert_eq!(items[0].get("a"), Some(&Value::Num(2, 1.0)));
+        assert_eq!(items[1].get("b"), None);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse("[1,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("[] []").is_err());
+    }
+
+    #[test]
+    fn escapes_specials() {
+        assert_eq!(escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+    }
+}

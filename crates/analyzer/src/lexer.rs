@@ -1,0 +1,573 @@
+//! A hand-rolled Rust lexer — just enough fidelity for lint rules.
+//!
+//! The rules in this crate key off *token* boundaries, so the lexer's one
+//! job is to never mistake content inside comments, string/char literals,
+//! or raw strings for code (and vice versa). It handles:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments;
+//! * string literals with escapes, byte strings (`b"..."`), raw strings
+//!   (`r"..."`, `r#"..."#`, any `#` count, `br`/`cr` prefixes) — raw
+//!   strings may contain `"` and `//` without ending the token;
+//! * char literals (including `'"'`, `'\''`, `'\u{1F600}'`, `b'x'`)
+//!   disambiguated from lifetimes (`'a`, `'static`);
+//! * numeric literals with a float flag (`1.`, `1.5e-3`, `2f64`, but not
+//!   `1..n` or `1.max(2)`);
+//! * identifiers/keywords, lifetimes, and maximal-munch punctuation
+//!   (`::`, `..=`, `==`, `!=`, `->`, ...).
+//!
+//! Positions are 1-based `(line, col)` counted in characters, matching
+//! what editors display and what the fixture tests pin.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (`fn`, `unwrap`, `spawn`, ...).
+    Ident,
+    /// Lifetime (`'a`, `'static`) — *not* a char literal.
+    Lifetime,
+    /// Char or byte-char literal (`'x'`, `'"'`, `b'\n'`).
+    CharLit,
+    /// Cooked string literal (`"..."`, `b"..."`, `c"..."`).
+    StrLit,
+    /// Raw string literal (`r"..."`, `r#"..."#`, `br#"..."#`).
+    RawStrLit,
+    /// Numeric literal; `is_float` on [`Token`] distinguishes floats.
+    NumLit,
+    /// `// ...` comment, text kept (waivers live here).
+    LineComment,
+    /// `/* ... */` comment (nesting handled), text kept.
+    BlockComment,
+    /// One punctuation token, maximal munch (`::`, `==`, `..=`, `{`).
+    Punct,
+}
+
+/// One lexed token with its 1-based source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// The token's source text, verbatim (for string literals this
+    /// includes the quotes/prefix; for comments the `//` or `/* */`).
+    pub text: String,
+    /// 1-based line of the token's first character.
+    pub line: u32,
+    /// 1-based column (in chars) of the token's first character.
+    pub col: u32,
+    /// For [`TokKind::NumLit`]: the literal is float-typed (`1.0`,
+    /// `2e9`, `3f32`). Always `false` for other kinds.
+    pub is_float: bool,
+}
+
+impl Token {
+    /// True when the token is a comment (line or block).
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// For string literals, the unquoted content; other kinds verbatim.
+    pub fn str_content(&self) -> &str {
+        match self.kind {
+            TokKind::StrLit => {
+                let t = self.text.trim_start_matches(['b', 'c']);
+                t.strip_prefix('"').and_then(|t| t.strip_suffix('"')).unwrap_or(t)
+            }
+            TokKind::RawStrLit => {
+                let t = self.text.trim_start_matches(['b', 'c', 'r']);
+                let hashes = t.chars().take_while(|&c| c == '#').count();
+                let inner = &t[hashes..t.len().saturating_sub(hashes)];
+                inner.strip_prefix('"').and_then(|t| t.strip_suffix('"')).unwrap_or(inner)
+            }
+            _ => &self.text,
+        }
+    }
+}
+
+/// Cursor over the source with 1-based line/col tracking.
+struct Cursor<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(src: &'a str) -> Self {
+        Self { chars: src.chars().peekable(), line: 1, col: 1 }
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Peeks the character after the next one (two-char lookahead).
+    fn peek2(&mut self) -> Option<char> {
+        let mut clone = self.chars.clone();
+        clone.next();
+        clone.next()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Multi-char punctuation, longest first, so `..=` never lexes as `..`+`=`.
+const PUNCTS: &[&str] = &[
+    "<<=", ">>=", "...", "..=", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+/// Lexes `src` into a token stream. Never fails: malformed input (an
+/// unterminated string, a stray byte) degrades to best-effort tokens so a
+/// half-edited file still gets linted rather than skipped.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor::new(src);
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek() {
+        let (line, col) = (cur.line, cur.col);
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        if c == '/' && cur.peek2() == Some('/') {
+            out.push(lex_line_comment(&mut cur, line, col));
+            continue;
+        }
+        if c == '/' && cur.peek2() == Some('*') {
+            out.push(lex_block_comment(&mut cur, line, col));
+            continue;
+        }
+        if is_ident_start(c) {
+            out.push(lex_ident_or_prefixed_literal(&mut cur, line, col));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            out.push(lex_number(&mut cur, line, col));
+            continue;
+        }
+        if c == '\'' {
+            out.push(lex_lifetime_or_char(&mut cur, line, col));
+            continue;
+        }
+        if c == '"' {
+            let text = lex_cooked_string(&mut cur, String::new());
+            out.push(Token { kind: TokKind::StrLit, text, line, col, is_float: false });
+            continue;
+        }
+        out.push(lex_punct(&mut cur, line, col));
+    }
+    out
+}
+
+fn lex_line_comment(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if c == '\n' {
+            break;
+        }
+        text.push(c);
+        cur.bump();
+    }
+    Token { kind: TokKind::LineComment, text, line, col, is_float: false }
+}
+
+fn lex_block_comment(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut depth = 0u32;
+    while let Some(c) = cur.peek() {
+        if c == '/' && cur.peek2() == Some('*') {
+            depth += 1;
+            text.push_str("/*");
+            cur.bump();
+            cur.bump();
+        } else if c == '*' && cur.peek2() == Some('/') {
+            depth = depth.saturating_sub(1);
+            text.push_str("*/");
+            cur.bump();
+            cur.bump();
+            if depth == 0 {
+                break;
+            }
+        } else {
+            text.push(c);
+            cur.bump();
+        }
+    }
+    Token { kind: TokKind::BlockComment, text, line, col, is_float: false }
+}
+
+/// An identifier — unless it is `r`/`b`/`br`/`c`/`cr` immediately followed
+/// by a string opener, in which case the whole literal is one token.
+fn lex_ident_or_prefixed_literal(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    let raw_capable = matches!(text.as_str(), "r" | "br" | "cr");
+    let cooked_capable = matches!(text.as_str(), "b" | "c");
+    match cur.peek() {
+        Some('"') if raw_capable || cooked_capable => {
+            if raw_capable {
+                let text = lex_raw_string(cur, text);
+                Token { kind: TokKind::RawStrLit, text, line, col, is_float: false }
+            } else {
+                let text = lex_cooked_string(cur, text);
+                Token { kind: TokKind::StrLit, text, line, col, is_float: false }
+            }
+        }
+        Some('#') if raw_capable && matches!(cur.peek2(), Some('#' | '"')) => {
+            let text = lex_raw_string(cur, text);
+            Token { kind: TokKind::RawStrLit, text, line, col, is_float: false }
+        }
+        Some('\'') if text == "b" => {
+            // Byte-char literal b'x': delegate to the char lexer and
+            // prepend the prefix.
+            let tok = lex_lifetime_or_char(cur, line, col);
+            let mut full = text;
+            full.push_str(&tok.text);
+            Token { kind: tok.kind, text: full, line, col, is_float: false }
+        }
+        _ => Token { kind: TokKind::Ident, text, line, col, is_float: false },
+    }
+}
+
+/// Consumes a cooked string body (opening `"` still pending). `prefix`
+/// carries an already-consumed `b`/`c`.
+fn lex_cooked_string(cur: &mut Cursor<'_>, mut text: String) -> String {
+    if cur.peek() == Some('"') {
+        text.push('"');
+        cur.bump();
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '\\' {
+            if let Some(escaped) = cur.bump() {
+                text.push(escaped);
+            }
+        } else if c == '"' {
+            break;
+        }
+    }
+    text
+}
+
+/// Consumes a raw string: `#`* then `"` ... `"` then the same `#` count.
+/// The body may contain anything — `"` and `//` included — short of the
+/// closing quote-hash sequence.
+fn lex_raw_string(cur: &mut Cursor<'_>, mut text: String) -> String {
+    let mut hashes = 0usize;
+    while cur.peek() == Some('#') {
+        hashes += 1;
+        text.push('#');
+        cur.bump();
+    }
+    if cur.peek() == Some('"') {
+        text.push('"');
+        cur.bump();
+    } else {
+        return text; // `r#foo` raw identifier, not a string
+    }
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '"' {
+            let mut clone = cur.chars.clone();
+            if (0..hashes).all(|_| clone.next() == Some('#')) {
+                for _ in 0..hashes {
+                    text.push('#');
+                    cur.bump();
+                }
+                break;
+            }
+        }
+    }
+    text
+}
+
+/// After a `'`: a lifetime when an identifier follows without a closing
+/// quote (`'a`, `'static`); otherwise a char literal (`'x'`, `'\''`,
+/// `'"'`).
+fn lex_lifetime_or_char(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::from("'");
+    cur.bump(); // the opening '
+    let first = cur.peek();
+    let lifetime_like = first.is_some_and(is_ident_start) && {
+        // Look past the ident run: a `'` right after means char literal.
+        let mut clone = cur.chars.clone();
+        let mut saw = false;
+        loop {
+            match clone.next() {
+                Some(c) if is_ident_continue(c) => saw = true,
+                Some('\'') => break !saw, // 'a' is a char, '' cannot happen
+                _ => break true,
+            }
+        }
+    };
+    if lifetime_like {
+        while let Some(c) = cur.peek() {
+            if is_ident_continue(c) {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind: TokKind::Lifetime, text, line, col, is_float: false };
+    }
+    // Char literal: one escape or one char, then the closing quote.
+    match cur.bump() {
+        Some('\\') => {
+            text.push('\\');
+            if let Some(e) = cur.bump() {
+                text.push(e);
+                if e == 'x' {
+                    for _ in 0..2 {
+                        if let Some(h) = cur.bump() {
+                            text.push(h);
+                        }
+                    }
+                } else if e == 'u' {
+                    while let Some(c) = cur.bump() {
+                        text.push(c);
+                        if c == '}' {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        Some(c) => text.push(c),
+        None => {}
+    }
+    if cur.peek() == Some('\'') {
+        text.push('\'');
+        cur.bump();
+    }
+    Token { kind: TokKind::CharLit, text, line, col, is_float: false }
+}
+
+fn lex_number(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    let mut text = String::new();
+    let mut is_float = false;
+    let radix_prefixed = cur.peek() == Some('0') && matches!(cur.peek2(), Some('x' | 'o' | 'b'));
+    if radix_prefixed {
+        // 0x/0o/0b: digits only, never a float (suffix still consumed).
+        for _ in 0..2 {
+            if let Some(c) = cur.bump() {
+                text.push(c);
+            }
+        }
+        while let Some(c) = cur.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                text.push(c);
+                cur.bump();
+            } else {
+                break;
+            }
+        }
+        return Token { kind: TokKind::NumLit, text, line, col, is_float };
+    }
+    while let Some(c) = cur.peek() {
+        if c.is_ascii_digit() || c == '_' {
+            text.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    // A `.` joins the number only when it cannot be a range (`1..n`) or a
+    // method call (`1.max(2)`): next-next must not be `.` or ident-start.
+    if cur.peek() == Some('.') {
+        let after = cur.peek2();
+        let joins = match after {
+            Some(c) => c.is_ascii_digit() || !(c == '.' || is_ident_start(c)),
+            None => true, // `1.` at EOF is a float
+        };
+        if joins {
+            is_float = true;
+            text.push('.');
+            cur.bump();
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Exponent: e/E [+/-] digits — only when digits actually follow.
+    if matches!(cur.peek(), Some('e' | 'E')) {
+        let (a, b) = (cur.peek2(), {
+            let mut clone = cur.chars.clone();
+            clone.next();
+            clone.next();
+            clone.next()
+        });
+        let digits_follow = match a {
+            Some(c) if c.is_ascii_digit() => true,
+            Some('+' | '-') => b.is_some_and(|c| c.is_ascii_digit()),
+            _ => false,
+        };
+        if digits_follow {
+            is_float = true;
+            text.extend(cur.bump()); // e
+            if matches!(cur.peek(), Some('+' | '-')) {
+                text.extend(cur.bump());
+            }
+            while let Some(c) = cur.peek() {
+                if c.is_ascii_digit() || c == '_' {
+                    text.push(c);
+                    cur.bump();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+    // Type suffix (u32, f64, ...): ident chars glued to the literal.
+    let mut suffix = String::new();
+    while let Some(c) = cur.peek() {
+        if is_ident_continue(c) {
+            suffix.push(c);
+            cur.bump();
+        } else {
+            break;
+        }
+    }
+    if suffix == "f32" || suffix == "f64" {
+        is_float = true;
+    }
+    text.push_str(&suffix);
+    Token { kind: TokKind::NumLit, text, line, col, is_float }
+}
+
+fn lex_punct(cur: &mut Cursor<'_>, line: u32, col: u32) -> Token {
+    for p in PUNCTS {
+        let mut clone = cur.chars.clone();
+        if p.chars().all(|pc| clone.next() == Some(pc)) {
+            for _ in 0..p.len() {
+                cur.bump();
+            }
+            return Token {
+                kind: TokKind::Punct,
+                text: (*p).to_string(),
+                line,
+                col,
+                is_float: false,
+            };
+        }
+    }
+    let mut text = String::new();
+    text.extend(cur.bump());
+    Token { kind: TokKind::Punct, text, line, col, is_float: false }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn idents_and_puncts() {
+        let toks = kinds("fn a::b() -> i32 {}");
+        assert_eq!(toks[0], (TokKind::Ident, "fn".into()));
+        assert_eq!(toks[2], (TokKind::Punct, "::".into()));
+        assert_eq!(toks[6], (TokKind::Punct, "->".into()));
+    }
+
+    #[test]
+    fn range_vs_float() {
+        let toks = lex("0..n; 1.5; 1.; 2e3; 1.max(2); 3f64; 0x1f");
+        assert!(!toks[0].is_float && toks[0].text == "0");
+        assert_eq!(toks[1].text, "..");
+        assert!(toks[4].is_float && toks[4].text == "1.5");
+        assert!(toks[6].is_float && toks[6].text == "1.");
+        assert!(toks[8].is_float && toks[8].text == "2e3");
+        assert!(!toks[10].is_float && toks[10].text == "1");
+        let f64_tok = toks.iter().find(|t| t.text == "3f64");
+        assert!(f64_tok.is_some_and(|t| t.is_float));
+        let hex = toks.iter().find(|t| t.text == "0x1f");
+        assert!(hex.is_some_and(|t| !t.is_float));
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn raw_strings_hide_quotes_and_comment_markers() {
+        let toks = lex(r###"let s = r#"has " quote and // marker"#; x"###);
+        let raw = toks.iter().find(|t| t.kind == TokKind::RawStrLit).unwrap();
+        assert_eq!(raw.str_content(), r#"has " quote and // marker"#);
+        assert!(toks.iter().all(|t| !t.is_comment()));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Ident && t.text == "x"));
+    }
+
+    #[test]
+    fn raw_string_with_more_hashes_and_byte_prefix() {
+        let toks = lex(r####"br##"inner "# quote"## done"####);
+        assert_eq!(toks[0].kind, TokKind::RawStrLit);
+        assert_eq!(toks[0].str_content(), r###"inner "# quote"###);
+        assert_eq!(toks[1].text, "done");
+    }
+
+    #[test]
+    fn nested_block_comments_stay_one_token() {
+        let toks = lex("/* outer /* inner */ still comment */ fn");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].kind, TokKind::BlockComment);
+        assert_eq!(toks[1].text, "fn");
+    }
+
+    #[test]
+    fn quote_char_literal_vs_lifetime() {
+        let toks = lex("let c = '\"'; &'a str; 'x'");
+        assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "'\"'"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+        assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "'x'"));
+        assert!(toks.iter().all(|t| t.kind != TokKind::StrLit));
+    }
+
+    #[test]
+    fn byte_string_is_a_cooked_string_not_a_comment() {
+        let toks = lex("b\"// not a comment\"");
+        assert_eq!(toks.len(), 1);
+        assert_eq!(toks[0].kind, TokKind::StrLit);
+        assert_eq!(toks[0].str_content(), "// not a comment");
+    }
+
+    #[test]
+    fn escaped_quote_keeps_cooked_string_together() {
+        let toks = lex("\"a\\\"b // x\" y");
+        assert_eq!(toks[0].kind, TokKind::StrLit);
+        assert_eq!(toks[0].str_content(), "a\\\"b // x");
+        assert_eq!(toks[1].text, "y");
+        assert!(toks.iter().all(|t| !t.is_comment()));
+    }
+}

@@ -1,0 +1,93 @@
+//! `pta-analyzer` CLI.
+//!
+//! ```text
+//! cargo run -p pta-analyzer [--release] -- [--root DIR] [--format text|json] [--list-rules]
+//! ```
+//!
+//! Exit status: `0` clean, `1` findings reported, `2` usage/IO error.
+//! `--format json` prints a machine-readable findings array on stdout;
+//! the default text format prints `file:line:col rule message`, one per
+//! finding, plus a summary line on stderr.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Args {
+    root: PathBuf,
+    json: bool,
+    list_rules: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut list_rules = false;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        match arg.as_str() {
+            "--root" => {
+                root = PathBuf::from(
+                    argv.next().ok_or_else(|| "--root needs a directory".to_string())?,
+                );
+            }
+            "--format" => match argv.next().as_deref() {
+                Some("json") => json = true,
+                Some("text") => json = false,
+                other => {
+                    return Err(format!(
+                        "--format wants `text` or `json`, got {:?}",
+                        other.unwrap_or("nothing")
+                    ))
+                }
+            },
+            "--list-rules" => list_rules = true,
+            "--help" | "-h" => {
+                return Err("usage: pta-analyzer [--root DIR] [--format text|json] [--list-rules]"
+                    .to_string())
+            }
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args { root, json, list_rules })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::from(2);
+        }
+    };
+    if args.list_rules {
+        for (id, summary) in pta_analyzer::rules::ALL_RULES {
+            println!("{id:24} {summary}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    let ws = match pta_analyzer::load_workspace(&args.root) {
+        Ok(ws) => ws,
+        Err(msg) => {
+            eprintln!("pta-analyzer: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+    let findings = pta_analyzer::analyze(&ws);
+    if args.json {
+        print!("{}", pta_analyzer::to_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+    eprintln!(
+        "pta-analyzer: {} file(s), {} finding(s)",
+        ws.files.len() + ws.manifests.len(),
+        findings.len()
+    );
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,254 @@
+//! Structural passes over the token stream: `#[cfg(test)]` / `#[test]`
+//! region tracking (so rules can exempt test code) and function-extent
+//! extraction (so per-function rules know which tokens belong to whom).
+
+use crate::lexer::{TokKind, Token};
+
+/// A half-open token-index range `[start, end)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TokSpan {
+    /// First token index of the region.
+    pub start: usize,
+    /// One past the last token index of the region.
+    pub end: usize,
+}
+
+impl TokSpan {
+    /// True when token index `i` falls inside the span.
+    pub fn contains(&self, i: usize) -> bool {
+        self.start <= i && i < self.end
+    }
+}
+
+/// One `fn` item: its name, position, and body extent.
+#[derive(Debug, Clone)]
+pub struct FnInfo {
+    /// The function's name.
+    pub name: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: u32,
+    /// 1-based column of the `fn` keyword.
+    pub col: u32,
+    /// Token index of the `fn` keyword.
+    pub fn_idx: usize,
+    /// Tokens of the whole item, signature through closing brace
+    /// (`[fn_idx, end)`); trait-method declarations end at the `;`.
+    pub span: TokSpan,
+    /// Body-only extent (inside the braces); empty for declarations.
+    pub body: TokSpan,
+}
+
+/// Returns spans of test-only code: bodies of `#[cfg(test)]` items
+/// (typically `mod tests { ... }`) and of `#[test]` functions.
+///
+/// The scan is token-based: it finds a test attribute, then extends the
+/// region over the *next item* — through the matching `}` of the item's
+/// first body brace, or through a terminating `;` for brace-less items
+/// (`#[cfg(test)] use ...;`).
+pub fn test_spans(toks: &[Token]) -> Vec<TokSpan> {
+    let mut spans: Vec<TokSpan> = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        if let Some(open) = spans.last() {
+            if open.contains(i) {
+                // Skip ahead: nested test attributes inside an already
+                // test-marked region add nothing.
+                i = open.end;
+                continue;
+            }
+        }
+        if !(toks[i].kind == TokKind::Punct && toks[i].text == "#") {
+            i += 1;
+            continue;
+        }
+        let Some((attr_end, is_test)) = parse_attribute(toks, i) else {
+            i += 1;
+            continue;
+        };
+        if !is_test {
+            i = attr_end;
+            continue;
+        }
+        let end = item_end(toks, attr_end);
+        spans.push(TokSpan { start: i, end });
+        i = attr_end;
+    }
+    spans
+}
+
+/// Parses an attribute starting at the `#` of `#[...]`; returns the token
+/// index one past the closing `]` and whether the attribute marks test
+/// code (`#[test]` or any `cfg(...)` mentioning `test`).
+fn parse_attribute(toks: &[Token], hash: usize) -> Option<(usize, bool)> {
+    let mut i = hash + 1;
+    if toks.get(i).is_some_and(|t| t.text == "!") {
+        i += 1; // inner attribute #![...]
+    }
+    if !toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == "[") {
+        return None;
+    }
+    let mut depth = 0usize;
+    let mut idents: Vec<&str> = Vec::new();
+    while i < toks.len() {
+        let t = &toks[i];
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "[") => depth += 1,
+            (TokKind::Punct, "]") => {
+                depth -= 1;
+                if depth == 0 {
+                    i += 1;
+                    break;
+                }
+            }
+            (TokKind::Ident, name) => idents.push(name),
+            _ => {}
+        }
+        i += 1;
+    }
+    let is_bare_test = idents == ["test"];
+    let is_cfg_test = idents.first() == Some(&"cfg") && idents.contains(&"test");
+    Some((i, is_bare_test || is_cfg_test))
+}
+
+/// Finds the end (exclusive) of the item that starts at token `i`: skips
+/// further attributes, then runs to the matching `}` of the first `{` —
+/// or just past a `;` met before any brace.
+fn item_end(toks: &[Token], mut i: usize) -> usize {
+    // Skip stacked attributes between the test attribute and the item.
+    while toks.get(i).is_some_and(|t| t.kind == TokKind::Punct && t.text == "#") {
+        match parse_attribute(toks, i) {
+            Some((end, _)) => i = end,
+            None => break,
+        }
+    }
+    while i < toks.len() {
+        match (toks[i].kind, toks[i].text.as_str()) {
+            (TokKind::Punct, ";") => return i + 1,
+            (TokKind::Punct, "{") => return matching_close(toks, i),
+            _ => i += 1,
+        }
+    }
+    toks.len()
+}
+
+/// Given the index of an opening `{`, returns one past its matching `}`.
+fn matching_close(toks: &[Token], open: usize) -> usize {
+    let mut depth = 0usize;
+    let mut i = open;
+    while i < toks.len() {
+        match (toks[i].kind, toks[i].text.as_str()) {
+            (TokKind::Punct, "{") => depth += 1,
+            (TokKind::Punct, "}") => {
+                depth -= 1;
+                if depth == 0 {
+                    return i + 1;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    toks.len()
+}
+
+/// Extracts every `fn` item (free, inherent, trait, nested) with its body
+/// extent. Tokens of a nested `fn` belong to both the inner and outer
+/// entries; [`innermost_fn`] resolves ties for per-function rules.
+pub fn functions(toks: &[Token]) -> Vec<FnInfo> {
+    let mut out = Vec::new();
+    for i in 0..toks.len() {
+        let t = &toks[i];
+        if !(t.kind == TokKind::Ident && t.text == "fn") {
+            continue;
+        }
+        let Some(name_tok) = toks.get(i + 1) else { continue };
+        if name_tok.kind != TokKind::Ident {
+            continue; // `Fn()` trait sugar or a stray `fn`
+        }
+        // Find the body `{` (or `;` for declarations), skipping the
+        // signature. Closure bodies and const-generic braces inside
+        // signatures are rare enough to accept as a known limitation.
+        let mut j = i + 2;
+        let mut body = TokSpan { start: i + 2, end: i + 2 };
+        let mut end = toks.len();
+        let mut paren = 0isize;
+        while j < toks.len() {
+            match (toks[j].kind, toks[j].text.as_str()) {
+                (TokKind::Punct, "(") => paren += 1,
+                (TokKind::Punct, ")") => paren -= 1,
+                (TokKind::Punct, ";") if paren == 0 => {
+                    end = j + 1;
+                    break;
+                }
+                (TokKind::Punct, "{") if paren == 0 => {
+                    end = matching_close(toks, j);
+                    body = TokSpan { start: j + 1, end: end.saturating_sub(1) };
+                    break;
+                }
+                _ => {}
+            }
+            j += 1;
+        }
+        out.push(FnInfo {
+            name: name_tok.text.clone(),
+            line: t.line,
+            col: t.col,
+            fn_idx: i,
+            span: TokSpan { start: i, end },
+            body,
+        });
+    }
+    out
+}
+
+/// The innermost function whose item span contains token `i`, if any.
+pub fn innermost_fn(fns: &[FnInfo], i: usize) -> Option<&FnInfo> {
+    fns.iter().filter(|f| f.span.contains(i)).min_by_key(|f| f.span.end - f.span.start)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    #[test]
+    fn cfg_test_module_is_one_span() {
+        let toks = lex("fn a() {}\n#[cfg(test)]\nmod tests {\n fn b() { x.unwrap(); }\n}\n");
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let unwrap_idx = toks.iter().position(|t| t.text == "unwrap");
+        assert!(unwrap_idx.is_some_and(|i| spans[0].contains(i)));
+        let a_idx = toks.iter().position(|t| t.text == "a");
+        assert!(a_idx.is_some_and(|i| !spans[0].contains(i)));
+    }
+
+    #[test]
+    fn test_fn_with_stacked_attrs() {
+        let toks = lex("#[test]\n#[ignore]\nfn t() { panic!(\"x\") }\nfn lib() {}");
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let panic_idx = toks.iter().position(|t| t.text == "panic");
+        assert!(panic_idx.is_some_and(|i| spans[0].contains(i)));
+        let lib_idx = toks.iter().rposition(|t| t.text == "lib");
+        assert!(lib_idx.is_some_and(|i| !spans[0].contains(i)));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let toks = lex("#[cfg(test)]\nuse std::fmt;\nfn real() {}");
+        let spans = test_spans(&toks);
+        assert_eq!(spans.len(), 1);
+        let real_idx = toks.iter().position(|t| t.text == "real");
+        assert!(real_idx.is_some_and(|i| !spans[0].contains(i)));
+    }
+
+    #[test]
+    fn functions_and_innermost() {
+        let toks = lex("fn outer() { fn inner() { loop {} } }");
+        let fns = functions(&toks);
+        assert_eq!(fns.len(), 2);
+        let loop_idx = toks.iter().position(|t| t.text == "loop");
+        let inner = loop_idx.and_then(|i| innermost_fn(&fns, i)).map(|f| f.name.clone());
+        assert_eq!(inner.as_deref(), Some("inner"));
+    }
+}

@@ -1,0 +1,6 @@
+//! A spotless fixture crate: the analyzer must exit 0 here.
+
+/// Adds without panicking, spawning, or comparing floats.
+pub fn add(a: u64, b: u64) -> u64 {
+    a.wrapping_add(b)
+}

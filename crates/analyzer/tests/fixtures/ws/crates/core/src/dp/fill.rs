@@ -1,0 +1,20 @@
+//! Seeded DP fill: one uncancelled row loop, one properly polled one.
+
+pub fn fill_rows(n: usize) -> usize {
+    let mut acc = 0;
+    for row in 0..n {
+        acc += row;
+    }
+    acc
+}
+
+pub fn fill_rows_polled(n: usize, cancel_fired: &dyn Fn() -> bool) -> usize {
+    let mut acc = 0;
+    for row in 0..n {
+        if cancel_fired() {
+            break;
+        }
+        acc += row;
+    }
+    acc
+}

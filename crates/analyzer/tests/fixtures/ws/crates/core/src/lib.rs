@@ -1,0 +1,41 @@
+//! Seeded violations for the analyzer corpus test.
+
+pub fn bad_unwrap(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+pub fn bad_panic() {
+    panic!("seeded")
+}
+
+pub fn bad_spawn() {
+    std::thread::spawn(|| {});
+}
+
+pub fn bad_float_eq(x: f64) -> bool {
+    x == 0.0
+}
+
+pub fn waived_float_eq(x: f64) -> bool {
+    x == 0.0 // pta-lint: allow(float-eq) — exact sentinel comparison
+}
+
+// pta-lint: allow(no-panic-in-lib) — nothing here actually panics
+pub fn innocent() {}
+
+// pta-lint: allow(bogus
+
+pub fn fires(i: usize) {
+    pta_failpoints::fail_point!("a.site");
+    pta_failpoints::fail_point!(format!("fan.out.{}", i));
+    pta_failpoints::fail_point!("rogue.site");
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt() {
+        let v: Option<u32> = Some(1);
+        assert_eq!(v.unwrap(), 1);
+    }
+}

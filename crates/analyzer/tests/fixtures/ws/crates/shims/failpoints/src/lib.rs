@@ -1,0 +1,8 @@
+//! Fixture registry: duplicate entry, dead entry, and a family prefix.
+
+pub const FAILPOINT_SITES: &[&str] = &[
+    "a.site",
+    "a.site",
+    "dead.site",
+    "fan.out.*",
+];

@@ -1,0 +1,6 @@
+//! Fixture injection suite: drives a.site and the fan.out. family.
+
+#[test]
+fn drives_sites() {
+    let _ = ("a.site", "fan.out.thing");
+}

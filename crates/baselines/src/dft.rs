@@ -57,7 +57,7 @@ pub fn dft(series: &DenseSeries, c: usize) -> Result<DftApprox, BaselineError> {
             2.0 * mag
         }
     };
-    order.sort_by(|&a, &b| energy(b).partial_cmp(&energy(a)).unwrap().then(a.cmp(&b)));
+    order.sort_by(|&a, &b| energy(b).total_cmp(&energy(a)).then(a.cmp(&b)));
     let kept = &order[..c];
 
     // Inverse restricted to the kept frequencies.

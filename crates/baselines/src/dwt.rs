@@ -152,9 +152,7 @@ impl DwtTable {
         haar_forward(&mut coeffs);
 
         let mut order: Vec<usize> = (0..padded_len).collect();
-        order.sort_by(|&a, &b| {
-            coeffs[b].abs().partial_cmp(&coeffs[a].abs()).unwrap().then(a.cmp(&b))
-        });
+        order.sort_by(|&a, &b| coeffs[b].abs().total_cmp(&coeffs[a].abs()).then(a.cmp(&b)));
 
         let mut recon = vec![0.0; padded_len];
         // Running SSE over the original region and boundary count. The

@@ -50,7 +50,9 @@ impl PiecewiseLinear {
                 out.push(y0 + f * (y1 - y0));
             }
         }
-        out.push(self.knots.last().expect("non-empty").1);
+        if let Some(&(_, y)) = self.knots.last() {
+            out.push(y);
+        }
         out
     }
 

@@ -155,10 +155,15 @@ pub fn optimal_error_pct_at_ratios(
 ) -> Vec<(f64, f64)> {
     let cmp = Comparator::new()
         .method("exact")
+        // pta-lint: allow(no-panic-in-lib) — harness helper; "exact" is a
+        // built-in summarizer and is always registered.
         .expect("exact is registered")
         .reduction_ratios(ratios.iter().copied())
         .run_sequential(relation)
+        // pta-lint: allow(no-panic-in-lib) — harness helper; the weights
+        // are uniform so the dims check cannot fail.
         .expect("dims match");
+    // pta-lint: allow(no-panic-in-lib) — the method was selected above.
     let exact = cmp.method("exact").expect("selected above");
     ratios.iter().enumerate().map(|(i, &r)| (r, cmp.error_pct(exact.sse_at(i)))).collect()
 }
@@ -168,6 +173,8 @@ pub fn optimal_error_pct_at_ratios(
 pub fn dp_cells(summary: &Summary) -> u64 {
     match &summary.stats {
         SummaryStats::Dp(stats) => stats.cells,
+        // pta-lint: allow(no-panic-in-lib) — harness-internal helper with a
+        // documented panic contract; never reached from library callers.
         other => panic!("summary of {} carries no DP stats: {other:?}", summary.algorithm),
     }
 }

@@ -84,6 +84,8 @@ pub fn error_bounded_with_opts(
 /// inputs `E[n][n] = 0` always satisfies any valid threshold, so the
 /// typed-error path below is reachable only when a non-finite value
 /// poisoned the threshold or the error table.
+// pta-lint: allow(cancel-coverage) — each row fill below goes through
+// DpEngine::fill_row_fwd, which polls the token once per row.
 fn run_with_threshold(
     input: &SequentialRelation,
     weights: &Weights,

@@ -268,6 +268,8 @@ impl<F: FnMut(usize, usize) -> f64> Ctx<'_, F> {
 /// the recursion solves the odd rows, INTERPOLATE fills the even rows by
 /// scanning between their odd neighbours' argmins. `O(rows + cols)`
 /// oracle evaluations in total.
+// pta-lint: allow(cancel-coverage) — row-minimizer internals; the caller
+// (fill_row_fwd/bwd) polls the token once per filled row.
 fn smawk<F: FnMut(usize, usize) -> f64>(ctx: &mut Ctx<'_, F>, rows: &[usize], cols: &[usize]) {
     if rows.is_empty() {
         return;
@@ -312,6 +314,8 @@ fn smawk<F: FnMut(usize, usize) -> f64>(ctx: &mut Ctx<'_, F>, rows: &[usize], co
         let hi_col = if t + 1 < rows.len() {
             ctx.argmins[rows[t + 1] - ctx.row0]
         } else {
+            // pta-lint: allow(no-panic-in-lib) — REDUCE never returns an
+            // empty column set for a non-empty row set.
             *cols.last().expect("reduce keeps at least one column")
         };
         let mut best = f64::INFINITY;
@@ -341,6 +345,8 @@ fn smawk<F: FnMut(usize, usize) -> f64>(ctx: &mut Ctx<'_, F>, rows: &[usize], co
 /// of its column bounds, then recurse on the halves with the bounds
 /// narrowed by the argmin — the simpler `O((rows + cols) log rows)`
 /// fallback engine.
+// pta-lint: allow(cancel-coverage) — row-minimizer internals; the caller
+// (fill_row_fwd/bwd) polls the token once per filled row.
 fn divide_conquer<F: FnMut(usize, usize) -> f64>(
     ctx: &mut Ctx<'_, F>,
     rows: &[usize],
@@ -376,6 +382,8 @@ fn divide_conquer<F: FnMut(usize, usize) -> f64>(
 /// as a message. Pads (values `≥` [`pad_floor`]) are skipped — their
 /// Mongeness is exact by construction.
 #[cfg_attr(not(any(debug_assertions, test)), allow(dead_code))]
+// pta-lint: allow(cancel-coverage) — debug-only sampled validator, bounded
+// by `samples`²; never runs on production fills.
 pub(crate) fn validate_qi<F: FnMut(usize, usize) -> f64>(
     mut cost: F,
     rows: RangeInclusive<usize>,

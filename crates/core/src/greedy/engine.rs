@@ -163,6 +163,8 @@ impl GreedyEngine {
     /// into the total error and re-keying the neighbours. Returns the
     /// merged-away key. The caller must have checked the key is finite.
     pub(crate) fn merge_top(&mut self) -> f64 {
+        // pta-lint: allow(no-panic-in-lib) — documented precondition:
+        // every caller peeks the heap before calling merge_top.
         let (slot, key, _) = self.heap.peek().expect("merge_top on empty heap");
         debug_assert!(key.is_finite(), "cannot merge across a gap");
         self.heap.remove(slot);
@@ -232,6 +234,8 @@ impl GreedyEngine {
     }
 
     /// Drains the list into a [`GreedyOutcome`].
+    // pta-lint: allow(cancel-coverage) — merge work is already done; this
+    // only drains the final list (callers poll once per merge before it).
     pub(crate) fn into_outcome(self, clamped_to_cmin: bool) -> Result<GreedyOutcome, CoreError> {
         let p = self.weights.dims();
         let mut parts = Vec::with_capacity(self.list.len());

@@ -38,8 +38,9 @@ impl GPtaC {
     }
 
     /// Attaches a [`CancelToken`], checked once per pushed row and once
-    /// per merge in [`GPtaC::finish`]. A fired token makes `push`/`finish`
-    /// return [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`].
+    /// per merge in [`GPtaC::push`] and [`GPtaC::finish`]. A fired token
+    /// makes `push`/`finish` return [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`].
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.engine.cancel = cancel;
         self
@@ -55,6 +56,7 @@ impl GPtaC {
     ) -> Result<(), CoreError> {
         self.engine.push_row(key, interval, values)?;
         while self.engine.live() > self.c {
+            self.engine.cancel.check()?;
             let Some((slot, key, _)) = self.engine.heap.peek() else { break };
             if !key.is_finite() {
                 break;

@@ -73,8 +73,9 @@ impl GPtaE {
     }
 
     /// Attaches a [`CancelToken`], checked once per pushed row and once
-    /// per merge in [`GPtaE::finish`]. A fired token makes `push`/`finish`
-    /// return [`CoreError::Cancelled`] / [`CoreError::DeadlineExceeded`].
+    /// per merge in [`GPtaE::push`] and [`GPtaE::finish`]. A fired token
+    /// makes `push`/`finish` return [`CoreError::Cancelled`] /
+    /// [`CoreError::DeadlineExceeded`].
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.engine.cancel = cancel;
         self
@@ -106,6 +107,7 @@ impl GPtaE {
             if !within {
                 break;
             }
+            self.engine.cancel.check()?;
             let nid = self.engine.list.node(slot).id;
             if nid < self.engine.last_gap_id {
                 self.engine.bg -= 1;

@@ -69,6 +69,7 @@ pub fn generate(params: EtdsParams) -> TemporalRelation {
         ("Title", DataType::Str),
         ("Salary", DataType::Int),
     ])
+    // pta-lint: allow(no-panic-in-lib) — static schema literal; cannot fail.
     .expect("static schema is valid");
     let mut rel = TemporalRelation::new(schema);
 
@@ -95,8 +96,10 @@ pub fn generate(params: EtdsParams) -> TemporalRelation {
                     Value::str(TITLES[title_idx.min(TITLES.len() - 1)]),
                     Value::Int(salary),
                 ],
+                // pta-lint: allow(no-panic-in-lib) — duration >= 1 keeps month <= end.
                 TimeInterval::new(month, end).expect("duration >= 1"),
             )
+            // pta-lint: allow(no-panic-in-lib) — row is built from the static schema above.
             .expect("generated row matches schema");
             // Renewal: usually seamless, occasionally after a break or
             // with a department switch / promotion / raise.

@@ -76,6 +76,7 @@ pub fn generate(params: IncumbentsParams) -> TemporalRelation {
     let mut rng = StdRng::seed_from_u64(params.seed);
     let schema =
         Schema::of(&[("Dept", DataType::Str), ("Proj", DataType::Str), ("Salary", DataType::Int)])
+            // pta-lint: allow(no-panic-in-lib) — static schema literal; cannot fail.
             .expect("static schema is valid");
     let mut rel = TemporalRelation::new(schema);
 
@@ -105,8 +106,10 @@ pub fn generate(params: IncumbentsParams) -> TemporalRelation {
                             Value::str(proj.as_str()),
                             Value::Int(salary),
                         ],
+                        // pta-lint: allow(no-panic-in-lib) — dur >= 1 keeps the interval valid.
                         TimeInterval::new(month, month + dur - 1).expect("dur >= 1"),
                     )
+                    // pta-lint: allow(no-panic-in-lib) — row matches the static schema above.
                     .expect("generated row matches schema");
                     month += dur;
                     salary += rng.random_range(-300i64..600);

@@ -18,6 +18,7 @@ pub const PROJ_ITA_VALUES: [(&str, f64, i64, i64); 7] = [
 pub fn proj_relation() -> TemporalRelation {
     let schema =
         Schema::of(&[("Empl", DataType::Str), ("Proj", DataType::Str), ("Sal", DataType::Int)])
+            // pta-lint: allow(no-panic-in-lib) — static schema literal; cannot fail.
             .expect("static schema is valid");
     let rows = [
         ("John", "A", 800, 1, 4),
@@ -31,10 +32,12 @@ pub fn proj_relation() -> TemporalRelation {
         rows.iter().map(|(e, p, s, a, b)| {
             (
                 vec![Value::str(*e), Value::str(*p), Value::Int(*s)],
+                // pta-lint: allow(no-panic-in-lib) — static interval literals are valid.
                 TimeInterval::new(*a, *b).expect("static intervals are valid"),
             )
         }),
     )
+    // pta-lint: allow(no-panic-in-lib) — static rows written against the schema above.
     .expect("static rows match the schema")
 }
 

@@ -157,11 +157,13 @@ pub fn prepare(id: QueryId, scale: Scale) -> PreparedQuery {
                 QueryId::E2 => AggregateSpec::max("Salary"),
                 _ => AggregateSpec::sum("Salary"),
             };
+            // pta-lint: allow(no-panic-in-lib) — spec names columns of the generated schema.
             ita(&rel, &ItaQuerySpec::new(&[], vec![agg])).expect("generated query is valid")
         }
         QueryId::E4 => {
             let rel = etds::generate(etds_params(scale));
             ita(&rel, &ItaQuerySpec::new(&["EmpNo", "Dept"], vec![AggregateSpec::avg("Salary")]))
+                // pta-lint: allow(no-panic-in-lib) — spec names columns of the generated schema.
                 .expect("generated query is valid")
         }
         QueryId::I1 | QueryId::I2 | QueryId::I3 => {
@@ -172,6 +174,7 @@ pub fn prepare(id: QueryId, scale: Scale) -> PreparedQuery {
                 _ => AggregateSpec::sum("Salary"),
             };
             ita(&rel, &ItaQuerySpec::new(&["Dept", "Proj"], vec![agg]))
+                // pta-lint: allow(no-panic-in-lib) — spec names columns of the generated schema.
                 .expect("generated query is valid")
         }
         QueryId::T1 => {

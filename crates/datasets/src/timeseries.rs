@@ -42,6 +42,7 @@ pub fn chaotic(n: usize, seed: u64) -> SequentialRelation {
         }
         values.push(60.0 * history[t]);
     }
+    // pta-lint: allow(no-panic-in-lib) — width 1, origin 0: always a valid series.
     SequentialRelation::from_time_series(1, 0, &values).expect("generated series is valid")
 }
 
@@ -61,6 +62,7 @@ pub fn tide(n: usize, seed: u64) -> SequentialRelation {
         v += rng.random_range(-0.5..0.5);
         values.push(v);
     }
+    // pta-lint: allow(no-panic-in-lib) — width 1, origin 0: always a valid series.
     SequentialRelation::from_time_series(1, 0, &values).expect("generated series is valid")
 }
 
@@ -97,7 +99,9 @@ pub fn wind(n: usize, dims: usize, runs: usize, seed: u64) -> SequentialRelation
             hole_iter.next();
             t_out += 1; // leave a one-chronon hole before this sample
         }
+        // pta-lint: allow(no-panic-in-lib) — instants are valid; t_out is monotone.
         b.push(GroupKey::empty(), TimeInterval::instant(t_out).expect("valid instant"), &row)
+            // pta-lint: allow(no-panic-in-lib) — t_out strictly increases, so order holds.
             .expect("rows arrive in order");
         t_out += 1;
     }

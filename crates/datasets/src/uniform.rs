@@ -23,7 +23,9 @@ pub fn ungrouped(n: usize, p: usize, seed: u64) -> SequentialRelation {
         for v in &mut row {
             *v = rng.random::<f64>();
         }
+        // pta-lint: allow(no-panic-in-lib) — instants are valid for every t.
         b.push(GroupKey::empty(), TimeInterval::instant(t as i64).expect("valid"), &row)
+            // pta-lint: allow(no-panic-in-lib) — t strictly increases, so order holds.
             .expect("rows arrive in order");
     }
     b.finish();
@@ -45,7 +47,9 @@ pub fn trend(n: usize, p: usize, seed: u64) -> SequentialRelation {
         for v in &mut row {
             *v += rng.random::<f64>();
         }
+        // pta-lint: allow(no-panic-in-lib) — instants are valid for every t.
         b.push(GroupKey::empty(), TimeInterval::instant(t as i64).expect("valid"), &row)
+            // pta-lint: allow(no-panic-in-lib) — t strictly increases, so order holds.
             .expect("rows arrive in order");
     }
     b.finish();
@@ -65,7 +69,9 @@ pub fn grouped(groups: usize, per_group: usize, p: usize, seed: u64) -> Sequenti
             for v in &mut row {
                 *v = rng.random::<f64>();
             }
+            // pta-lint: allow(no-panic-in-lib) — instants are valid for every t.
             b.push(key.clone(), TimeInterval::instant(t as i64).expect("valid"), &row)
+                // pta-lint: allow(no-panic-in-lib) — t strictly increases per group.
                 .expect("rows arrive in order");
         }
     }

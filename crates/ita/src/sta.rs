@@ -52,9 +52,7 @@ impl SpanSpec {
                     if s > extent.end() {
                         break;
                     }
-                    spans.push(
-                        TimeInterval::new(s, s + width - 1).expect("width > 0 gives valid span"),
-                    );
+                    spans.push(TimeInterval::new(s, s + width - 1)?);
                     k += 1;
                 }
                 Ok(spans)
@@ -129,8 +127,12 @@ pub fn sta(
                 }
             }
             if any {
-                let values: Vec<f64> =
-                    accs.iter().map(|a| a.value().expect("non-empty span group")).collect();
+                let values: Vec<f64> = accs
+                    .iter()
+                    // pta-lint: allow(no-panic-in-lib) — `any` is only set
+                    // after inserting into every accumulator in the group.
+                    .map(|a| a.value().expect("non-empty span group"))
+                    .collect();
                 builder.push(key.clone(), *span, &values)?;
             }
         }

@@ -29,7 +29,17 @@
 
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Central registry of every `fail_point!` site name in the workspace.
+///
+/// `pta-analyzer`'s `failpoint-registry` rule enforces the contract both
+/// ways: every `fail_point!` call site must appear here exactly once, every
+/// entry must match a live call site, and every entry must be exercised by
+/// `tests/fault_injection.rs`. A trailing `*` marks a prefix entry for
+/// sites whose name is built with `format!` (one entry covers the family).
+pub const FAILPOINT_SITES: &[&str] =
+    &["pool.worker", "csv.chunk", "dp.fill_row", "comparator.method.*"];
 
 /// What a triggered failpoint does.
 #[derive(Clone)]
@@ -125,7 +135,7 @@ fn parse_action(spec: &str) -> Result<Entry, ParseError> {
 /// `"delay(10)"`, `"2*return(bad row)"`, `"off"`.
 pub fn cfg(name: impl Into<String>, spec: &str) -> Result<(), ParseError> {
     let entry = parse_action(spec)?;
-    registry().lock().expect("failpoint registry poisoned").insert(name.into(), entry);
+    registry().lock().unwrap_or_else(PoisonError::into_inner).insert(name.into(), entry);
     Ok(())
 }
 
@@ -133,28 +143,28 @@ pub fn cfg(name: impl Into<String>, spec: &str) -> Result<(), ParseError> {
 /// runs inline at the fault site — keep it small and non-blocking.
 pub fn cfg_callback(name: impl Into<String>, f: impl Fn() + Send + Sync + 'static) {
     let entry = Entry { action: Action::Callback(std::sync::Arc::new(f)), remaining: None };
-    registry().lock().expect("failpoint registry poisoned").insert(name.into(), entry);
+    registry().lock().unwrap_or_else(PoisonError::into_inner).insert(name.into(), entry);
 }
 
 /// Removes the configuration for `name` (the point becomes a no-op).
 pub fn remove(name: &str) {
-    registry().lock().expect("failpoint registry poisoned").remove(name);
+    registry().lock().unwrap_or_else(PoisonError::into_inner).remove(name);
 }
 
 /// Removes every configured failpoint.
 pub fn clear() {
-    registry().lock().expect("failpoint registry poisoned").clear();
+    registry().lock().unwrap_or_else(PoisonError::into_inner).clear();
 }
 
 /// Names of currently configured failpoints (diagnostics).
 pub fn list() -> Vec<String> {
-    registry().lock().expect("failpoint registry poisoned").keys().cloned().collect()
+    registry().lock().unwrap_or_else(PoisonError::into_inner).keys().cloned().collect()
 }
 
 /// Claims one firing of `name`, honoring the `N*` counter. Returns the
 /// action to perform, or `None` when the point is unconfigured/exhausted.
 fn claim(name: &str) -> Option<Action> {
-    let mut reg = registry().lock().expect("failpoint registry poisoned");
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
     let entry = reg.get_mut(name)?;
     if let Some(n) = entry.remaining.as_mut() {
         if *n == 0 {
@@ -172,6 +182,8 @@ fn claim(name: &str) -> Option<Action> {
 pub fn eval(name: &str) {
     match claim(name) {
         None | Some(Action::Off) | Some(Action::Return(_)) => {}
+        // pta-lint: allow(no-panic-in-lib) — panicking *is* the configured
+        // fault: the injected action exists to test panic isolation.
         Some(Action::Panic(msg)) => panic!("{msg}"),
         Some(Action::Delay(ms)) => std::thread::sleep(std::time::Duration::from_millis(ms)),
         Some(Action::Callback(f)) => f(),
@@ -184,6 +196,8 @@ pub fn eval(name: &str) {
 pub fn eval_return(name: &str) -> Option<String> {
     match claim(name) {
         None | Some(Action::Off) => None,
+        // pta-lint: allow(no-panic-in-lib) — panicking *is* the configured
+        // fault: the injected action exists to test panic isolation.
         Some(Action::Panic(msg)) => panic!("{msg}"),
         Some(Action::Delay(ms)) => {
             std::thread::sleep(std::time::Duration::from_millis(ms));

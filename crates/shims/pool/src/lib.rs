@@ -40,7 +40,7 @@ use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Mutex, OnceLock};
+use std::sync::{Mutex, OnceLock, PoisonError};
 
 use pta_failpoints::fail_point;
 
@@ -251,12 +251,15 @@ impl Pool {
                         if i >= n {
                             break;
                         }
-                        let item = jobs[i]
-                            .lock()
-                            .expect("pool job mutex poisoned")
-                            .take()
-                            .expect("each job is claimed exactly once");
-                        *slots[i].lock().expect("pool slot mutex poisoned") = Some(run_one(item));
+                        // `run_one` catches panics, so these mutexes never
+                        // poison; recover rather than unwind if that changes.
+                        let item = jobs[i].lock().unwrap_or_else(PoisonError::into_inner).take();
+                        // `fetch_add` hands each index to exactly one worker,
+                        // so an already-taken job only means a logic change
+                        // upstream — skip it rather than crash the pool.
+                        let Some(item) = item else { continue };
+                        *slots[i].lock().unwrap_or_else(PoisonError::into_inner) =
+                            Some(run_one(item));
                     }
                 });
             }
@@ -264,9 +267,11 @@ impl Pool {
         slots
             .into_iter()
             .map(|m| {
-                m.into_inner()
-                    .expect("pool slot mutex poisoned")
-                    .expect("all jobs completed before join")
+                m.into_inner().unwrap_or_else(PoisonError::into_inner).unwrap_or_else(|| {
+                    // Every slot is filled before `scope` joins; report an
+                    // unfilled one as a job failure instead of crashing.
+                    Err(Box::new("pool job slot was never filled") as Payload)
+                })
             })
             .collect()
     }

@@ -142,9 +142,11 @@ fn parse_row(
         return Err(TemporalError::ArityMismatch { got, expected: arity + 2 });
     }
     let mut fields = trimmed.split(',');
+    let mut next_field =
+        || fields.next().ok_or(TemporalError::ArityMismatch { got, expected: arity + 2 });
     let mut values = Vec::with_capacity(arity);
     for i in 0..arity {
-        let raw = fields.next().expect("count checked above");
+        let raw = next_field()?;
         values.push(parse_value(raw, schema.attribute(i).data_type(), row_index)?);
     }
     let parse_t = |raw: &str| -> Result<i64, TemporalError> {
@@ -153,8 +155,8 @@ fn parse_row(
             reason: format!("cannot parse chronon {raw:?}"),
         })
     };
-    let start = parse_t(fields.next().expect("count checked above"))?;
-    let end = parse_t(fields.next().expect("count checked above"))?;
+    let start = parse_t(next_field()?)?;
+    let end = parse_t(next_field()?)?;
     Ok((values, TimeInterval::new(start, end)?))
 }
 

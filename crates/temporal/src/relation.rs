@@ -104,7 +104,9 @@ impl TemporalRelation {
             lo = lo.min(t.interval().start());
             hi = hi.max(t.interval().end());
         }
-        Some(TimeInterval::new(lo, hi).expect("hull of valid intervals is valid"))
+        // `lo <= hi` because both come from the same valid interval set, so
+        // `ok()` never actually discards an error here.
+        TimeInterval::new(lo, hi).ok()
     }
 
     /// Sorts tuples by interval start (then end), the order ITA sweeps in.

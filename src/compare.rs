@@ -103,6 +103,7 @@ impl Comparator {
     /// clock starts when the method starts executing (not when the run
     /// is submitted), so queuing behind other methods on a small thread
     /// budget does not consume the budget.
+    #[must_use]
     pub fn method_timeout(mut self, timeout: Duration) -> Self {
         self.method_timeout = Some(timeout);
         self
@@ -113,30 +114,35 @@ impl Comparator {
     /// runs its whole grid on one worker, so curve-sharing fast paths and
     /// per-call wall times are untouched — only *methods* run
     /// concurrently.
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
     }
 
     /// Sets the grouping attributes `A`.
+    #[must_use]
     pub fn group_by(mut self, attrs: &[&str]) -> Self {
         self.query = self.query.group_by(attrs);
         self
     }
 
     /// Adds an aggregate function `f/B`.
+    #[must_use]
     pub fn aggregate(mut self, spec: pta_ita::AggregateSpec) -> Self {
         self.query = self.query.aggregate(spec);
         self
     }
 
     /// Sets per-dimension SSE weights (defaults to 1 everywhere).
+    #[must_use]
     pub fn weights(mut self, weights: &[f64]) -> Self {
         self.query = self.query.weights(weights);
         self
     }
 
     /// Sets the mergeability policy for every policy-aware summarizer.
+    #[must_use]
     pub fn gap_policy(mut self, policy: GapPolicy) -> Self {
         self.query = self.query.gap_policy(policy);
         self
@@ -167,6 +173,7 @@ impl Comparator {
     /// Adds every summarizer in the registry. Methods a given input is
     /// not applicable for report per-point errors instead of failing the
     /// comparison.
+    #[must_use]
     pub fn all_methods(mut self) -> Self {
         self.methods.extend(pta_baselines::registry());
         self
@@ -175,12 +182,14 @@ impl Comparator {
     /// Adds a custom summarizer (any [`pta_core::Summarizer`]
     /// implementation — the one-trait-impl extension point for new
     /// algorithms).
+    #[must_use]
     pub fn summarizer(mut self, s: BoxedSummarizer) -> Self {
         self.methods.push(s);
         self
     }
 
     /// Sets an explicit bound grid.
+    #[must_use]
     pub fn bounds(mut self, bounds: impl IntoIterator<Item = Bound>) -> Self {
         self.grid = Grid::Bounds(bounds.into_iter().collect());
         self
@@ -199,6 +208,7 @@ impl Comparator {
     /// Sets a reduction-ratio grid (percent, Fig. 14's axis): ratio `r`
     /// resolves to the size bound `n − r/100 · (n − cmin)` once the input
     /// size is known; 100 % reduction is `cmin`.
+    #[must_use]
     pub fn reduction_ratios(mut self, ratios_pct: impl IntoIterator<Item = f64>) -> Self {
         self.grid = Grid::Ratios(ratios_pct.into_iter().collect());
         self

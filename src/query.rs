@@ -109,30 +109,35 @@ impl PtaQuery {
     }
 
     /// Sets the grouping attributes `A`.
+    #[must_use]
     pub fn group_by(mut self, attrs: &[&str]) -> Self {
         self.grouping = attrs.iter().map(|s| s.to_string()).collect();
         self
     }
 
     /// Adds an aggregate function `f/B`.
+    #[must_use]
     pub fn aggregate(mut self, spec: pta_ita::AggregateSpec) -> Self {
         self.aggregates.push(spec);
         self
     }
 
     /// Sets per-dimension SSE weights (defaults to 1 everywhere).
+    #[must_use]
     pub fn weights(mut self, weights: &[f64]) -> Self {
         self.weights = Some(weights.to_vec());
         self
     }
 
     /// Sets the reduction bound.
+    #[must_use]
     pub fn bound(mut self, bound: Bound) -> Self {
         self.bound = Some(bound);
         self
     }
 
     /// Selects the evaluation algorithm.
+    #[must_use]
     pub fn algorithm(mut self, algorithm: Algorithm) -> Self {
         self.algorithm = algorithm;
         self
@@ -141,6 +146,7 @@ impl PtaQuery {
     /// Sets the mergeability policy. [`GapPolicy::Tolerate`] enables the
     /// paper's §8 future-work extension: tuples separated by holes up to
     /// `max_gap` chronons may merge.
+    #[must_use]
     pub fn gap_policy(mut self, policy: GapPolicy) -> Self {
         self.policy = policy;
         self
@@ -152,6 +158,7 @@ impl PtaQuery {
     /// and switches to `O(n)`-memory divide-and-conquer backtracking
     /// beyond it; [`DpMode::Budget`] substitutes an explicit entry budget.
     /// No input size fails either way.
+    #[must_use]
     pub fn dp_mode(mut self, mode: DpMode) -> Self {
         self.dp_mode = mode;
         self
@@ -165,6 +172,7 @@ impl PtaQuery {
     /// [`DpStrategy::Monge`] extends the Monge engines to narrow
     /// certified windows too. Every strategy returns the identical
     /// optimal reduction.
+    #[must_use]
     pub fn dp_strategy(mut self, strategy: DpStrategy) -> Self {
         self.dp_strategy = strategy;
         self
@@ -176,6 +184,16 @@ impl PtaQuery {
     /// budget — the parallel fill computes exactly the sequential cell
     /// values. The streaming greedy algorithms are inherently sequential
     /// (they merge while ITA tuples arrive) and ignore this knob.
+    ///
+    /// Like every builder method, the returned query must be used —
+    /// dropping it silently discards the configuration:
+    ///
+    /// ```compile_fail
+    /// #![deny(unused_must_use)]
+    /// let q = pta::PtaQuery::new();
+    /// q.threads(1); // ERROR: unused return value of `threads`
+    /// ```
+    #[must_use]
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
@@ -186,6 +204,7 @@ impl PtaQuery {
     /// (carrying the partial-progress counters) instead of running to
     /// completion. The deadline covers the reduction itself; the ITA
     /// front half is linear in the input and not interrupted.
+    #[must_use]
     pub fn deadline(mut self, timeout: Duration) -> Self {
         self.deadline = Some(timeout);
         self
@@ -195,6 +214,7 @@ impl PtaQuery {
     /// [`CancelToken::cancel`] from any thread aborts the reduction with
     /// [`pta_core::CoreError::Cancelled`]. Composes with
     /// [`PtaQuery::deadline`] — whichever fires first wins.
+    #[must_use]
     pub fn cancel_token(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
         self
@@ -212,6 +232,7 @@ impl PtaQuery {
     /// Supplies `(n̂, Ê_max)` estimates for greedy error-bounded
     /// execution; without them the exact values are computed in a first
     /// pass.
+    #[must_use]
     pub fn estimates(mut self, estimates: Estimates) -> Self {
         self.estimates = Some(estimates);
         self
@@ -255,13 +276,12 @@ impl PtaQuery {
             Algorithm::Exact => {
                 let seq = pta_ita::ita(relation, &spec)?;
                 let n = seq.len();
-                let opts = DpOptions {
-                    policy: self.policy,
-                    mode: self.dp_mode,
-                    strategy: self.dp_strategy,
-                    threads: self.threads,
-                    cancel,
-                };
+                let opts = DpOptions::default()
+                    .with_policy(self.policy)
+                    .with_mode(self.dp_mode)
+                    .with_strategy(self.dp_strategy)
+                    .with_threads(self.threads)
+                    .with_cancel(cancel);
                 let out = match bound {
                     Bound::Size(c) => pta_size_bounded_with_opts(&seq, &weights, c, opts)?,
                     Bound::Error(e) => pta_error_bounded_with_opts(&seq, &weights, e, opts)?,
