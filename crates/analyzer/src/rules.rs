@@ -39,7 +39,7 @@ pub const ALL_RULES: &[(&str, &str)] = &[
     (FAILPOINT_REGISTRY, "fail_point! sites must appear exactly once in FAILPOINT_SITES and in tests/fault_injection.rs"),
     (FLOAT_EQ, "== or != with a float operand in pta-core kernels (waiver required)"),
     (MANIFEST_DISCIPLINE, "member crates inherit [workspace.lints]; shim deps only via workspace inheritance"),
-    (BENCH_SCHEMA, "BENCH_dp.json records: algorithm/n/c/mode/strategy/threads/wall_ms/cells, typed"),
+    (BENCH_SCHEMA, "BENCH_dp.json records: algorithm/n/c/mode/strategy/threads/wall_ms/cells/eps/certified_ratio, typed"),
     (UNUSED_WAIVER, "a pta-lint waiver that suppresses no finding"),
     (WAIVER_SYNTAX, "a pta-lint comment that does not parse or lacks a reason"),
 ];
@@ -568,7 +568,10 @@ fn in_workspace_dependencies(text: &str, lineno: usize) -> bool {
 /// trajectory consumed by tooling outside this repo; a silently renamed
 /// or retyped key breaks that consumer long after the PR lands. Each
 /// record must carry `algorithm`/`mode`/`strategy` (strings),
-/// `n`/`c`/`threads`/`cells` (integers), and `wall_ms` (number).
+/// `n`/`c`/`threads`/`cells` (integers), `wall_ms` (number), `eps`
+/// (`null` for exact runs, else a finite number in `[0, 1]`), and
+/// `certified_ratio` (a finite number `≥ 1` — the *a posteriori*
+/// approximation certificate; exact runs report `1.0`).
 pub fn bench_schema(ws: &Workspace, out: &mut Vec<Finding>) {
     let Some((rel, text)) = &ws.bench_json else { return };
     let mut report = |line: u32, message: String| {
@@ -613,6 +616,26 @@ pub fn bench_schema(ws: &Workspace, out: &mut Vec<Finding>) {
             Some(Value::Num(_, v)) if v.is_finite() && *v >= 0.0 => {}
             Some(v) => report(v.line(), format!("record {idx}: key `wall_ms` must be a number")),
             None => report(*line, format!("record {idx}: missing required key `wall_ms`")),
+        }
+        // The approximation columns: `eps` is `null` on exact runs and a
+        // finite value in [0, 1] on approx runs; `certified_ratio` is the
+        // delivered certificate — finite and ≥ 1 on every record.
+        match rec.get("eps") {
+            Some(Value::Null(_)) => {}
+            Some(Value::Num(_, v)) if v.is_finite() && (0.0..=1.0).contains(v) => {}
+            Some(v) => report(
+                v.line(),
+                format!("record {idx}: key `eps` must be null or a finite number in [0, 1]"),
+            ),
+            None => report(*line, format!("record {idx}: missing required key `eps`")),
+        }
+        match rec.get("certified_ratio") {
+            Some(Value::Num(_, v)) if v.is_finite() && *v >= 1.0 => {}
+            Some(v) => report(
+                v.line(),
+                format!("record {idx}: key `certified_ratio` must be a finite number >= 1"),
+            ),
+            None => report(*line, format!("record {idx}: missing required key `certified_ratio`")),
         }
     }
 }

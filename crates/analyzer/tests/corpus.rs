@@ -27,8 +27,11 @@ fn corpus_findings_are_line_and_col_exact() {
         ("BENCH_dp.json", 3, 1, "bench-schema"),
         ("BENCH_dp.json", 3, 1, "bench-schema"),
         ("BENCH_dp.json", 3, 1, "bench-schema"),
+        ("BENCH_dp.json", 3, 1, "bench-schema"),
+        ("BENCH_dp.json", 3, 1, "bench-schema"),
         ("crates/core/Cargo.toml", 1, 1, "manifest-discipline"),
         ("crates/core/Cargo.toml", 7, 1, "manifest-discipline"),
+        ("crates/core/src/dp/approx.rs", 4, 5, "cancel-coverage"),
         ("crates/core/src/dp/fill.rs", 3, 5, "cancel-coverage"),
         ("crates/core/src/lib.rs", 4, 7, "no-panic-in-lib"),
         ("crates/core/src/lib.rs", 8, 5, "no-panic-in-lib"),
@@ -92,7 +95,7 @@ fn binary_exits_one_on_corpus_and_zero_on_clean() {
     assert_eq!(bad.status.code(), Some(1));
     let text = String::from_utf8_lossy(&bad.stdout);
     assert!(text.contains("crates/core/src/lib.rs:4:7 no-panic-in-lib"));
-    assert!(String::from_utf8_lossy(&bad.stderr).contains("16 finding(s)"));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("19 finding(s)"));
 
     let ok = Command::new(bin).arg("--root").arg(fixture("clean")).output().expect("spawns");
     assert_eq!(
@@ -117,7 +120,7 @@ fn binary_json_output_is_machine_readable() {
     let doc = pta_analyzer::json::parse(&String::from_utf8_lossy(&out.stdout))
         .expect("analyzer emits valid JSON");
     let pta_analyzer::json::Value::Arr(_, items) = doc else { panic!("expected an array") };
-    assert_eq!(items.len(), 16);
+    assert_eq!(items.len(), 19);
     for rec in &items {
         for key in ["file", "line", "col", "rule", "message"] {
             assert!(rec.get(key).is_some(), "finding record is missing key {key:?}");

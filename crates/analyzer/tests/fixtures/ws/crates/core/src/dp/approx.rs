@@ -1,0 +1,21 @@
+//! Seeded approx tier: an uncancelled sparsified row loop (the bracket
+//! fills must poll like the exact fills do), plus a polled twin.
+
+pub fn fill_bracket_row(runs: usize) -> usize {
+    let mut evals = 0;
+    for row in 0..runs {
+        evals += row;
+    }
+    evals
+}
+
+pub fn fill_bracket_row_polled(runs: usize, cancel_fired: &dyn Fn() -> bool) -> usize {
+    let mut evals = 0;
+    for row in 0..runs {
+        if cancel_fired() {
+            break;
+        }
+        evals += row;
+    }
+    evals
+}

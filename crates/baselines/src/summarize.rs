@@ -37,14 +37,16 @@ use crate::pla::swing_filter;
 use crate::sax::sax;
 
 /// The full summarizer registry: exact PTA (auto plus both pinned
-/// [`DpMode`] backtracking paths), the naive-DP baseline, the greedy
-/// family (streaming δ = 1 and offline GMS), and the nine baseline
-/// methods — every algorithm of the §7 comparison, runnable by name.
+/// [`DpMode`] backtracking paths), the certified `(1 + ε)`-approximate
+/// `approx` tier (default ε), the naive-DP baseline, the greedy family
+/// (streaming δ = 1 and offline GMS), and the nine baseline methods —
+/// every algorithm of the §7 comparison, runnable by name.
 pub fn registry() -> Vec<BoxedSummarizer> {
     vec![
         Box::new(ExactPta::new()),
         Box::new(ExactPta::with_mode(DpMode::Table)),
         Box::new(ExactPta::with_mode(DpMode::DivideConquer)),
+        Box::new(ExactPta::approx(pta_core::DEFAULT_APPROX_EPS)),
         Box::new(NaiveDp::new()),
         Box::new(GreedyPta::new()),
         Box::new(GreedyPta::offline()),
@@ -662,6 +664,7 @@ mod tests {
             "exact",
             "exact-table",
             "exact-dnc",
+            "approx",
             "dp-naive",
             "greedy",
             "gms",
@@ -816,7 +819,7 @@ mod tests {
             assert!(!summarizer(name).unwrap().capabilities().groups_and_gaps);
         }
         // The relation-level methods accept it.
-        for name in ["exact", "greedy", "gms", "atc", "dp-naive"] {
+        for name in ["exact", "approx", "greedy", "gms", "atc", "dp-naive"] {
             assert!(summarizer(name).unwrap().summarize(&view, Bound::Size(2)).is_ok(), "{name}");
             assert!(summarizer(name).unwrap().capabilities().groups_and_gaps);
         }

@@ -9,7 +9,10 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 use std::time::Duration;
 
-use pta_core::{pta_error_bounded_with_mode, pta_size_bounded_with_mode, DpMode, Weights};
+use pta_core::{
+    pta_error_bounded_with_mode, pta_error_bounded_with_opts, pta_size_bounded_with_mode, DpMode,
+    DpOptions, DpStrategy, Weights,
+};
 use pta_datasets::uniform;
 
 const MODES: [(&str, DpMode); 2] = [("table", DpMode::Table), ("dnc", DpMode::DivideConquer)];
@@ -56,5 +59,39 @@ fn bench_error_bounded_modes(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_size_bounded_modes, bench_error_bounded_modes);
+/// The `Approx(ε)` probe loop in `error_bounded_approx` runs up to three
+/// refinement probes (δ = ε/2, ε/8, 0) over the same row loop. The
+/// split-point table and the four bracket rows are allocated *once* and
+/// ∞-reset per probe (see `dp/approx.rs`); this bench pins that hoist —
+/// re-allocating per probe shows up here as a measurable regression on
+/// the tight-ε configurations, while results stay bit-identical (each
+/// probe starts from the same ∞-reset state a fresh allocation would
+/// give). Covers a tight bound (many rows, all probes exercised) and a
+/// loose one (first probe certifies).
+fn bench_error_bounded_approx_probes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dp_memory_error_bounded_approx");
+    g.sample_size(10).measurement_time(Duration::from_secs(2));
+    let w = Weights::uniform(4);
+    let grouped = uniform::grouped(100, 10, 4, 13);
+    let opts = DpOptions { strategy: DpStrategy::Approx(0.1), threads: 1, ..DpOptions::default() };
+    for &eps in &[0.5, 0.05] {
+        g.bench_with_input(
+            BenchmarkId::new("grouped_1000_approx", format!("eps{eps}")),
+            &eps,
+            |b, &eps| {
+                b.iter(|| {
+                    pta_error_bounded_with_opts(black_box(&grouped), &w, eps, opts.clone()).unwrap()
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_size_bounded_modes,
+    bench_error_bounded_modes,
+    bench_error_bounded_approx_probes
+);
 criterion_main!(benches);

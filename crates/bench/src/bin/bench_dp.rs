@@ -16,6 +16,15 @@
 //! * `flat` (uniform values, no certificate): the exactness guard —
 //!   Monge must fall back to the scan, cell-for-cell.
 //!
+//! An `approx` study runs the certified `(1 + ε)` tier
+//! (`DpStrategy::Approx`) on the same flat and trend points at
+//! ε ∈ {0.01, 0.1}: every record carries the a posteriori
+//! `certified_ratio` it proved, the binary *asserts*
+//! `certified_ratio ≤ 1 + ε` on every approx record, and on the flat
+//! (non-Monge) point at the largest size the ε = 0.1 tier must beat the
+//! exact scan by ≥5× split-point evaluations *and* on wall time — the
+//! quadratic-wall escape the tier exists for.
+//!
 //! A third study measures the threaded row fills: the flat/Scan/Table
 //! point at `n = 4000` under thread budgets 1, 2 and the process default.
 //! The mode and strategy studies pin `threads = 1` so their committed
@@ -53,6 +62,12 @@ struct Record {
     cells: u64,
     scan_cells: u64,
     monge_cells: u64,
+    /// The requested ε of an approx-tier run; `None` for exact runs
+    /// (serialized as JSON `null`).
+    eps: Option<f64>,
+    /// The a posteriori certified approximation ratio: 1.0 for exact
+    /// runs, the proved `≤ 1 + ε` quotient for approx runs.
+    certified_ratio: f64,
 }
 
 fn mode_name(mode: DpExecMode) -> &'static str {
@@ -83,17 +98,24 @@ fn record(
         cells: out.stats.cells,
         scan_cells: out.stats.scan_cells,
         monge_cells: out.stats.monge_cells,
+        eps: strategy.eps(),
+        certified_ratio: out.stats.certified_ratio,
     }
 }
 
 fn json(records: &[Record]) -> String {
     let mut s = String::from("[\n");
     for (i, r) in records.iter().enumerate() {
+        let eps = match r.eps {
+            Some(e) => format!("{e}"),
+            None => "null".to_string(),
+        };
         let _ = write!(
             s,
             "  {{\"algorithm\": \"{}\", \"dataset\": \"{}\", \"n\": {}, \"c\": {}, \
              \"mode\": \"{}\", \"strategy\": \"{}\", \"threads\": {}, \"wall_ms\": {:.3}, \
-             \"peak_rows\": {}, \"cells\": {}, \"scan_cells\": {}, \"monge_cells\": {}}}",
+             \"peak_rows\": {}, \"cells\": {}, \"scan_cells\": {}, \"monge_cells\": {}, \
+             \"eps\": {}, \"certified_ratio\": {:.9}}}",
             r.algorithm,
             r.dataset,
             r.n,
@@ -105,7 +127,9 @@ fn json(records: &[Record]) -> String {
             r.peak_rows,
             r.cells,
             r.scan_cells,
-            r.monge_cells
+            r.monge_cells,
+            eps,
+            r.certified_ratio
         );
         s.push_str(if i + 1 < records.len() { ",\n" } else { "\n" });
     }
@@ -118,6 +142,10 @@ fn json(records: &[Record]) -> String {
 /// trajectory the acceptance assertions read.
 const STRATEGY_SIZES: [usize; 3] = [1_000, 2_000, 4_000];
 const STRATEGY_C: usize = 64;
+
+/// The ε grid of the approx study: the tight budget where certification
+/// has to work hard, and the default the registry's `approx` entry runs.
+const APPROX_EPS: [f64; 2] = [0.01, 0.1];
 
 fn main() {
     let args = HarnessArgs::parse();
@@ -210,6 +238,36 @@ fn main() {
         }
     }
 
+    // Approx study: the certified (1 + ε) tier on the same fixed-size
+    // points, Table mode, threads = 1 — flat is the non-Monge regime the
+    // tier exists for, trend checks it doesn't mangle certified data.
+    for &n in &STRATEGY_SIZES {
+        for (dataset, input) in
+            [("trend", uniform::trend(n, p, 23)), ("flat", uniform::ungrouped(n, p, 21))]
+        {
+            for eps in APPROX_EPS {
+                let strategy = DpStrategy::Approx(eps);
+                let (out, wall) = time(|| {
+                    pta_size_bounded_with_opts(
+                        &input,
+                        &w,
+                        STRATEGY_C,
+                        opts(DpMode::Table, strategy),
+                    )
+                    .expect("valid size bound")
+                });
+                records.push(record(
+                    "size_bounded",
+                    dataset,
+                    n,
+                    strategy,
+                    &out,
+                    wall.as_secs_f64() * 1e3,
+                ));
+            }
+        }
+    }
+
     // Threads study: the flat/Scan/Table point at n = 4000 under thread
     // budgets 1, 2 and the process default (deduplicated — on a 1- or
     // 2-core machine the default coincides with a pinned budget).
@@ -266,6 +324,7 @@ fn main() {
                     strategy: DpStrategy::Scan,
                     threads: 1,
                     cancel,
+                    ..DpOptions::default()
                 },
             )
             .expect("valid size bound")
@@ -316,6 +375,8 @@ fn main() {
                 r.peak_rows.to_string(),
                 r.cells.to_string(),
                 r.monge_cells.to_string(),
+                r.eps.map_or_else(|| "-".to_string(), |e| e.to_string()),
+                format!("{:.6}", r.certified_ratio),
             ])
         })
         .collect();
@@ -333,6 +394,8 @@ fn main() {
             "peak_rows",
             "cells",
             "monge_cells",
+            "eps",
+            "certified_ratio",
         ],
         &rows,
     );
@@ -425,6 +488,63 @@ fn main() {
             }
         }
     }
+    // Approx-study guards: the certificate must hold on every recorded
+    // approx run, and on the flat (non-Monge) point at the largest size
+    // the ε = 0.1 tier must beat the exact scan ≥5× on split-point
+    // evaluations and outright on wall time.
+    {
+        let approx: Vec<&Record> = records.iter().filter(|r| r.eps.is_some()).collect();
+        check(
+            approx.len() == STRATEGY_SIZES.len() * 2 * APPROX_EPS.len(),
+            format!("approx study: {} records (expected full grid)", approx.len()),
+        );
+        for r in &approx {
+            let eps = r.eps.expect("filtered on eps");
+            check(
+                r.certified_ratio >= 1.0 && r.certified_ratio <= 1.0 + eps,
+                format!(
+                    "{} n={} eps={eps}: certified_ratio {:.9} in [1, 1 + eps]",
+                    r.dataset, r.n, r.certified_ratio
+                ),
+            );
+        }
+        let scan = records
+            .iter()
+            .find(|r| {
+                r.dataset == "flat"
+                    && r.n == par_n
+                    && r.c == STRATEGY_C
+                    && r.mode == DpExecMode::Table
+                    && r.strategy == DpStrategy::Scan
+                    && r.threads == 1
+            })
+            .expect("flat scan reference record");
+        let tier = approx
+            .iter()
+            .find(|r| {
+                r.dataset == "flat"
+                    && r.n == par_n
+                    && r.eps.is_some_and(|e| (e - 0.1).abs() < 1e-12)
+            })
+            .expect("flat approx eps=0.1 record");
+        check(
+            tier.cells * 5 <= scan.cells,
+            format!(
+                "approx study: flat n={par_n} eps=0.1 >=5x cell reduction \
+                 (approx {} vs scan {})",
+                tier.cells, scan.cells
+            ),
+        );
+        check(
+            tier.wall_ms < scan.wall_ms,
+            format!(
+                "approx study: flat n={par_n} eps=0.1 faster wall \
+                 (approx {:.3} ms vs scan {:.3} ms)",
+                tier.wall_ms, scan.wall_ms
+            ),
+        );
+    }
+
     // Threads-study guards. The threads-study records are the Table/Scan
     // flat points at the largest study size; find them by budget.
     {

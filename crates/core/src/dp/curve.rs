@@ -70,6 +70,15 @@ pub fn optimal_error_curve_with_cancel(
     let engine =
         DpEngine::new_full(input, weights, true, GapPolicy::Strict, true, strategy, threads)?
             .with_cancel(cancel);
+    // A positive ε dispatches to the sparsified bracket DP (every curve
+    // entry certified within 1 + ε); ε ≤ 0 falls through to the exact
+    // row loop, which an Approx-labeled engine traverses bit-identically
+    // to Scan.
+    if let DpStrategy::Approx(eps) = engine.strategy {
+        if eps > 0.0 {
+            return crate::dp::approx::curve_approx(&engine, kmax, eps);
+        }
+    }
     let width = n + 1;
     // Both row buffers start at ∞; each row fill resets only its window.
     let mut prev = vec![f64::INFINITY; width];
@@ -88,6 +97,7 @@ pub fn optimal_error_curve_with_cancel(
                 mode: DpExecMode::Table,
                 strategy: engine.strategy,
                 threads: engine.pool.threads(),
+                certified_ratio: 1.0,
             })
         })?;
         std::mem::swap(&mut prev, &mut cur);

@@ -4,6 +4,7 @@ use pta_temporal::SequentialRelation;
 
 use crate::dp::{
     max_error_over_runs, Cells, DpEngine, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats,
+    DpStrategy,
 };
 use crate::error::CoreError;
 use crate::policy::GapPolicy;
@@ -66,8 +67,9 @@ pub fn error_bounded_with_opts(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
+    let strategy = super::approx::resolve(input, &opts, true);
     let engine =
-        DpEngine::new_full(input, weights, true, opts.policy, true, opts.strategy, opts.threads)?
+        DpEngine::new_full(input, weights, true, opts.policy, true, strategy, opts.threads)?
             .with_cancel(opts.cancel.clone());
     let emax = max_error_over_runs(weights, &engine.stats, &engine.gaps, n);
     if !emax.is_finite() {
@@ -76,6 +78,16 @@ pub fn error_bounded_with_opts(
     // Absolute tolerance so ε = 1 stops exactly at cmin despite the DP and
     // the direct Emax summation accumulating rounding differently.
     let threshold = epsilon * emax + 1e-9 * (1.0 + emax);
+    // A positive ε dispatches to the sparsified bracket DP; ε ≤ 0 falls
+    // through to the exact row loop, which an Approx-labeled engine
+    // traverses bit-identically to Scan.
+    if let DpStrategy::Approx(eps) = engine.strategy {
+        if eps > 0.0 {
+            return super::approx::error_bounded_approx(
+                input, weights, &engine, &opts, threshold, eps,
+            );
+        }
+    }
     run_with_threshold(input, weights, &engine, opts, threshold)
 }
 
@@ -126,6 +138,7 @@ fn run_with_threshold(
                 mode: DpExecMode::Table,
                 strategy: engine.strategy,
                 threads: engine.pool.threads(),
+                certified_ratio: 1.0,
             })
         })?;
         std::mem::swap(&mut prev, &mut cur);
@@ -151,6 +164,7 @@ fn run_with_threshold(
             mode: DpExecMode::Table,
             strategy: engine.strategy,
             threads: engine.pool.threads(),
+            certified_ratio: 1.0,
         };
         (boundaries, stats)
     } else {
@@ -180,6 +194,7 @@ fn run_with_threshold(
             mode: DpExecMode::DivideConquer,
             strategy: engine.strategy,
             threads: engine.pool.threads(),
+            certified_ratio: 1.0,
         };
         (out.boundaries, stats)
     };

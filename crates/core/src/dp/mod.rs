@@ -77,6 +77,7 @@
 //! disabling pruning; it always runs the scan — it exists to measure the
 //! unaccelerated recurrence.
 
+pub mod approx;
 pub mod curve;
 pub mod error_bounded;
 pub mod monge;
@@ -93,6 +94,7 @@ use crate::policy::GapPolicy;
 use crate::prefix::PrefixStats;
 use crate::weights::Weights;
 
+pub use approx::DEFAULT_APPROX_EPS;
 pub use monge::{DpStrategy, MONGE_AUTO_MIN_WINDOW};
 
 use monge::RowMinEngine;
@@ -183,6 +185,14 @@ pub struct DpOptions {
     /// to make the run abort with [`CoreError::Cancelled`] /
     /// [`CoreError::DeadlineExceeded`] carrying partial-progress stats.
     pub cancel: CancelToken,
+    /// Opt-in approximation budget for [`DpStrategy::Auto`]: when set to
+    /// `Some(eps)` with `eps > 0` and the monotone-run certificate fails
+    /// (no Monge window would be wide enough to help), `Auto` resolves to
+    /// [`DpStrategy::Approx`]`(eps)` instead of the quadratic scan.
+    /// `None` (the default) keeps `Auto` exact — its pre-existing
+    /// semantics are unchanged unless the caller opts in. Ignored by the
+    /// explicit strategies.
+    pub auto_eps: Option<f64>,
 }
 
 impl DpOptions {
@@ -220,6 +230,14 @@ impl DpOptions {
         self.cancel = cancel;
         self
     }
+
+    /// Opts [`DpStrategy::Auto`] into the `(1 + eps)`-approximate tier on
+    /// non-Monge data (see [`DpOptions::auto_eps`]).
+    #[must_use]
+    pub fn with_auto_eps(mut self, eps: f64) -> Self {
+        self.auto_eps = Some(eps);
+        self
+    }
 }
 
 /// Work counters reported by the DP algorithms; the evaluation uses them to
@@ -227,7 +245,10 @@ impl DpOptions {
 /// tracks `peak_rows` as the memory yardstick of the two backtracking
 /// modes, and the scan/Monge split of `cells` is the yardstick of the row
 /// minimization strategies.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `Eq` and derived `Default` are deliberately absent:
+/// [`DpStats::certified_ratio`] is an `f64` whose neutral value is `1.0`
+/// (an exact run is trivially within every bound), not `0.0`.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct DpStats {
     /// Number of matrix rows filled (`k` values), counting divide-and-
     /// conquer re-fills.
@@ -254,6 +275,29 @@ pub struct DpStats {
     /// process-wide default). A budget above 1 only changes wall time,
     /// never results or the evaluation counters.
     pub threads: usize,
+    /// The *a posteriori* certified approximation ratio: the returned
+    /// SSE is at most `certified_ratio` times the exact optimum. Exact
+    /// runs report `1.0`; [`DpStrategy::Approx`] runs report the
+    /// upper/lower-bracket quotient actually proved (`≤ 1 + ε` on every
+    /// completed run); aborted runs report `f64::INFINITY` — nothing was
+    /// certified.
+    pub certified_ratio: f64,
+}
+
+impl Default for DpStats {
+    fn default() -> Self {
+        Self {
+            rows: 0,
+            cells: 0,
+            scan_cells: 0,
+            monge_cells: 0,
+            peak_rows: 0,
+            mode: DpExecMode::default(),
+            strategy: DpStrategy::default(),
+            threads: 0,
+            certified_ratio: 1.0,
+        }
+    }
 }
 
 /// A finished DP run: the optimal reduction plus work counters.
@@ -509,7 +553,11 @@ impl DpEngine {
         // The unpruned Fig. 18 baseline measures the plain recurrence;
         // Monge minimization would change what it benchmarks.
         let strategy = if prune { strategy } else { DpStrategy::Scan };
-        let mono_end = (strategy != DpStrategy::Scan).then(|| monotone_run_ends(input));
+        // Only the Monge strategies consume the certificate; an Approx
+        // engine behaves exactly like Scan through this machinery (the
+        // approx drivers own the sparsification on top of it).
+        let mono_end = matches!(strategy, DpStrategy::Monge | DpStrategy::Auto)
+            .then(|| monotone_run_ends(input));
         Ok(Self {
             stats: PrefixStats::build(input),
             gaps: GapVector::build_with_policy(input, policy),
@@ -572,6 +620,9 @@ impl DpEngine {
                 Some(if wide { RowMinEngine::Smawk } else { RowMinEngine::DivideConquer })
             }
             DpStrategy::Auto => wide.then_some(RowMinEngine::Smawk),
+            // Approx engines scan their (sparsified) candidate sets; the
+            // Monge row minimizers assume the full range.
+            DpStrategy::Approx(_) => None,
         }
     }
 
@@ -1222,6 +1273,7 @@ impl DpEngine {
                     mode: DpExecMode::DivideConquer,
                     strategy: self.strategy,
                     threads: self.pool.threads(),
+                    certified_ratio: 1.0,
                 })
             })?;
         boundaries.push(self.n);
@@ -1417,7 +1469,7 @@ pub(crate) mod tests {
     /// A gap-free *monotone* continuous-valued series (a noisy ascending
     /// trend — one Monge-certified run) long enough that
     /// [`DpStrategy::Auto`] takes the SMAWK path.
-    fn trend_series(n: usize, seed: u64) -> SequentialRelation {
+    pub(crate) fn trend_series(n: usize, seed: u64) -> SequentialRelation {
         let mut state = seed;
         let mut b = SequentialBuilder::new(1);
         let mut v = 0.0;
@@ -1430,7 +1482,7 @@ pub(crate) mod tests {
 
     /// A gap-free *unsorted* series — no Monge certificate anywhere, so
     /// every strategy must take the scan path.
-    fn wiggly_series(n: usize, seed: u64) -> SequentialRelation {
+    pub(crate) fn wiggly_series(n: usize, seed: u64) -> SequentialRelation {
         let mut state = seed;
         let mut b = SequentialBuilder::new(1);
         for t in 0..n {

@@ -99,7 +99,10 @@ use std::ops::RangeInclusive;
 /// [module docs](self)), where they produce the scan's row values and
 /// split points bit for bit. The knob trades the scan's lower constant on
 /// tiny windows against the engines' linear bound on wide monotone runs.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// `Eq` is deliberately absent: [`DpStrategy::Approx`] carries its ε as
+/// an `f64`, so only `PartialEq` is derivable. Every workspace comparison
+/// site uses `==`/`assert_eq!`, which `PartialEq` serves.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub enum DpStrategy {
     /// The Fig. 7 split-point scan with the Jagadish early break
     /// everywhere — `O(window²)` per row window in the worst case.
@@ -114,25 +117,51 @@ pub enum DpStrategy {
     /// scan's low constant, monotone runs get the linear bound.
     #[default]
     Auto,
+    /// The certified `(1 + ε)`-approximate tier (see
+    /// [`crate::dp::approx`]): each row's scan is restricted to
+    /// geometrically spaced break candidates, with an a posteriori
+    /// upper/lower SSE bracket certifying the bound —
+    /// [`crate::DpStats::certified_ratio`] `≤ 1 + ε` on every returned
+    /// result. `Approx(0.0)` runs the exact scan. This is the tier for
+    /// the non-Monge regime, where the certificate fails and the exact
+    /// scan is `O(c · n²)`.
+    Approx(f64),
 }
 
 impl DpStrategy {
-    /// Parses a CLI-style strategy name.
+    /// Parses a CLI-style strategy name. `approx` takes the default ε
+    /// ([`crate::dp::approx::DEFAULT_APPROX_EPS`]); `approx:<eps>`
+    /// requires a finite ε in `[0, 1]`.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
             "scan" => Some(Self::Scan),
             "monge" => Some(Self::Monge),
             "auto" => Some(Self::Auto),
-            _ => None,
+            "approx" => Some(Self::Approx(crate::dp::approx::DEFAULT_APPROX_EPS)),
+            _ => {
+                let eps: f64 = s.strip_prefix("approx:")?.parse().ok()?;
+                (eps.is_finite() && (0.0..=1.0).contains(&eps)).then_some(Self::Approx(eps))
+            }
         }
     }
 
-    /// The CLI-style strategy name.
+    /// The CLI-style strategy name (`approx` drops its ε — pair with the
+    /// strategy's [`DpStrategy::eps`] where the value matters).
     pub fn name(self) -> &'static str {
         match self {
             Self::Scan => "scan",
             Self::Monge => "monge",
             Self::Auto => "auto",
+            Self::Approx(_) => "approx",
+        }
+    }
+
+    /// The approximation budget: `Some(ε)` for [`DpStrategy::Approx`],
+    /// `None` for the exact strategies.
+    pub fn eps(self) -> Option<f64> {
+        match self {
+            Self::Approx(eps) => Some(eps),
+            _ => None,
         }
     }
 }
@@ -597,6 +626,23 @@ mod tests {
     fn strategy_names_round_trip() {
         for s in [DpStrategy::Scan, DpStrategy::Monge, DpStrategy::Auto] {
             assert_eq!(DpStrategy::parse(s.name()), Some(s));
+        }
+        // The bare approx name resolves to the default ε; the ε-carrying
+        // form round-trips through the name (the value rides in `eps`).
+        assert_eq!(
+            DpStrategy::parse("approx"),
+            Some(DpStrategy::Approx(crate::dp::DEFAULT_APPROX_EPS))
+        );
+        assert_eq!(DpStrategy::parse("approx:0.25"), Some(DpStrategy::Approx(0.25)));
+        assert_eq!(DpStrategy::parse("approx:0"), Some(DpStrategy::Approx(0.0)));
+        assert_eq!(DpStrategy::Approx(0.25).name(), "approx");
+        assert_eq!(DpStrategy::Approx(0.25).eps(), Some(0.25));
+        assert_eq!(DpStrategy::Auto.eps(), None);
+        // Malformed ε values are rejected: negative, above 1, non-finite,
+        // or not a number at all.
+        for bad in ["approx:-0.1", "approx:1.5", "approx:NaN", "approx:inf", "approx:", "approx:x"]
+        {
+            assert_eq!(DpStrategy::parse(bad), None, "{bad:?}");
         }
         assert_eq!(DpStrategy::parse("smawk"), None);
     }

@@ -98,13 +98,14 @@ fn run(
     if n == 0 {
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats: DpStats::default() });
     }
+    let strategy = super::approx::resolve(input, &opts, prune);
     let engine = DpEngine::new_full(
         input,
         weights,
         prune,
         opts.policy,
         early_break,
-        opts.strategy,
+        strategy,
         opts.threads,
     )?
     .with_cancel(opts.cancel.clone());
@@ -119,6 +120,15 @@ fn run(
             ..DpStats::default()
         };
         return Ok(DpOutcome { reduction: Reduction::identity(input), stats });
+    }
+    // A positive ε dispatches to the sparsified bracket DP; ε ≤ 0 falls
+    // through to the exact machinery below, which an Approx-labeled
+    // engine traverses bit-identically to Scan (`certified_ratio` stays
+    // at its exact default of 1.0).
+    if let DpStrategy::Approx(eps) = engine.strategy {
+        if eps > 0.0 {
+            return super::approx::size_bounded_approx(input, weights, c, &engine, &opts, eps);
+        }
     }
 
     let (boundaries, optimum, stats) = if opts.mode.materializes_table(n, c) {
@@ -143,6 +153,7 @@ fn run(
                         mode: DpExecMode::Table,
                         strategy: engine.strategy,
                         threads: engine.pool.threads(),
+                        certified_ratio: 1.0,
                     })
                 })?;
             std::mem::swap(&mut prev, &mut cur);
@@ -157,6 +168,7 @@ fn run(
             mode: DpExecMode::Table,
             strategy: engine.strategy,
             threads: engine.pool.threads(),
+            certified_ratio: 1.0,
         };
         (boundaries, prev[n], stats)
     } else {
@@ -171,6 +183,7 @@ fn run(
             mode: DpExecMode::DivideConquer,
             strategy: engine.strategy,
             threads: engine.pool.threads(),
+            certified_ratio: 1.0,
         };
         (out.boundaries, out.optimal_sse, stats)
     };

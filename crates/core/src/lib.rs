@@ -62,7 +62,7 @@ pub use dp::size_bounded::{
 };
 pub use dp::{
     max_error, max_error_with_policy, DpExecMode, DpMode, DpOptions, DpOutcome, DpStats,
-    DpStrategy, DEFAULT_TABLE_BUDGET, MONGE_AUTO_MIN_WINDOW,
+    DpStrategy, DEFAULT_APPROX_EPS, DEFAULT_TABLE_BUDGET, MONGE_AUTO_MIN_WINDOW,
 };
 pub use error::CoreError;
 pub use gaps::GapVector;

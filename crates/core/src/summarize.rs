@@ -158,6 +158,17 @@ impl Summary {
             detail: SummaryDetail::None,
         }
     }
+
+    /// The certified approximation ratio of a DP-backed run: `1.0` for
+    /// exact runs, the proved `(1 + ε)`-bounded quotient for `approx`
+    /// runs (see `DpStats::certified_ratio`). `None` for non-DP methods
+    /// and curve-shared grid points, which carry no DP counters.
+    pub fn certified_ratio(&self) -> Option<f64> {
+        match &self.stats {
+            SummaryStats::Dp(s) => Some(s.certified_ratio),
+            SummaryStats::None | SummaryStats::Greedy(_) => None,
+        }
+    }
 }
 
 /// A read-only view of one summarization input: the sequential relation
@@ -374,29 +385,40 @@ pub fn size_for_error_budget(
 // ---------------------------------------------------------------------
 
 /// Exact PTA (`PTAc`/`PTAε`, §5) behind the [`Summarizer`] interface,
-/// with the split-point backtracking mode as its knob — both
-/// [`DpMode`] paths are registry-reachable (`exact-table`, `exact-dnc`)
-/// next to the auto-selecting `exact`.
+/// with the split-point backtracking mode and the row minimization
+/// strategy as its knobs — both [`DpMode`] paths are registry-reachable
+/// (`exact-table`, `exact-dnc`) next to the auto-selecting `exact`, and
+/// [`DpStrategy::Approx`] turns the same summarizer into the certified
+/// `(1 + ε)`-approximate `approx` registry entry.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct ExactPta {
     mode: DpMode,
+    strategy: DpStrategy,
 }
 
 impl ExactPta {
     /// Exact PTA with [`DpMode::Auto`] backtracking.
     pub fn new() -> Self {
-        Self { mode: DpMode::Auto }
+        Self { mode: DpMode::Auto, strategy: DpStrategy::Auto }
     }
 
     /// Exact PTA with a pinned backtracking mode.
     pub fn with_mode(mode: DpMode) -> Self {
-        Self { mode }
+        Self { mode, strategy: DpStrategy::Auto }
+    }
+
+    /// Certified `(1 + ε)`-approximate PTA: the same DP pipeline under
+    /// [`DpStrategy::Approx`], so every [`Summary`] it produces carries
+    /// the a posteriori guarantee in [`Summary::certified_ratio`].
+    pub fn approx(eps: f64) -> Self {
+        Self { mode: DpMode::Auto, strategy: DpStrategy::Approx(eps) }
     }
 
     fn opts(&self, view: &SeriesView<'_>) -> DpOptions {
         DpOptions {
             policy: view.policy(),
             mode: self.mode,
+            strategy: self.strategy,
             cancel: view.cancel().clone(),
             ..DpOptions::default()
         }
@@ -405,6 +427,9 @@ impl ExactPta {
 
 impl Summarizer for ExactPta {
     fn name(&self) -> &'static str {
+        if matches!(self.strategy, DpStrategy::Approx(_)) {
+            return "approx";
+        }
         match self.mode {
             DpMode::Table => "exact-table",
             DpMode::DivideConquer => "exact-dnc",
@@ -441,9 +466,11 @@ impl Summarizer for ExactPta {
     /// final cell of a single run *is* the optimal error for size `k`
     /// (Fig. 14's protocol), so the whole grid costs one
     /// [`optimal_error_curve`] call. Only the auto-selecting `exact`
-    /// takes this path — the pinned `exact-table`/`exact-dnc` variants
-    /// exist to exercise their backtracking mode, so they run every
-    /// bound individually (full `DpStats`, honest per-mode wall times).
+    /// and `approx` (whose curve entries are each certified within
+    /// `1 + ε`) take this path — the pinned `exact-table`/`exact-dnc`
+    /// variants exist to exercise their backtracking mode, so they run
+    /// every bound individually (full `DpStats`, honest per-mode wall
+    /// times).
     fn summarize_grid(
         &self,
         view: &SeriesView<'_>,
@@ -465,7 +492,7 @@ impl Summarizer for ExactPta {
             view.relation(),
             view.weights(),
             kmax,
-            DpStrategy::Auto,
+            self.strategy,
             0,
             view.cancel().clone(),
         ) {

@@ -41,7 +41,7 @@ fn usage() -> &'static str {
     "usage: pta-cli <reduce|ita|sta|compare> --input FILE --schema \"name:type,...\" \
      [--group-by A,B] --agg fn:attr[,fn:attr...] \
      [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
-     [--dp-strategy scan|monge|auto] [--threads N] [--timeout-ms MS] \
+     [--dp-strategy scan|monge|auto|approx[:eps]] [--threads N] [--timeout-ms MS] \
      [--on-bad-rows fail|skip] \
      [--max-gap G] [--span-origin T --span-width W] [--output FILE]\n\
      --threads: worker budget for CSV ingest, exact-DP row fills and the \
@@ -264,8 +264,12 @@ fn run() -> Result<(), String> {
                 };
             }
             if let Some(s) = args.options.get("dp-strategy") {
-                let strategy = DpStrategy::parse(s)
-                    .ok_or_else(|| format!("bad --dp-strategy {s:?}: use scan|monge|auto"))?;
+                let strategy = DpStrategy::parse(s).ok_or_else(|| {
+                    format!(
+                        "bad --dp-strategy {s:?}: use scan|monge|auto|approx[:eps] \
+                         with eps a finite value in [0, 1]"
+                    )
+                })?;
                 query = query.dp_strategy(strategy);
             }
             if let Some(g) = args.options.get("max-gap") {

@@ -170,8 +170,12 @@ impl PtaQuery {
     /// every dimension — trends, ramps, plateaus) and the paper's pruned
     /// scan everywhere else; [`DpStrategy::Scan`] pins the scan,
     /// [`DpStrategy::Monge`] extends the Monge engines to narrow
-    /// certified windows too. Every strategy returns the identical
-    /// optimal reduction.
+    /// certified windows too. Every one of those strategies returns the
+    /// identical optimal reduction. [`DpStrategy::Approx`] instead trades
+    /// exactness for speed with a certificate: the sparsified DP returns
+    /// a reduction whose SSE is proven within `(1 + ε)` of the optimum,
+    /// and the ratio it actually achieved is reported in
+    /// `DpStats::certified_ratio` on the result's summary.
     #[must_use]
     pub fn dp_strategy(mut self, strategy: DpStrategy) -> Self {
         self.dp_strategy = strategy;

@@ -27,7 +27,9 @@ use pta_core::{
 };
 
 const MODES: [DpMode; 2] = [DpMode::Table, DpMode::DivideConquer];
-const STRATEGIES: [DpStrategy; 2] = [DpStrategy::Scan, DpStrategy::Monge];
+// Approx rides along so the sweep covers the sparsified bracket row
+// loops (probe schedule, run building, chunked solves) check-by-check.
+const STRATEGIES: [DpStrategy; 3] = [DpStrategy::Scan, DpStrategy::Monge, DpStrategy::Approx(0.1)];
 
 /// Check-site sweep ceiling: every configuration below completes in far
 /// fewer checks; hitting the ceiling means a check loop is not consuming
@@ -48,6 +50,7 @@ fn exact_size_bounded_cancels_cleanly_at_every_check_site() {
                     strategy,
                     threads,
                     cancel,
+                    ..DpOptions::default()
                 };
                 let tag = format!("{mode:?} {strategy:?} threads={threads}");
                 let baseline =

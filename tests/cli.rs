@@ -109,7 +109,9 @@ fn error_bound_and_gap_policy_flags() {
 /// yields the identical Fig. 1(d) reduction, and rejects typos.
 #[test]
 fn dp_strategy_flag() {
-    for strategy in ["scan", "monge", "auto"] {
+    // `approx:0` falls through to the exact scan, so all four names
+    // produce the identical Fig. 1(d) reduction and SSE.
+    for strategy in ["scan", "monge", "auto", "approx:0"] {
         let (stdout, stderr, ok) = run_cli(
             &[
                 "reduce",
@@ -149,6 +151,40 @@ fn dp_strategy_flag() {
     // The flag belongs to `reduce` only.
     let (_, stderr, ok) = run_cli(
         &["ita", "--schema", SCHEMA, "--agg", "avg:Sal", "--dp-strategy", "auto"],
+        PROJ_CSV,
+    );
+    assert!(!ok);
+    assert!(stderr.contains("unknown flag --dp-strategy"), "stderr: {stderr}");
+}
+
+/// Malformed `approx:<eps>` specs fail fast with the typed usage error —
+/// negative, above 1, non-finite, empty, and non-numeric ε all reject —
+/// and the approx spelling is no escape hatch onto other subcommands.
+#[test]
+fn dp_strategy_approx_rejects_malformed_eps() {
+    for bad in ["approx:-0.1", "approx:1.5", "approx:NaN", "approx:inf", "approx:", "approx:x"] {
+        let (_, stderr, ok) = run_cli(
+            &[
+                "reduce",
+                "--schema",
+                SCHEMA,
+                "--agg",
+                "avg:Sal",
+                "--size",
+                "4",
+                "--dp-strategy",
+                bad,
+            ],
+            PROJ_CSV,
+        );
+        assert!(!ok, "{bad} must be rejected");
+        assert!(stderr.contains("bad --dp-strategy"), "{bad}: stderr: {stderr}");
+        assert!(stderr.contains("approx[:eps]"), "{bad}: usage hint missing: {stderr}");
+    }
+    // A well-formed approx spec on a subcommand without the flag is the
+    // unknown-flag error, same as any other strategy spelling.
+    let (_, stderr, ok) = run_cli(
+        &["compare", "--schema", SCHEMA, "--agg", "avg:Sal", "--dp-strategy", "approx:0.1"],
         PROJ_CSV,
     );
     assert!(!ok);

@@ -312,6 +312,209 @@ fn facade_dp_strategy_knob_is_equivalent() {
     }
 }
 
+/// The ε-grid of the approx suite: from "barely distinguishable from
+/// exact" to "anything within 2× goes".
+const APPROX_EPS_GRID: [f64; 5] = [0.01, 0.05, 0.1, 0.3, 1.0];
+
+/// The certified `(1 + ε)` tier: across both backtracking modes, thread
+/// budgets 1/2/4, gap-rich/flat/trendy inputs, and the full ε-grid, the
+/// approximate SSE stays within `(1 + ε)` of the exact scan's optimum,
+/// the reported certificate bounds what was delivered, and every thread
+/// budget returns bit-identical results.
+#[test]
+fn approx_bound_holds_across_modes_threads_and_eps_grid() {
+    let inputs = [
+        ("gap-rich", random_sequential_continuous(950, 64, 1, 0.08, 0.15)),
+        ("flat", random_sequential_trendy(951, 80, 1, 0.0, 0.0, 0.5)),
+        ("trendy", random_sequential_trendy(952, 80, 1, 0.05, 0.1, 0.02)),
+    ];
+    for (name, input) in &inputs {
+        let w = weights_for(1);
+        let c = (input.len() / 4).max(input.cmin());
+        for mode in MODES {
+            let exact =
+                pta_size_bounded_with_opts(input, &w, c, opts(mode, DpStrategy::Scan)).unwrap();
+            for eps in APPROX_EPS_GRID {
+                let mut sequential_bits = None;
+                for threads in [1usize, 2, 4] {
+                    let o = DpOptions { threads, ..opts(mode, DpStrategy::Approx(eps)) };
+                    let out = pta_size_bounded_with_opts(input, &w, c, o).unwrap();
+                    assert!(
+                        out.reduction.sse()
+                            <= (1.0 + eps) * exact.reduction.sse()
+                                + 1e-9 * (1.0 + exact.reduction.sse()),
+                        "{name} {mode:?} eps {eps} threads {threads}: {} vs exact {}",
+                        out.reduction.sse(),
+                        exact.reduction.sse()
+                    );
+                    assert!(
+                        out.stats.certified_ratio >= 1.0 && out.stats.certified_ratio <= 1.0 + eps,
+                        "{name} {mode:?} eps {eps} threads {threads}: ratio {}",
+                        out.stats.certified_ratio
+                    );
+                    assert_eq!(out.stats.strategy, DpStrategy::Approx(eps));
+                    // Bit-identity across budgets: the sparsified rows are
+                    // built before any fan-out, so chunking cannot move a
+                    // single candidate evaluation.
+                    let bits =
+                        (out.reduction.sse().to_bits(), out.reduction.source_ranges().to_vec());
+                    match &sequential_bits {
+                        None => sequential_bits = Some(bits),
+                        Some(reference) => assert_eq!(
+                            &bits, reference,
+                            "{name} {mode:?} eps {eps} threads {threads}: thread-dependent result"
+                        ),
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// `Approx(0)` is the exact scan, bit for bit — boundaries, SSE bits,
+/// and the work counters (the zero-ε run never enters the sparsified
+/// machinery; it falls through to the exact path under the approx
+/// label).
+#[test]
+fn approx_zero_eps_is_bit_identical_to_scan() {
+    for (seed, flip) in [(960, 0.4), (961, 0.02)] {
+        let input = random_sequential_trendy(seed, 72, 1, 0.05, 0.1, flip);
+        let w = weights_for(1);
+        for mode in MODES {
+            for c in input.cmin()..input.len() {
+                let scan = pta_size_bounded_with_opts(&input, &w, c, opts(mode, DpStrategy::Scan))
+                    .unwrap();
+                let zero =
+                    pta_size_bounded_with_opts(&input, &w, c, opts(mode, DpStrategy::Approx(0.0)))
+                        .unwrap();
+                assert_eq!(
+                    zero.reduction.source_ranges(),
+                    scan.reduction.source_ranges(),
+                    "seed {seed} c {c} {mode:?}"
+                );
+                assert_eq!(
+                    zero.reduction.sse().to_bits(),
+                    scan.reduction.sse().to_bits(),
+                    "seed {seed} c {c} {mode:?}"
+                );
+                assert_eq!(zero.stats.cells, scan.stats.cells, "seed {seed} c {c} {mode:?}");
+                assert_eq!(zero.stats.scan_cells, scan.stats.scan_cells);
+                assert_eq!(zero.stats.strategy, DpStrategy::Approx(0.0));
+                assert_eq!(zero.stats.certified_ratio.to_bits(), 1.0f64.to_bits());
+            }
+        }
+    }
+}
+
+/// `PTAε` under the approx tier: the returned reduction satisfies the
+/// error bound outright (the sparsified upper bracket dominates the
+/// exact row values), never undercuts the exact minimal size, and
+/// carries its certificate.
+#[test]
+fn approx_error_bounded_satisfies_bound_and_certifies() {
+    for (seed, flip) in [(970, 0.02), (971, 0.35)] {
+        let input = random_sequential_trendy(seed, 64, 1, 0.05, 0.1, flip);
+        let w = weights_for(1);
+        let emax = pta_core::max_error(&input, &w).unwrap();
+        for eps_bound in [0.01, 0.1, 0.3, 0.7, 1.0] {
+            for mode in MODES {
+                let exact = pta_error_bounded_with_opts(
+                    &input,
+                    &w,
+                    eps_bound,
+                    opts(mode, DpStrategy::Scan),
+                )
+                .unwrap();
+                let out = pta_error_bounded_with_opts(
+                    &input,
+                    &w,
+                    eps_bound,
+                    opts(mode, DpStrategy::Approx(0.1)),
+                )
+                .unwrap();
+                assert!(
+                    out.reduction.sse() <= eps_bound * emax + 1e-6 * (1.0 + emax),
+                    "seed {seed} eps {eps_bound} {mode:?}: sse {} over budget",
+                    out.reduction.sse()
+                );
+                assert!(
+                    out.reduction.len() >= exact.reduction.len(),
+                    "seed {seed} eps {eps_bound} {mode:?}: approx size {} under exact minimum {}",
+                    out.reduction.len(),
+                    exact.reduction.len()
+                );
+                assert!(
+                    out.stats.certified_ratio >= 1.0 && out.stats.certified_ratio <= 1.1,
+                    "seed {seed} eps {eps_bound} {mode:?}: ratio {}",
+                    out.stats.certified_ratio
+                );
+            }
+        }
+    }
+}
+
+/// The error-vs-size curve under the approx tier: every finite entry is
+/// within `(1 + ε)` of the exact curve and never below it (upper
+/// bracket); infinite entries (sizes below `cmin`) agree exactly.
+#[test]
+fn approx_curve_brackets_the_exact_curve() {
+    for (seed, flip) in [(980, 0.015), (981, 0.3)] {
+        let input = random_sequential_trendy(seed, 120, 1, 0.0, 0.0, flip);
+        let w = weights_for(1);
+        let kmax = 50;
+        let exact = optimal_error_curve_with_strategy(&input, &w, kmax, DpStrategy::Scan).unwrap();
+        for eps in [0.01, 0.1, 0.5] {
+            let approx =
+                optimal_error_curve_with_strategy(&input, &w, kmax, DpStrategy::Approx(eps))
+                    .unwrap();
+            assert_eq!(exact.len(), approx.len());
+            for (k, (e, a)) in exact.iter().zip(&approx).enumerate() {
+                if e.is_infinite() {
+                    assert!(a.is_infinite(), "seed {seed} eps {eps} size {}", k + 1);
+                    continue;
+                }
+                assert!(
+                    *a >= *e - 1e-9 * (1.0 + e),
+                    "seed {seed} eps {eps} size {}: upper bracket {a} below optimum {e}",
+                    k + 1
+                );
+                assert!(
+                    *a <= (1.0 + eps) * *e + 1e-9 * (1.0 + e),
+                    "seed {seed} eps {eps} size {}: {a} vs optimum {e}",
+                    k + 1
+                );
+            }
+        }
+    }
+}
+
+/// The facade knob reaches the approx tier end to end: the query reports
+/// the approx strategy and its certificate, and the SSE honors the bound
+/// against the exact run of the same query.
+#[test]
+fn facade_approx_strategy_reports_certificate() {
+    use pta::{Agg, Algorithm, Bound, ExecutionStats, PtaQuery};
+    let relation = pta_datasets::proj_relation();
+    let query = |strategy: DpStrategy| {
+        PtaQuery::new()
+            .group_by(&["Proj"])
+            .aggregate(Agg::avg("Sal").as_output("AvgSal"))
+            .bound(Bound::Size(4))
+            .algorithm(Algorithm::Exact)
+            .dp_strategy(strategy)
+            .execute(&relation)
+            .unwrap()
+    };
+    let exact = query(DpStrategy::Auto);
+    let approx = query(DpStrategy::Approx(0.1));
+    let ExecutionStats::Exact(stats) = &approx.stats else {
+        panic!("exact execution must report DP stats");
+    };
+    assert_eq!(stats.strategy, DpStrategy::Approx(0.1));
+    assert!(stats.certified_ratio >= 1.0 && stats.certified_ratio <= 1.1);
+    assert!(approx.reduction.sse() <= 1.1 * exact.reduction.sse() + 1e-9);
+}
+
 /// Paper-scale release smoke: exact PTA over a gap-free monotone trend
 /// of two million tuples under `Monge × DivideConquer` — `O(c · n)` time
 /// *and* `O(n)` memory — and it beats the Scan strategy's wall time on
