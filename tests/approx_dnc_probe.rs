@@ -1,0 +1,72 @@
+//! Review probe: is the D&C-mode approx certificate sound when optimal
+//! boundaries are off-grid? Fuzz spiky/steppy inputs at larger c.
+
+use pta_core::{pta_size_bounded_with_opts, DpMode, DpOptions, DpStrategy, GapPolicy, Weights};
+use pta_temporal::{GroupKey, SequentialBuilder, SequentialRelation, TimeInterval};
+
+fn series(values: &[f64]) -> SequentialRelation {
+    let mut b = SequentialBuilder::new(1);
+    for (t, &v) in values.iter().enumerate() {
+        b.push(GroupKey::empty(), TimeInterval::instant(t as i64).unwrap(), &[v]).unwrap();
+    }
+    b.build()
+}
+
+fn lcg(state: &mut u64) -> f64 {
+    *state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+    ((*state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+}
+
+#[test]
+fn fuzz_dnc_certificate() {
+    let mut worst = (0.0f64, 0usize, 0usize, 0.0f64);
+    for seed in 40..140u64 {
+        let n = 300usize;
+        let mut state = seed.wrapping_mul(0x9E3779B97F4A7C15).wrapping_add(7);
+        // Piecewise-constant levels with random step positions (off-grid
+        // by construction) plus occasional narrow spikes and noise.
+        let mut vals = Vec::with_capacity(n);
+        let mut level = 0.0f64;
+        let mut next_step = 5 + ((lcg(&mut state).abs() * 40.0) as usize);
+        for t in 0..n {
+            if t == next_step {
+                level += lcg(&mut state) * 200.0;
+                next_step = t + 3 + ((lcg(&mut state).abs() * 50.0) as usize);
+            }
+            let spike =
+                if lcg(&mut state) > 0.48 { lcg(&mut state) * 800.0 } else { 0.0 };
+            vals.push(level + spike + lcg(&mut state));
+        }
+        let input = series(&vals);
+        let w = Weights::uniform(1);
+        for &c in &[16usize] {
+            for &eps in &[0.2f64] {
+                let mk = |strategy| DpOptions {
+                    policy: GapPolicy::Strict,
+                    mode: DpMode::DivideConquer,
+                    strategy,
+                    threads: 1,
+                    ..DpOptions::default()
+                };
+                let exact =
+                    pta_size_bounded_with_opts(&input, &w, c, mk(DpStrategy::Scan)).unwrap();
+                let approx =
+                    pta_size_bounded_with_opts(&input, &w, c, mk(DpStrategy::Approx(eps)))
+                        .unwrap();
+                let e = exact.reduction.sse();
+                let a = approx.reduction.sse();
+                let true_ratio = if e > 0.0 { a / e } else { 1.0 };
+                if true_ratio > worst.0 {
+                    worst = (true_ratio, c, seed as usize, eps);
+                }
+                assert!(
+                    a <= (1.0 + eps) * e + 1e-6 * (1.0 + e),
+                    "VIOLATION seed {seed} c {c} eps {eps}: approx sse {a} vs exact {e} \
+                     (true ratio {true_ratio}, certified {})",
+                    approx.stats.certified_ratio
+                );
+            }
+        }
+    }
+    eprintln!("worst true ratio {} at c {} seed {} eps {}", worst.0, worst.1, worst.2, worst.3);
+}
