@@ -10,6 +10,9 @@
 //!   nesting guard and the `catch_unwind` panic isolation.
 //! * **cancel-coverage** — row/merge loops in `dp/` and `greedy/` must
 //!   poll the `CancelToken`, or deadlines silently stop working.
+//! * **deadline-coverage** — request-handler functions in `crates/serve`
+//!   must reference the deadline machinery (`CancelToken`, budgets), or
+//!   requests on that path run unbounded.
 //! * **failpoint-registry** — every `fail_point!` site name appears
 //!   exactly once in `FAILPOINT_SITES` and is exercised by
 //!   `tests/fault_injection.rs`.
@@ -216,6 +219,7 @@ pub fn analyze(ws: &Workspace) -> Vec<Finding> {
     rules::no_panic_in_lib(ws, &mut raw);
     rules::pool_only_concurrency(ws, &mut raw);
     rules::cancel_coverage(ws, &mut raw);
+    rules::deadline_coverage(ws, &mut raw);
     rules::failpoint_registry(ws, &mut raw);
     rules::float_eq(ws, &mut raw);
     rules::manifest_discipline(ws, &mut raw);

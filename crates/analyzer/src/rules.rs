@@ -16,6 +16,9 @@ pub const NO_PANIC_IN_LIB: &str = "no-panic-in-lib";
 pub const POOL_ONLY_CONCURRENCY: &str = "pool-only-concurrency";
 /// Rule id: row/merge loops in `dp/`/`greedy/` must poll cancellation.
 pub const CANCEL_COVERAGE: &str = "cancel-coverage";
+/// Rule id: request-handler fns in the serve tier must reference the
+/// request deadline machinery.
+pub const DEADLINE_COVERAGE: &str = "deadline-coverage";
 /// Rule id: failpoint site names must live in `FAILPOINT_SITES` and be
 /// exercised by the fault-injection suite.
 pub const FAILPOINT_REGISTRY: &str = "failpoint-registry";
@@ -36,6 +39,7 @@ pub const ALL_RULES: &[(&str, &str)] = &[
     (NO_PANIC_IN_LIB, "unwrap/expect/panic!/unreachable!/todo!/unimplemented! outside tests, bins, benches, and examples"),
     (POOL_ONLY_CONCURRENCY, "std::thread::{spawn,scope} outside pta-pool (bypasses in_worker + catch_unwind)"),
     (CANCEL_COVERAGE, "row/merge loops in core dp//greedy/ that never reference the CancelToken"),
+    (DEADLINE_COVERAGE, "request-handler fns in crates/serve that never reference the deadline/budget/cancel machinery"),
     (FAILPOINT_REGISTRY, "fail_point! sites must appear exactly once in FAILPOINT_SITES and in tests/fault_injection.rs"),
     (FLOAT_EQ, "== or != with a float operand in pta-core kernels (waiver required)"),
     (MANIFEST_DISCIPLINE, "member crates inherit [workspace.lints]; shim deps only via workspace inheritance"),
@@ -197,6 +201,83 @@ pub fn cancel_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
             }
         }
     }
+}
+
+/// **deadline-coverage** — the serve tier's headline promise is that
+/// every request runs under a budget: queue wait is charged, computation
+/// is cancelled, expired requests shed with typed errors. A
+/// request-handler function in `crates/serve` that never touches the
+/// deadline machinery is a path where that promise silently lapses —
+/// either it threads the token through, its caller demonstrably enforces
+/// the budget around it (waive it, saying so), or requests on that path
+/// run unbounded. Handlers are recognized by name (`handle*`/`dispatch*`
+/// segments) among functions that take request inputs; `&self`-only
+/// accessors (e.g. a `handle()` that returns a server handle) are not
+/// handlers.
+pub fn deadline_coverage(ws: &Workspace, out: &mut Vec<Finding>) {
+    const HANDLER: &[&str] = &["handle", "handler", "handlers", "dispatch"];
+    const EVIDENCE: &[&str] = &["cancel", "deadline", "budget"];
+    for file in &ws.files {
+        if !file.rel.starts_with("crates/serve/src/") || file.role != FileRole::Lib {
+            continue;
+        }
+        for f in &file.fns {
+            if file.in_test(f.fn_idx) || f.body.start == f.body.end {
+                continue;
+            }
+            let named_handler = f.name.to_lowercase().split('_').any(|seg| HANDLER.contains(&seg));
+            if !named_handler || !takes_non_self_args(&file.tokens, f) {
+                continue;
+            }
+            let span = &file.tokens[f.span.start..f.span.end];
+            let covered = span.iter().any(|t| {
+                t.kind == TokKind::Ident && {
+                    let lower = t.text.to_lowercase();
+                    EVIDENCE.iter().any(|e| lower.contains(e))
+                }
+            });
+            if !covered {
+                push(
+                    out,
+                    file,
+                    f.line,
+                    f.col,
+                    DEADLINE_COVERAGE,
+                    format!(
+                        "request-handler fn `{}` never references the request deadline — thread \
+                         the budget through (`CancelToken`, `remaining_budget`) or waive, naming \
+                         the caller that enforces it",
+                        f.name
+                    ),
+                );
+            }
+        }
+    }
+}
+
+/// True when the fn's parameter list names anything beyond `self` — the
+/// discriminator between a request handler (takes request inputs) and an
+/// accessor.
+fn takes_non_self_args(toks: &[Token], f: &FnInfo) -> bool {
+    let sig = &toks[f.span.start..f.body.start.min(f.span.end)];
+    let Some(open) = sig.iter().position(|t| t.kind == TokKind::Punct && t.text == "(") else {
+        return false;
+    };
+    let mut depth = 0usize;
+    for t in &sig[open..] {
+        match (t.kind, t.text.as_str()) {
+            (TokKind::Punct, "(") => depth += 1,
+            (TokKind::Punct, ")") => {
+                depth -= 1;
+                if depth == 0 {
+                    break;
+                }
+            }
+            (TokKind::Ident, name) if name != "self" && name != "mut" => return true,
+            _ => {}
+        }
+    }
+    false
 }
 
 /// True when the fn's name or any body identifier has a `_`-separated

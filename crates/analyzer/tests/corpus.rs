@@ -40,6 +40,7 @@ fn corpus_findings_are_line_and_col_exact() {
         ("crates/core/src/lib.rs", 23, 1, "unused-waiver"),
         ("crates/core/src/lib.rs", 26, 1, "waiver-syntax"),
         ("crates/core/src/lib.rs", 31, 21, "failpoint-registry"),
+        ("crates/serve/src/handler.rs", 3, 5, "deadline-coverage"),
         ("crates/shims/failpoints/src/lib.rs", 5, 5, "failpoint-registry"),
         ("crates/shims/failpoints/src/lib.rs", 6, 5, "failpoint-registry"),
         ("crates/shims/failpoints/src/lib.rs", 6, 5, "failpoint-registry"),
@@ -95,7 +96,7 @@ fn binary_exits_one_on_corpus_and_zero_on_clean() {
     assert_eq!(bad.status.code(), Some(1));
     let text = String::from_utf8_lossy(&bad.stdout);
     assert!(text.contains("crates/core/src/lib.rs:4:7 no-panic-in-lib"));
-    assert!(String::from_utf8_lossy(&bad.stderr).contains("19 finding(s)"));
+    assert!(String::from_utf8_lossy(&bad.stderr).contains("20 finding(s)"));
 
     let ok = Command::new(bin).arg("--root").arg(fixture("clean")).output().expect("spawns");
     assert_eq!(
@@ -120,7 +121,7 @@ fn binary_json_output_is_machine_readable() {
     let doc = pta_analyzer::json::parse(&String::from_utf8_lossy(&out.stdout))
         .expect("analyzer emits valid JSON");
     let pta_analyzer::json::Value::Arr(_, items) = doc else { panic!("expected an array") };
-    assert_eq!(items.len(), 19);
+    assert_eq!(items.len(), 20);
     for rec in &items {
         for key in ["file", "line", "col", "rule", "message"] {
             assert!(rec.get(key).is_some(), "finding record is missing key {key:?}");

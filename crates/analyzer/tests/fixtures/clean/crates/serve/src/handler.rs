@@ -1,0 +1,16 @@
+//! A compliant request handler: the budget rides a cancel token that the
+//! handler checks before doing work.
+
+pub struct CancelToken;
+
+impl CancelToken {
+    pub fn check(&self) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+pub fn handle_request(line: &str, cancel: &CancelToken) -> Result<String, String> {
+    cancel.check()?;
+    let trimmed = line.trim();
+    Ok(format!("ok echo {trimmed}"))
+}

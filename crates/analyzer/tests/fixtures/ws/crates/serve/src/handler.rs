@@ -1,0 +1,14 @@
+//! Seeded deadline-coverage violation: a request handler with no budget
+//! wiring — nothing stops this path from running unbounded.
+pub fn handle_request(line: &str) -> String {
+    let trimmed = line.trim();
+    format!("ok echo {trimmed}")
+}
+
+/// Not a handler: `&self`-only accessors are exempt by design.
+pub struct Srv;
+impl Srv {
+    pub fn handle(&self) -> u32 {
+        7
+    }
+}

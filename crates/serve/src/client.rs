@@ -1,0 +1,51 @@
+//! A tiny blocking client — one request line out, one response line in.
+//! Used by the test suites and `pta-cli query`.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A blocking line-protocol client over one TCP connection.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects with 30 s socket deadlines (generous: request budgets
+    /// live server-side; these only stop a dead server hanging a test).
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        Self::connect_with_deadline(addr, Duration::from_secs(30))
+    }
+
+    /// Connects with explicit per-call socket deadlines.
+    pub fn connect_with_deadline(
+        addr: impl ToSocketAddrs,
+        deadline: Duration,
+    ) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(deadline))?;
+        stream.set_write_timeout(Some(deadline))?;
+        let _ = stream.set_nodelay(true);
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(Client { reader, writer: stream })
+    }
+
+    /// Sends one request line and reads one response line. A closed
+    /// connection (e.g. an injected accept/write fault dropped it)
+    /// surfaces as `UnexpectedEof`.
+    pub fn request(&mut self, line: &str) -> std::io::Result<String> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut resp = String::new();
+        let n = self.reader.read_line(&mut resp)?;
+        if n == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(resp.trim_end().to_string())
+    }
+}

@@ -1,0 +1,262 @@
+//! The line-delimited wire protocol.
+//!
+//! One request per line, one response line per request, UTF-8, `\n`
+//! terminated. Requests are whitespace-separated tokens:
+//!
+//! ```text
+//! reduce <group> c=<n> | eps=<x> | ratio=<x> [timeout_ms=<ms>]
+//! ping
+//! stats
+//! shutdown
+//! ```
+//!
+//! Responses start with `ok ` or `err <code> ` where `<code>` is one of
+//! [`ErrCode`]'s kebab-case names. Response bodies carry no wall-clock
+//! fields, so a repeated request produces a **bit-identical** response
+//! line — the fault-injection suite leans on that to compare faulted and
+//! fault-free runs.
+
+use std::fmt;
+
+/// The reduction bound carried by a `reduce` request — the paper's three
+/// query shapes (`PTAc`, `PTAε`, and a size-by-compression-ratio variant).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryBound {
+    /// `c=<n>`: at most `n` output tuples.
+    Size(usize),
+    /// `eps=<x>`: error budget as a fraction of the group's maximal error.
+    Error(f64),
+    /// `ratio=<x>`: output size as a fraction of the group's input size.
+    Ratio(f64),
+}
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Answer a `(group, bound)` query from the cached error curve.
+    Reduce {
+        /// Group name: the grouping values joined with `|` (`*` for the
+        /// single group of an ungrouped query).
+        group: String,
+        /// The reduction bound.
+        bound: QueryBound,
+        /// Per-request budget override in milliseconds; the server's
+        /// `--request-timeout-ms` default applies when absent.
+        timeout_ms: Option<u64>,
+    },
+    /// Liveness probe; answered `ok pong` without touching the cache.
+    Ping,
+    /// Counter snapshot (admissions, sheds, faults, ingest report).
+    Stats,
+    /// Begin graceful shutdown: stop accepting, drain in-flight work.
+    Shutdown,
+}
+
+impl Request {
+    /// Parses one request line. Errors are human-readable fragments that
+    /// the server embeds in a `bad-request` response.
+    pub fn parse(line: &str) -> Result<Request, String> {
+        let mut toks = line.split_whitespace();
+        let verb = toks.next().ok_or_else(|| "empty request".to_string())?;
+        match verb {
+            "ping" | "stats" | "shutdown" => {
+                if toks.next().is_some() {
+                    return Err(format!("`{verb}` takes no arguments"));
+                }
+                Ok(match verb {
+                    "ping" => Request::Ping,
+                    "stats" => Request::Stats,
+                    _ => Request::Shutdown,
+                })
+            }
+            "reduce" => {
+                let group =
+                    toks.next().ok_or_else(|| "reduce needs a group name".to_string())?.to_string();
+                let mut bound: Option<QueryBound> = None;
+                let mut timeout_ms: Option<u64> = None;
+                for tok in toks {
+                    let (key, val) = tok
+                        .split_once('=')
+                        .ok_or_else(|| format!("expected key=value, got `{tok}`"))?;
+                    match key {
+                        "c" => {
+                            let c = val
+                                .parse::<usize>()
+                                .map_err(|_| format!("bad size bound `{val}`"))?;
+                            set_bound(&mut bound, QueryBound::Size(c))?;
+                        }
+                        "eps" => {
+                            let e = parse_fraction(val, "error bound")?;
+                            set_bound(&mut bound, QueryBound::Error(e))?;
+                        }
+                        "ratio" => {
+                            let r = parse_fraction(val, "compression ratio")?;
+                            set_bound(&mut bound, QueryBound::Ratio(r))?;
+                        }
+                        "timeout_ms" => {
+                            timeout_ms = Some(
+                                val.parse::<u64>().map_err(|_| format!("bad timeout `{val}`"))?,
+                            );
+                        }
+                        other => return Err(format!("unknown key `{other}`")),
+                    }
+                }
+                let bound =
+                    bound.ok_or_else(|| "reduce needs one of c=/eps=/ratio=".to_string())?;
+                Ok(Request::Reduce { group, bound, timeout_ms })
+            }
+            other => Err(format!("unknown verb `{other}`")),
+        }
+    }
+}
+
+fn set_bound(slot: &mut Option<QueryBound>, bound: QueryBound) -> Result<(), String> {
+    if slot.is_some() {
+        return Err("more than one bound (c=/eps=/ratio=)".to_string());
+    }
+    *slot = Some(bound);
+    Ok(())
+}
+
+fn parse_fraction(val: &str, what: &str) -> Result<f64, String> {
+    let x = val.parse::<f64>().map_err(|_| format!("bad {what} `{val}`"))?;
+    if !x.is_finite() || !(0.0..=1.0).contains(&x) {
+        return Err(format!("{what} must be in [0, 1], got `{val}`"));
+    }
+    Ok(x)
+}
+
+/// Typed error classes, rendered kebab-case as the second response token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrCode {
+    /// Admission control shed the request: the bounded queue was full.
+    Overloaded,
+    /// The server is draining; late arrivals are turned away.
+    ShuttingDown,
+    /// The request line did not parse or carried an invalid bound.
+    BadRequest,
+    /// No group with that name was loaded at startup.
+    UnknownGroup,
+    /// The request's budget expired (in the queue or mid-computation).
+    DeadlineExceeded,
+    /// The server cancelled the work (e.g. drain deadline passed).
+    Cancelled,
+    /// The handler panicked; the panic was isolated to this request.
+    Panic,
+    /// A connection-level read/write fault.
+    Io,
+    /// Any other typed failure in the handler.
+    Internal,
+}
+
+impl ErrCode {
+    /// The kebab-case wire name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrCode::Overloaded => "overloaded",
+            ErrCode::ShuttingDown => "shutting-down",
+            ErrCode::BadRequest => "bad-request",
+            ErrCode::UnknownGroup => "unknown-group",
+            ErrCode::DeadlineExceeded => "deadline-exceeded",
+            ErrCode::Cancelled => "cancelled",
+            ErrCode::Panic => "panic",
+            ErrCode::Io => "io",
+            ErrCode::Internal => "internal",
+        }
+    }
+}
+
+impl fmt::Display for ErrCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One response line (without the trailing newline).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Response(String);
+
+impl Response {
+    /// An `ok <body>` response.
+    pub fn ok(body: &str) -> Self {
+        Response(format!("ok {}", sanitize(body)))
+    }
+
+    /// An `err <code> <msg>` response.
+    pub fn err(code: ErrCode, msg: &str) -> Self {
+        Response(format!("err {} {}", code.as_str(), sanitize(msg)))
+    }
+
+    /// The response line.
+    pub fn line(&self) -> &str {
+        &self.0
+    }
+}
+
+/// The protocol is one line per response; fold embedded newlines (panic
+/// payloads can carry them) into spaces.
+fn sanitize(msg: &str) -> String {
+    msg.replace(['\n', '\r'], " ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_three_bounds() {
+        assert_eq!(
+            Request::parse("reduce A c=4"),
+            Ok(Request::Reduce { group: "A".into(), bound: QueryBound::Size(4), timeout_ms: None })
+        );
+        assert_eq!(
+            Request::parse("reduce B eps=0.25 timeout_ms=50"),
+            Ok(Request::Reduce {
+                group: "B".into(),
+                bound: QueryBound::Error(0.25),
+                timeout_ms: Some(50),
+            })
+        );
+        assert_eq!(
+            Request::parse("  reduce  X|1  ratio=0.5 "),
+            Ok(Request::Reduce {
+                group: "X|1".into(),
+                bound: QueryBound::Ratio(0.5),
+                timeout_ms: None,
+            })
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        for bad in [
+            "",
+            "reduce",
+            "reduce A",
+            "reduce A c=4 eps=0.5",
+            "reduce A c=-1",
+            "reduce A eps=1.5",
+            "reduce A ratio=nan",
+            "reduce A banana",
+            "reduce A k=4",
+            "ping now",
+            "explode",
+        ] {
+            assert!(Request::parse(bad).is_err(), "{bad:?} should not parse");
+        }
+    }
+
+    #[test]
+    fn control_verbs_parse() {
+        assert_eq!(Request::parse("ping"), Ok(Request::Ping));
+        assert_eq!(Request::parse("stats"), Ok(Request::Stats));
+        assert_eq!(Request::parse("shutdown"), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn responses_are_single_lines() {
+        let r = Response::err(ErrCode::Panic, "boom\nwith newline");
+        assert_eq!(r.line(), "err panic boom with newline");
+        assert_eq!(Response::ok("pong").line(), "ok pong");
+    }
+}

@@ -23,9 +23,11 @@
 //! through its closure. Callbacks are programmatic-only.
 //!
 //! Injection points live in the pool workers (`pool.worker`), CSV chunk
-//! parsing (`csv.chunk`), DP row fills (`dp.fill_row`), and the comparator
-//! fan-out (`comparator.method.<name>`); see `tests/fault_injection.rs` in
-//! the facade crate for the suite that drives them.
+//! parsing (`csv.chunk`), DP row fills (`dp.fill_row`), the comparator
+//! fan-out (`comparator.method.<name>`), and the serve tier's network and
+//! cache seams (`serve.accept`, `serve.read`, `serve.write`,
+//! `serve.handler`, `serve.cache`); see `tests/fault_injection.rs` in the
+//! facade crate for the suite that drives them.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -38,8 +40,17 @@ use std::sync::{Mutex, OnceLock, PoisonError};
 /// entry must match a live call site, and every entry must be exercised by
 /// `tests/fault_injection.rs`. A trailing `*` marks a prefix entry for
 /// sites whose name is built with `format!` (one entry covers the family).
-pub const FAILPOINT_SITES: &[&str] =
-    &["pool.worker", "csv.chunk", "dp.fill_row", "comparator.method.*"];
+pub const FAILPOINT_SITES: &[&str] = &[
+    "pool.worker",
+    "csv.chunk",
+    "dp.fill_row",
+    "comparator.method.*",
+    "serve.accept",
+    "serve.read",
+    "serve.write",
+    "serve.handler",
+    "serve.cache",
+];
 
 /// What a triggered failpoint does.
 #[derive(Clone)]

@@ -25,11 +25,10 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use pta::{
-    Agg, AggregateFunction, Algorithm, Bound, Delta, DpStrategy, GapPolicy, PtaQuery, SpanSpec,
+    Agg, AggregateFunction, Algorithm, Bound, Delta, DpStrategy, GapPolicy, IngestReport, PtaQuery,
+    RowPolicy, SpanSpec,
 };
-use pta_temporal::csv::{
-    parse_schema, read_relation_str_with_policy, write_relation, write_sequential, RowPolicy,
-};
+use pta_temporal::csv::{parse_schema, write_relation, write_sequential};
 use pta_temporal::TemporalRelation;
 
 struct Args {
@@ -38,7 +37,7 @@ struct Args {
 }
 
 fn usage() -> &'static str {
-    "usage: pta-cli <reduce|ita|sta|compare> --input FILE --schema \"name:type,...\" \
+    "usage: pta-cli <reduce|ita|sta|compare|serve|query> --input FILE --schema \"name:type,...\" \
      [--group-by A,B] --agg fn:attr[,fn:attr...] \
      [--size N | --error EPS] [--algorithm exact|greedy] [--delta N|inf] \
      [--dp-strategy scan|monge|auto|approx[:eps]] [--threads N] [--timeout-ms MS] \
@@ -54,7 +53,15 @@ fn usage() -> &'static str {
      instead of aborting the read\n\
      compare: [--methods a,b,c|all] (--sizes N,N,... | --errors E,E,... | \
      --ratios R,R,...) — one-call §7 comparison; every method of the \
-     summarizer registry over one bound grid, as CSV"
+     summarizer registry over one bound grid, as CSV\n\
+     serve: long-running TCP service answering reduce-style (group, bound) \
+     queries from cached error curves; knobs: [--addr HOST:PORT] \
+     [--queue-depth N] [--request-timeout-ms MS] [--read-timeout-ms MS] \
+     [--drain-timeout-ms MS] [--curve-depth N] [--threads N] \
+     [--on-bad-rows fail|skip] — see the README's Service section for the \
+     line protocol\n\
+     query: one-shot client: pta-cli query --addr HOST:PORT --request \
+     \"reduce A c=4\" (prints the response line; exit 3 on an err response)"
 }
 
 /// Flags shared by every subcommand. `threads` is common because every
@@ -76,6 +83,15 @@ fn command_flags(command: &str) -> Option<&'static [&'static str]> {
         "ita" => Some(&[]),
         "sta" => Some(&["span-origin", "span-width"]),
         "compare" => Some(&["methods", "sizes", "errors", "ratios", "max-gap", "timeout-ms"]),
+        "serve" => Some(&[
+            "addr",
+            "queue-depth",
+            "request-timeout-ms",
+            "read-timeout-ms",
+            "drain-timeout-ms",
+            "curve-depth",
+        ]),
+        "query" => Some(&["addr", "request"]),
         _ => None,
     }
 }
@@ -137,7 +153,7 @@ fn thread_budget(args: &Args) -> Result<usize, String> {
     }
 }
 
-fn load_relation(args: &Args, threads: usize) -> Result<TemporalRelation, String> {
+fn load_relation(args: &Args, threads: usize) -> Result<(TemporalRelation, IngestReport), String> {
     let schema_spec = args.options.get("schema").ok_or("missing --schema \"name:type,...\"")?;
     let schema = parse_schema(schema_spec).map_err(|e| e.to_string())?;
     let mut reader: Box<dyn Read> = match args.options.get("input") {
@@ -154,7 +170,7 @@ fn load_relation(args: &Args, threads: usize) -> Result<TemporalRelation, String
         Some(other) => return Err(format!("bad --on-bad-rows {other:?}: use fail|skip")),
     };
     let (relation, report) =
-        read_relation_str_with_policy(schema, &text, threads, policy).map_err(|e| e.to_string())?;
+        pta::read_csv(schema, &text, threads, policy).map_err(|e| e.to_string())?;
     if report.has_skips() {
         eprintln!(
             "warning: skipped {} malformed row(s), kept {}",
@@ -168,7 +184,7 @@ fn load_relation(args: &Args, threads: usize) -> Result<TemporalRelation, String
             eprintln!("  ... and {unsampled} more");
         }
     }
-    Ok(relation)
+    Ok((relation, report))
 }
 
 /// The optional `--timeout-ms` wall-time budget.
@@ -198,10 +214,42 @@ fn group_names(args: &Args) -> Vec<String> {
         .unwrap_or_default()
 }
 
+/// An optional typed flag with a default (the `serve` knobs).
+fn parse_flag<T: std::str::FromStr>(args: &Args, key: &str, default: T) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match args.options.get(key) {
+        Some(v) => v.parse().map_err(|e| format!("bad --{key}: {e}")),
+        None => Ok(default),
+    }
+}
+
+/// One-shot client: sends `--request` to a running `pta-cli serve` and
+/// prints the response line. Needs no input relation or schema.
+fn run_query(args: &Args) -> Result<(), String> {
+    let addr = args.options.get("addr").ok_or("query needs --addr HOST:PORT")?;
+    let request = args.options.get("request").ok_or("query needs --request \"...\"")?;
+    let mut client =
+        pta_serve::Client::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let response = client.request(request).map_err(|e| format!("request failed: {e}"))?;
+    println!("{response}");
+    if response.starts_with("err ") {
+        // The response line already tells the story; exit 3 distinguishes
+        // "the server said no" from local errors (exit 2).
+        std::process::exit(3);
+    }
+    Ok(())
+}
+
 fn run() -> Result<(), String> {
     let args = parse_args()?;
+    // `query` is a pure network client: dispatch before any CSV work.
+    if args.command == "query" {
+        return run_query(&args);
+    }
     let threads = thread_budget(&args)?;
-    let relation = load_relation(&args, threads)?;
+    let (relation, ingest_report) = load_relation(&args, threads)?;
     let groups = group_names(&args);
     let group_refs: Vec<&str> = groups.iter().map(String::as_str).collect();
     let aggs = parse_aggs(args.options.get("agg").ok_or("missing --agg fn:attr")?)?;
@@ -365,6 +413,55 @@ fn run() -> Result<(), String> {
                 result.n,
                 result.cmin,
                 result.emax
+            );
+        }
+        "serve" => {
+            let defaults = pta_serve::ServerConfig::default();
+            let ms = |v: u64| Duration::from_millis(v);
+            let config = pta_serve::ServerConfig {
+                addr: args
+                    .options
+                    .get("addr")
+                    .cloned()
+                    .unwrap_or_else(|| "127.0.0.1:7878".to_string()),
+                queue_depth: parse_flag(&args, "queue-depth", defaults.queue_depth)?,
+                request_timeout: ms(parse_flag(
+                    &args,
+                    "request-timeout-ms",
+                    defaults.request_timeout.as_millis() as u64,
+                )?),
+                read_timeout: ms(parse_flag(
+                    &args,
+                    "read-timeout-ms",
+                    defaults.read_timeout.as_millis() as u64,
+                )?),
+                drain_timeout: ms(parse_flag(
+                    &args,
+                    "drain-timeout-ms",
+                    defaults.drain_timeout.as_millis() as u64,
+                )?),
+                threads,
+                curve_depth: parse_flag(&args, "curve-depth", defaults.curve_depth)?,
+            };
+            let spec = pta::ItaQuerySpec::new(&group_refs, aggs);
+            let server =
+                pta_serve::Server::start(config, &relation, &spec).map_err(|e| e.to_string())?;
+            server.record_ingest(&ingest_report);
+            // The resolved address on stdout is the readiness signal
+            // scripts wait for (an `:0` bind reports its real port).
+            println!("listening on {}", server.handle().addr());
+            io::stdout().flush().map_err(|e| e.to_string())?;
+            let stats = server.run();
+            eprintln!(
+                "serve: accepted={} ok={} overloaded={} shed_queue_wait={} bad_requests={} \
+                 handler_panics={} late_rejects={}",
+                stats.accepted,
+                stats.ok,
+                stats.overloaded,
+                stats.shed_queue_wait,
+                stats.bad_requests,
+                stats.handler_panics,
+                stats.late_rejects
             );
         }
         other => return Err(format!("unknown command {other:?}\n{}", usage())),

@@ -103,6 +103,15 @@ impl Comparator {
     /// clock starts when the method starts executing (not when the run
     /// is submitted), so queuing behind other methods on a small thread
     /// budget does not consume the budget.
+    ///
+    /// This is the opposite convention from the service tier: `pta-serve`
+    /// anchors a request's `timeout_ms` budget at **enqueue**, so time
+    /// spent waiting in its admission queue *is* charged (an overloaded
+    /// server sheds stale requests with `deadline-exceeded` instead of
+    /// burning workers on answers nobody is waiting for). Here the fan-out
+    /// is a finite batch owned by one caller — queue wait is an artifact
+    /// of the chosen thread budget, not of load, so charging it would just
+    /// make small budgets time out spuriously.
     #[must_use]
     pub fn method_timeout(mut self, timeout: Duration) -> Self {
         self.method_timeout = Some(timeout);

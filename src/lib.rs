@@ -51,11 +51,13 @@
 mod compare;
 mod convert;
 mod error;
+mod ingest;
 mod query;
 
 pub use compare::{Comparator, Comparison, MethodCurve};
 pub use convert::to_temporal_relation;
 pub use error::Error;
+pub use ingest::{read_csv, IngestReport, RowPolicy};
 pub use query::{
     ita_table, mwta_table, sta_table, Algorithm, Bound, ExecutionStats, PtaOutput, PtaQuery,
 };

@@ -33,40 +33,34 @@ fn fuzz_dnc_certificate() {
                 level += lcg(&mut state) * 200.0;
                 next_step = t + 3 + ((lcg(&mut state).abs() * 50.0) as usize);
             }
-            let spike =
-                if lcg(&mut state) > 0.48 { lcg(&mut state) * 800.0 } else { 0.0 };
+            let spike = if lcg(&mut state) > 0.48 { lcg(&mut state) * 800.0 } else { 0.0 };
             vals.push(level + spike + lcg(&mut state));
         }
         let input = series(&vals);
         let w = Weights::uniform(1);
-        for &c in &[16usize] {
-            for &eps in &[0.2f64] {
-                let mk = |strategy| DpOptions {
-                    policy: GapPolicy::Strict,
-                    mode: DpMode::DivideConquer,
-                    strategy,
-                    threads: 1,
-                    ..DpOptions::default()
-                };
-                let exact =
-                    pta_size_bounded_with_opts(&input, &w, c, mk(DpStrategy::Scan)).unwrap();
-                let approx =
-                    pta_size_bounded_with_opts(&input, &w, c, mk(DpStrategy::Approx(eps)))
-                        .unwrap();
-                let e = exact.reduction.sse();
-                let a = approx.reduction.sse();
-                let true_ratio = if e > 0.0 { a / e } else { 1.0 };
-                if true_ratio > worst.0 {
-                    worst = (true_ratio, c, seed as usize, eps);
-                }
-                assert!(
-                    a <= (1.0 + eps) * e + 1e-6 * (1.0 + e),
-                    "VIOLATION seed {seed} c {c} eps {eps}: approx sse {a} vs exact {e} \
-                     (true ratio {true_ratio}, certified {})",
-                    approx.stats.certified_ratio
-                );
-            }
+        let (c, eps) = (16usize, 0.2f64);
+        let mk = |strategy| DpOptions {
+            policy: GapPolicy::Strict,
+            mode: DpMode::DivideConquer,
+            strategy,
+            threads: 1,
+            ..DpOptions::default()
+        };
+        let exact = pta_size_bounded_with_opts(&input, &w, c, mk(DpStrategy::Scan)).unwrap();
+        let approx =
+            pta_size_bounded_with_opts(&input, &w, c, mk(DpStrategy::Approx(eps))).unwrap();
+        let e = exact.reduction.sse();
+        let a = approx.reduction.sse();
+        let true_ratio = if e > 0.0 { a / e } else { 1.0 };
+        if true_ratio > worst.0 {
+            worst = (true_ratio, c, seed as usize, eps);
         }
+        assert!(
+            a <= (1.0 + eps) * e + 1e-6 * (1.0 + e),
+            "VIOLATION seed {seed} c {c} eps {eps}: approx sse {a} vs exact {e} \
+             (true ratio {true_ratio}, certified {})",
+            approx.stats.certified_ratio
+        );
     }
     eprintln!("worst true ratio {} at c {} seed {} eps {}", worst.0, worst.1, worst.2, worst.3);
 }

@@ -1,7 +1,7 @@
 //! Fault-injection suite: drive every compiled-in failpoint and pin how
 //! each tier degrades.
 //!
-//! The four fault sites (see `pta_failpoints`):
+//! The library-tier fault sites (see `pta_failpoints`):
 //!
 //! * `pool.worker` — a worker job panics mid-flight: `try_map` isolates
 //!   it as a typed [`JobPanic`], `map` re-raises it to the caller;
@@ -14,6 +14,14 @@
 //! * `comparator.method.<name>` — one summarizer crashes inside the
 //!   fan-out: the comparison still completes, only that method's cells
 //!   degrade (the issue's acceptance scenario).
+//!
+//! The serve-tier fault sites cover the whole request path of the
+//! `pta-serve` TCP server — `serve.accept` (admission), `serve.read` /
+//! `serve.write` (socket I/O), `serve.handler` (query dispatch),
+//! `serve.cache` (curve fill). Under every injected panic, error, or
+//! delay the server process survives, affected requests degrade to typed
+//! error responses, and unaffected requests answer **bit-identically** to
+//! a fault-free run (response lines carry no wall-clock fields).
 //!
 //! The failpoint registry is process-global, so every test serializes on
 //! one lock and clears the registry on entry and exit (drop-guarded, so
@@ -184,6 +192,246 @@ fn dp_fill_row_fault_is_typed_through_the_facade_and_a_retry_is_clean() {
     let again = query().execute(&proj_relation()).unwrap();
     assert_eq!(again.reduction.len(), baseline.reduction.len());
     assert_eq!(again.reduction.sse().to_bits(), baseline.reduction.sse().to_bits());
+}
+
+// ---------------------------------------------------------------------
+// Serve-tier scenarios.
+// ---------------------------------------------------------------------
+
+use pta::ItaQuerySpec;
+use pta_serve::{Client, Server, ServerConfig, ServerHandle, StatsSnapshot};
+
+fn serve_spec() -> ItaQuerySpec {
+    ItaQuerySpec::new(&["Proj"], vec![Agg::avg("Sal")])
+}
+
+fn serve_config(queue_depth: usize, threads: usize) -> ServerConfig {
+    ServerConfig { addr: "127.0.0.1:0".to_string(), queue_depth, threads, ..Default::default() }
+}
+
+/// Starts a proj-relation server; `run()` executes on a plain test
+/// thread. Returns the remote control and the join handle yielding the
+/// final counters.
+fn start_serve(config: ServerConfig) -> (ServerHandle, std::thread::JoinHandle<StatsSnapshot>) {
+    let relation = proj_relation();
+    let server = Server::start(config, &relation, &serve_spec()).expect("server starts");
+    let handle = server.handle();
+    let join = std::thread::spawn(move || server.run());
+    (handle, join)
+}
+
+fn connect(handle: &ServerHandle) -> Client {
+    Client::connect(handle.addr()).expect("connect")
+}
+
+/// The fault-free response line for `reduce A c=4`, captured from the
+/// running server itself before any fault is armed.
+fn baseline_reduce_a(handle: &ServerHandle) -> String {
+    let resp = connect(handle).request("reduce A c=4").expect("baseline");
+    assert!(resp.starts_with("ok group=A "), "unhealthy baseline: {resp:?}");
+    resp
+}
+
+/// An injected handler panic degrades to a typed `err panic` response on
+/// the same connection, which stays usable; a retry is bit-identical to
+/// the fault-free baseline. An injected handler error degrades to
+/// `err internal`.
+#[test]
+fn serve_handler_panic_is_isolated_and_the_retry_is_bit_identical() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 1));
+    let baseline = baseline_reduce_a(&handle);
+
+    fail::cfg("serve.handler", "1*panic(injected handler crash)").unwrap();
+    let mut client = connect(&handle);
+    let crashed = client.request("reduce A c=4").unwrap();
+    assert!(crashed.starts_with("err panic "), "got {crashed:?}");
+    assert!(crashed.contains("injected handler crash"), "payload lost: {crashed:?}");
+    // The connection survived the panic; the count is spent.
+    assert_eq!(client.request("reduce A c=4").unwrap(), baseline);
+
+    fail::cfg("serve.handler", "1*return(injected handler error)").unwrap();
+    assert_eq!(client.request("reduce A c=4").unwrap(), "err internal injected handler error");
+    assert_eq!(client.request("reduce A c=4").unwrap(), baseline);
+
+    assert_eq!(client.request("shutdown").unwrap(), "ok shutting-down");
+    let stats = join.join().expect("run() returns");
+    assert_eq!(stats.handler_panics, 1, "{stats:?}");
+    assert_eq!(stats.conn_panics, 0, "{stats:?}");
+}
+
+/// An injected curve-fill fault degrades to `err internal` without
+/// poisoning the cache; the retry fills the curve and matches the
+/// fault-free answer.
+#[test]
+fn serve_cache_fault_is_typed_and_does_not_poison_the_curve() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 1));
+    fail::cfg("serve.cache", "1*return(injected cache fault)").unwrap();
+    let mut client = connect(&handle);
+    assert_eq!(client.request("reduce A c=4").unwrap(), "err internal injected cache fault");
+    let retry = client.request("reduce A c=4").unwrap();
+    assert!(retry.starts_with("ok group=A "), "got {retry:?}");
+    assert!(retry.ends_with("source=curve"), "retry should fill the cache: {retry:?}");
+    let stats_line = client.request("stats").unwrap();
+    assert!(stats_line.contains("curves_cached=1"), "got {stats_line:?}");
+    assert_eq!(client.request("shutdown").unwrap(), "ok shutting-down");
+    join.join().expect("run() returns");
+}
+
+/// An injected read fault answers `err io` and closes that connection
+/// only; the next connection is served normally.
+#[test]
+fn serve_read_fault_is_typed_io_then_close() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 1));
+    fail::cfg("serve.read", "1*return(injected read fault)").unwrap();
+    let mut faulted = connect(&handle);
+    assert_eq!(faulted.request("ping").unwrap(), "err io injected read fault");
+    // The server closed the faulted connection after answering.
+    assert!(faulted.request("ping").is_err(), "connection should be closed");
+    let mut healthy = connect(&handle);
+    assert_eq!(healthy.request("ping").unwrap(), "ok pong");
+    assert_eq!(healthy.request("shutdown").unwrap(), "ok shutting-down");
+    let stats = join.join().expect("run() returns");
+    assert!(stats.read_faults >= 1, "{stats:?}");
+}
+
+/// An injected write fault drops that connection (the client observes
+/// EOF); the server survives and serves the next connection.
+#[test]
+fn serve_write_fault_drops_the_connection_not_the_server() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 1));
+    fail::cfg("serve.write", "1*return(injected write fault)").unwrap();
+    let mut faulted = connect(&handle);
+    let err = faulted.request("ping").unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::UnexpectedEof, "{err:?}");
+    let mut healthy = connect(&handle);
+    assert_eq!(healthy.request("ping").unwrap(), "ok pong");
+    assert_eq!(healthy.request("shutdown").unwrap(), "ok shutting-down");
+    let stats = join.join().expect("run() returns");
+    assert!(stats.write_faults >= 1, "{stats:?}");
+}
+
+/// An injected accept fault drops that one connection on the floor; the
+/// accept loop survives and admits the next connection.
+#[test]
+fn serve_accept_fault_drops_only_that_connection() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 1));
+    fail::cfg("serve.accept", "1*return(dropped)").unwrap();
+    let mut dropped = connect(&handle);
+    assert!(dropped.request("ping").is_err(), "dropped connection should EOF");
+    let mut healthy = connect(&handle);
+    assert_eq!(healthy.request("ping").unwrap(), "ok pong");
+    assert_eq!(healthy.request("shutdown").unwrap(), "ok shutting-down");
+    let stats = join.join().expect("run() returns");
+    assert!(stats.accepted >= 2, "{stats:?}");
+}
+
+/// Delays injected at every serve seam at once slow the request path but
+/// change nothing: responses stay bit-identical to the fault-free run.
+#[test]
+fn serve_delays_on_every_seam_keep_responses_bit_identical() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 2));
+    let baseline = baseline_reduce_a(&handle);
+    for site in ["serve.accept", "serve.read", "serve.write", "serve.handler", "serve.cache"] {
+        fail::cfg(site, "delay(10)").unwrap();
+    }
+    let mut client = connect(&handle);
+    assert_eq!(client.request("ping").unwrap(), "ok pong");
+    assert_eq!(client.request("reduce A c=4").unwrap(), baseline);
+    fail::clear();
+    let mut after = connect(&handle);
+    assert_eq!(after.request("shutdown").unwrap(), "ok shutting-down");
+    join.join().expect("run() returns");
+}
+
+/// Satellite 6, end to end and deterministically: with one worker pinned
+/// by an injected 150 ms handler delay, a second request with a 20 ms
+/// budget spends it all in the queue and is shed with the queue-wait
+/// message — it never reaches a handler.
+#[test]
+fn serve_queue_wait_shed_is_deterministic_under_injected_delay() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(16, 1));
+    let baseline = baseline_reduce_a(&handle);
+    fail::cfg("serve.handler", "1*delay(150)").unwrap();
+    let addr = handle.addr();
+    let slow =
+        std::thread::spawn(move || Client::connect(addr).expect("connect").request("reduce A c=4"));
+    // Let the single worker pick up the delayed request, then enqueue a
+    // request whose 20 ms budget cannot outlast the 150 ms pin.
+    std::thread::sleep(std::time::Duration::from_millis(50));
+    let mut starved = connect(&handle);
+    assert_eq!(
+        starved.request("reduce A c=4 timeout_ms=20").unwrap(),
+        "err deadline-exceeded request budget spent in queue"
+    );
+    assert_eq!(slow.join().expect("slow client").unwrap(), baseline);
+    assert_eq!(starved.request("shutdown").unwrap(), "ok shutting-down");
+    let stats = join.join().expect("run() returns");
+    assert_eq!(stats.shed_queue_wait, 1, "{stats:?}");
+}
+
+/// Fault-injected soak: concurrent clients, injected handler panics, and
+/// a shutdown mid-burst. Every response is the bit-identical `ok` line or
+/// a typed degradation; the server drains and returns.
+#[test]
+fn serve_fault_injected_soak_survives_shutdown_mid_burst() {
+    let _guard = serial();
+    let _clean = CleanRegistry::new();
+    let (handle, join) = start_serve(serve_config(8, 2));
+    let baseline = baseline_reduce_a(&handle);
+    fail::cfg("serve.handler", "3*panic(soak crash)").unwrap();
+    let addr = handle.addr();
+    let clients: Vec<_> = (0..4)
+        .map(|_| {
+            std::thread::spawn(move || {
+                let mut out = Vec::new();
+                for _ in 0..6 {
+                    match Client::connect(addr) {
+                        Ok(mut c) => out.push(c.request("reduce A c=4")),
+                        Err(e) => out.push(Err(e)),
+                    }
+                }
+                out
+            })
+        })
+        .collect();
+    std::thread::sleep(std::time::Duration::from_millis(40));
+    handle.shutdown();
+    let (mut oks, mut panics) = (0usize, 0usize);
+    for t in clients {
+        for resp in t.join().expect("client thread") {
+            match resp {
+                Ok(line) if line == baseline => oks += 1,
+                Ok(line) if line.starts_with("err panic ") => panics += 1,
+                Ok(line) => assert!(
+                    line.starts_with("err shutting-down ")
+                        || line.starts_with("err overloaded ")
+                        || line.starts_with("err cancelled ")
+                        || line.starts_with("err deadline-exceeded "),
+                    "unexpected response {line:?}"
+                ),
+                Err(_) => {} // refused/EOF after shutdown: acceptable
+            }
+        }
+    }
+    assert!(oks > 0, "the burst should land at least one clean ok");
+    let stats = join.join().expect("run() returns despite faults + shutdown");
+    assert!(stats.handler_panics <= 3, "{stats:?}");
+    assert_eq!(stats.handler_panics as usize, panics, "every panic answered typed: {stats:?}");
+    assert_eq!(stats.conn_panics, 0, "{stats:?}");
 }
 
 #[test]
